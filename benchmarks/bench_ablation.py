@@ -1,0 +1,18 @@
+"""Bench: Section 4.3 ablation (Writing-First vs Two-Phase)."""
+
+import numpy as np
+
+from benchmarks.conftest import CASE_SCALE, record, run_once
+from repro.experiments import ablation
+
+
+def test_ablation_writing_first(benchmark, output_dir):
+    result = run_once(benchmark, ablation.run, scale=CASE_SCALE)
+    assert all(x > 1.0 for x in result.data["perf_ratios"])
+    record(
+        benchmark, output_dir, result,
+        mean_perf_ratio=round(float(np.mean(result.data["perf_ratios"])), 2),
+        mean_instr_saved_pct=round(
+            float(np.mean(result.data["instruction_savings_pct"])), 1
+        ),
+    )

@@ -1,0 +1,78 @@
+"""Bench: Section 4.4 adaptive fusion — threshold sweep ablation.
+
+DESIGN.md design-choice ablation: sweep the nnz/row threshold that
+decides warp-mode vs thread-mode per row block, on a matrix that mixes
+thin and dense row regions, and verify the mixed setting is never worse
+than the worst pure mode.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import record, run_once
+from repro.datasets.synthetic import banded
+from repro.datasets.domains import circuit
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.report import render_table
+from repro.gpu.device import SIM_SMALL
+from repro.solvers import AdaptiveCapelliniSolver
+from repro.sparse.coo import COOMatrix
+from repro.sparse.convert import coo_to_csr, csr_to_coo
+from repro.sparse.triangular import (
+    lower_triangular_system,
+    make_unit_lower_triangular,
+)
+
+THRESHOLDS = (1.0, 4.0, 8.0, 16.0, 1e9)
+
+
+def _mixed_matrix(seed=0):
+    """Thin circuit-style head + dense banded tail."""
+    thin = circuit(900, seed=seed, avg_nnz_per_row=3.0)
+    dense = banded(300, seed=seed, bandwidth=24, fill=0.9)
+    t, d = csr_to_coo(thin), csr_to_coo(dense)
+    n = thin.n_rows + dense.n_rows
+    rows = np.concatenate([t.rows, d.rows + thin.n_rows])
+    cols = np.concatenate([t.cols, d.cols + thin.n_rows])
+    vals = np.concatenate([t.values, d.values])
+    return make_unit_lower_triangular(
+        coo_to_csr(COOMatrix(n, n, rows, cols, vals))
+    )
+
+
+def run_threshold_sweep() -> ExperimentResult:
+    system = lower_triangular_system(_mixed_matrix())
+    rows = []
+    times = {}
+    for threshold in THRESHOLDS:
+        r = AdaptiveCapelliniSolver(threshold=threshold).solve(
+            system.L, system.b, device=SIM_SMALL
+        )
+        np.testing.assert_allclose(r.x, system.x_true, rtol=1e-9)
+        times[threshold] = r.exec_ms
+        rows.append(
+            [threshold, round(r.exec_ms, 4),
+             r.extra["thread_mode_blocks"], r.extra["warp_mode_blocks"]]
+        )
+    text = render_table(
+        ["Threshold (nnz/row)", "Exec ms (sim)", "Thread blocks",
+         "Warp blocks"],
+        rows,
+        title="Section 4.4 ablation — adaptive threshold sweep "
+        "(mixed thin/dense matrix)",
+    )
+    return ExperimentResult(
+        experiment_id="ablation-adaptive-threshold",
+        title="Adaptive warp/thread threshold sweep",
+        text=text,
+        data={"times": times},
+    )
+
+
+def test_adaptive_threshold_sweep(benchmark, output_dir):
+    result = run_once(benchmark, run_threshold_sweep)
+    times = result.data["times"]
+    pure_thread = times[1e9]
+    pure_warp = times[1.0]
+    mixed_best = min(times[t] for t in (4.0, 8.0, 16.0))
+    assert mixed_best <= max(pure_thread, pure_warp)
+    record(benchmark, output_dir, result)

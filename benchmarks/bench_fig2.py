@@ -1,0 +1,12 @@
+"""Bench: Figure 2 walkthrough on the paper's toy device."""
+
+from benchmarks.conftest import record, run_once
+from repro.experiments import fig2
+
+
+def test_fig2(benchmark, output_dir):
+    result = run_once(benchmark, fig2.run)
+    assert result.data["capellini_fastest"]
+    assert "Deadlock" in result.data["naive_outcome"]
+    record(benchmark, output_dir, result,
+           cycles=result.data["cycles"])

@@ -1,0 +1,13 @@
+"""Bench: regenerate Figure 3 (SyncFree GFLOPS vs granularity)."""
+
+from benchmarks.conftest import record, run_once
+from repro.experiments import fig3
+
+
+def test_fig3(benchmark, output_dir, sweep_suite):
+    result = run_once(benchmark, fig3.run, suite=sweep_suite)
+    assert result.data["declines_after_peak"]
+    record(
+        benchmark, output_dir, result,
+        peak_granularity=result.data["peak_center"],
+    )

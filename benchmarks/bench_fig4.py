@@ -1,0 +1,10 @@
+"""Bench: regenerate Figure 4 (GFLOPS vs granularity per platform)."""
+
+from benchmarks.conftest import record, run_once
+from repro.experiments import fig4
+
+
+def test_fig4(benchmark, output_dir, eval_suite):
+    result = run_once(benchmark, fig4.run, suite=eval_suite)
+    assert set(result.data["panels"]) == {"Pascal", "Volta", "Turing"}
+    record(benchmark, output_dir, result)

@@ -1,0 +1,14 @@
+"""Bench: regenerate Figure 5 (speedup over SyncFree vs granularity)."""
+
+from benchmarks.conftest import record, run_once
+from repro.experiments import fig5
+
+
+def test_fig5(benchmark, output_dir, eval_suite):
+    result = run_once(benchmark, fig5.run, suite=eval_suite)
+    assert result.data["increasing"]
+    record(
+        benchmark, output_dir, result,
+        peak_speedup=round(result.data["peak_speedup"], 2),
+        peak_matrix=result.data["peak_name"],
+    )

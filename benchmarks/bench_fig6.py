@@ -1,0 +1,15 @@
+"""Bench: regenerate Figure 6 (optimal-algorithm distribution)."""
+
+from benchmarks.conftest import record, run_once
+from repro.experiments import fig6
+
+
+def test_fig6(benchmark, output_dir, sweep_suite):
+    result = run_once(benchmark, fig6.run, suite=sweep_suite)
+    assert result.data["corner_low_beta_high_alpha"] != "Capellini"
+    record(
+        benchmark, output_dir, result,
+        capellini_win_fraction=round(
+            result.data["capellini_win_fraction"], 3
+        ),
+    )

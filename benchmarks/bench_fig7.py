@@ -1,0 +1,20 @@
+"""Bench: regenerate Figure 7 (bandwidth utilization)."""
+
+from benchmarks.conftest import CASE_SCALE, record, run_once
+from repro.experiments import fig7
+
+
+def test_fig7(benchmark, output_dir, eval_suite):
+    result = run_once(
+        benchmark, fig7.run, suite=eval_suite, case_scale=CASE_SCALE
+    )
+    assert result.data["ratio_over_syncfree"] > 1.5
+    record(
+        benchmark, output_dir, result,
+        bandwidth_ratio_over_syncfree=round(
+            result.data["ratio_over_syncfree"], 2
+        ),
+        bandwidth_ratio_over_cusparse=round(
+            result.data["ratio_over_cusparse"], 2
+        ),
+    )

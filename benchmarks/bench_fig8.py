@@ -1,0 +1,17 @@
+"""Bench: regenerate Figure 8 (instructions executed, stall percentage)."""
+
+from benchmarks.conftest import CASE_SCALE, record, run_once
+from repro.experiments import fig8
+
+
+def test_fig8(benchmark, output_dir):
+    result = run_once(benchmark, fig8.run, scale=CASE_SCALE)
+    assert result.data["stall_ordering_ok"]
+    record(
+        benchmark, output_dir, result,
+        instr_saved_vs_syncfree_pct=round(
+            result.data["saved_vs_syncfree_pct"], 1
+        ),
+        mean_stall={k: round(v, 3)
+                    for k, v in result.data["mean_stall"].items()},
+    )

@@ -1,0 +1,62 @@
+"""Bench: residency ablation (DESIGN.md design-choice list).
+
+Section 3.1's first under-utilization cause: when a level's width far
+exceeds the device's resident-warp capacity, warp-level SpTRSV processes
+it in rounds.  Sweeping the machine width (SM count) on a fixed
+wide-level matrix must show SyncFree's simulated time improving with
+width much more steeply than Capellini's — Capellini is already
+thread-parallel and far less residency-bound.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import record, run_once
+from repro.datasets.domains import circuit
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.report import render_table
+from repro.gpu.device import SIM_SMALL
+from repro.solvers import SyncFreeSolver, WritingFirstCapelliniSolver
+from repro.sparse.triangular import lower_triangular_system
+
+WIDTH_FACTORS = (0.25, 1.0, 4.0)
+
+
+def run_residency_sweep() -> ExperimentResult:
+    system = lower_triangular_system(
+        circuit(1500, seed=9, rail_prob=0.9, avg_nnz_per_row=3.0)
+    )
+    rows = []
+    times: dict[str, dict[float, float]] = {"SyncFree": {}, "Capellini": {}}
+    for factor in WIDTH_FACTORS:
+        device = SIM_SMALL.scaled(factor)
+        for solver in (SyncFreeSolver(), WritingFirstCapelliniSolver()):
+            r = solver.solve(system.L, system.b, device=device)
+            np.testing.assert_allclose(r.x, system.x_true, rtol=1e-9)
+            times[r.solver_name][factor] = r.exec_ms
+            rows.append([device.name, r.solver_name, round(r.exec_ms, 4)])
+    text = render_table(
+        ["Device", "Algorithm", "Exec ms (sim)"],
+        rows,
+        title="Residency ablation — machine width sweep on a wide-level "
+        "matrix",
+    )
+    return ExperimentResult(
+        experiment_id="ablation-residency",
+        title="Residency/machine-width ablation",
+        text=text,
+        data={"times": times},
+    )
+
+
+def test_residency_sweep(benchmark, output_dir):
+    result = run_once(benchmark, run_residency_sweep)
+    times = result.data["times"]
+    sync_gain = times["SyncFree"][0.25] / times["SyncFree"][4.0]
+    cap_gain = times["Capellini"][0.25] / times["Capellini"][4.0]
+    # SyncFree must benefit more from extra residency than Capellini
+    assert sync_gain > cap_gain
+    record(
+        benchmark, output_dir, result,
+        syncfree_width_gain=round(sync_gain, 2),
+        capellini_width_gain=round(cap_gain, 2),
+    )

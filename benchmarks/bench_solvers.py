@@ -1,0 +1,55 @@
+"""Bench: raw solver comparison on one high-granularity matrix.
+
+Not a paper artifact — a sanity benchmark of the full solver lineup on a
+circuit-style matrix at cycle-simulator scale, timing the *host* cost of
+simulation (useful for tracking simulator performance regressions) and
+recording each solver's simulated execution time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.domains import circuit
+from repro.gpu.device import SIM_SMALL
+from repro.solvers import (
+    CuSparseProxySolver,
+    LevelSetSolver,
+    SerialReferenceSolver,
+    SyncFreeSolver,
+    TwoPhaseCapelliniSolver,
+    WritingFirstCapelliniSolver,
+)
+from repro.sparse.triangular import lower_triangular_system
+
+SOLVERS = [
+    SerialReferenceSolver,
+    LevelSetSolver,
+    CuSparseProxySolver,
+    SyncFreeSolver,
+    TwoPhaseCapelliniSolver,
+    WritingFirstCapelliniSolver,
+]
+
+
+@pytest.fixture(scope="module")
+def system():
+    return lower_triangular_system(
+        circuit(1500, seed=4, avg_nnz_per_row=3.5, rail_prob=0.85)
+    )
+
+
+@pytest.mark.parametrize("solver_cls", SOLVERS, ids=lambda c: c.name)
+def test_solver(benchmark, system, solver_cls):
+    solver = solver_cls()
+
+    def solve():
+        return solver.solve(system.L, system.b, device=SIM_SMALL)
+
+    result = benchmark.pedantic(solve, rounds=1, iterations=1,
+                                warmup_rounds=0)
+    np.testing.assert_allclose(result.x, system.x_true, rtol=1e-9)
+    benchmark.extra_info["sim_exec_ms"] = round(result.exec_ms, 5)
+    if result.stats:
+        benchmark.extra_info["sim_instructions"] = (
+            result.stats.total_instructions
+        )

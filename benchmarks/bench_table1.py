@@ -1,0 +1,10 @@
+"""Bench: regenerate Table 1 (preprocessing vs execution time)."""
+
+from benchmarks.conftest import CASE_SCALE, record, run_once
+from repro.experiments import table1
+
+
+def test_table1(benchmark, output_dir):
+    result = run_once(benchmark, table1.run, scale=CASE_SCALE)
+    assert result.data["all_correct"]
+    record(benchmark, output_dir, result)

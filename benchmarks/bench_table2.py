@@ -1,0 +1,10 @@
+"""Bench: regenerate Table 2 (algorithm property summary)."""
+
+from benchmarks.conftest import record, run_once
+from repro.experiments import table2
+
+
+def test_table2(benchmark, output_dir):
+    result = run_once(benchmark, table2.run)
+    assert len(result.data["rows"]) == 4
+    record(benchmark, output_dir, result)

@@ -1,0 +1,18 @@
+"""Bench: regenerate Table 4 (mean GFLOPS per platform, win percentage)."""
+
+from benchmarks.conftest import record, run_once
+from repro.experiments import table4
+
+
+def test_table4(benchmark, output_dir, eval_suite):
+    result = run_once(benchmark, table4.run, suite=eval_suite)
+    means = result.data["means"]
+    for platform in ("Pascal", "Volta", "Turing"):
+        assert means["Capellini"][platform] > means["SyncFree"][platform]
+    record(
+        benchmark, output_dir, result,
+        capellini_gflops={p: round(v, 2)
+                          for p, v in means["Capellini"].items()},
+        percent_optimal={p: round(v, 1)
+                         for p, v in result.data["percent_optimal"].items()},
+    )

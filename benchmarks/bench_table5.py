@@ -1,0 +1,18 @@
+"""Bench: regenerate Table 5 (average/maximum speedups per platform)."""
+
+from benchmarks.conftest import record, run_once
+from repro.experiments import table5
+
+
+def test_table5(benchmark, output_dir, eval_suite):
+    result = run_once(benchmark, table5.run, suite=eval_suite)
+    summaries = result.data["summaries"]
+    for platform in ("Pascal", "Volta", "Turing"):
+        assert summaries[("SyncFree", platform)].average > 1.0
+    record(
+        benchmark, output_dir, result,
+        avg_speedup_over_syncfree={
+            p: round(summaries[("SyncFree", p)].average, 2)
+            for p in ("Pascal", "Volta", "Turing")
+        },
+    )

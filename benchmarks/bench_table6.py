@@ -1,0 +1,10 @@
+"""Bench: regenerate Table 6 (per-matrix detailed indicators)."""
+
+from benchmarks.conftest import CASE_SCALE, record, run_once
+from repro.experiments import table6
+
+
+def test_table6(benchmark, output_dir):
+    result = run_once(benchmark, table6.run, scale=CASE_SCALE)
+    assert result.data["capellini_wins_all"]
+    record(benchmark, output_dir, result)

@@ -1,0 +1,63 @@
+"""Benchmark fixtures.
+
+Each benchmark regenerates one paper table/figure exactly once
+(``benchmark.pedantic(rounds=1)``) — the interesting output is the
+regenerated artifact, stored under ``benchmarks/_output/`` and summarized
+in ``benchmark.extra_info``, not the wall time of the harness itself.
+
+The analytic-sweep experiments share two process-cached suites, built on
+first use (a few minutes for the evaluation suite: matrices must reach
+paper-scale level widths — see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.datasets.suite import cached_evaluation_suite, cached_full_sweep_suite
+
+#: Suite sizes; override with REPRO_BENCH_SUITE / REPRO_BENCH_SWEEP for a
+#: full 245-matrix run.
+EVAL_SUITE_SIZE = int(os.environ.get("REPRO_BENCH_SUITE", "36"))
+SWEEP_SUITE_SIZE = int(os.environ.get("REPRO_BENCH_SWEEP", "44"))
+#: Named stand-in scale for the cycle-simulator experiments.
+CASE_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+OUTPUT_DIR = Path(__file__).parent / "_output"
+
+
+@pytest.fixture(scope="session")
+def eval_suite():
+    return list(cached_evaluation_suite(EVAL_SUITE_SIZE, seed=2020))
+
+
+@pytest.fixture(scope="session")
+def sweep_suite():
+    return list(cached_full_sweep_suite(SWEEP_SUITE_SIZE, seed=873))
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark clock."""
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1,
+        warmup_rounds=0,
+    )
+
+
+def record(benchmark, output_dir: Path, result, **extra) -> None:
+    """Persist the regenerated artifact and attach headline numbers."""
+    path = output_dir / f"{result.experiment_id}.txt"
+    path.write_text(result.text + "\n")
+    benchmark.extra_info["experiment"] = result.experiment_id
+    benchmark.extra_info["output_file"] = str(path)
+    for key, value in extra.items():
+        benchmark.extra_info[key] = value

@@ -1,0 +1,79 @@
+"""Graph-application scenario (the paper's motivating domain).
+
+42% of the paper's high-granularity matrices come from graph
+applications: scale-free adjacency structures have hub vertices at low
+indices, so their triangular factors have thin rows and very wide levels.
+This example walks the paper's decision procedure:
+
+1. build graph/LP/FEM matrices at production scale and compute the
+   parallel granularity indicator (Equation 1) — analysis is cheap;
+2. let the granularity pick the algorithm (Figure 6's decision rule);
+3. verify the pick against *measured* execution on the cycle simulator,
+   using a reduced-scale instance of the same structure (cycle simulation
+   is the expensive part).
+
+Run:  python examples/graph_application.py
+"""
+
+import numpy as np
+
+from repro.analysis import extract_features
+from repro.datasets import generate
+from repro.gpu import SIM_SMALL
+from repro.solvers import (
+    SyncFreeSolver,
+    WritingFirstCapelliniSolver,
+    select_solver,
+)
+from repro.sparse import lower_triangular_system
+
+#: (label, domain, analysis size, simulation size, params)
+SCENARIOS = [
+    ("social graph", "social", 120_000, 1500, {"attachment": 2}),
+    ("LP basis factor", "lp", 120_000, 1500, {"basis_fraction": 0.02}),
+    ("FEM band (cant-like)", "fem", 3_000, 600, {"bandwidth": 24}),
+]
+
+
+def main() -> None:
+    header = (
+        f"{'scenario':>22s} {'granularity':>12s} {'picked':>10s} "
+        f"{'SyncFree ms':>12s} {'Capellini ms':>13s} {'measured best':>14s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for label, domain, n_analysis, n_sim, params in SCENARIOS:
+        # production-scale analysis (fast: vectorized level computation)
+        big = generate(domain, n_analysis, seed=1, **params)
+        features = extract_features(big)
+        picked = select_solver(features).name
+
+        # reduced-scale measurement on the cycle simulator
+        small = generate(domain, n_sim, seed=1, **params)
+        system = lower_triangular_system(small)
+        times = {}
+        for solver in (SyncFreeSolver(), WritingFirstCapelliniSolver()):
+            r = solver.solve(system.L, system.b, device=SIM_SMALL)
+            assert np.allclose(r.x, system.x_true, rtol=1e-9)
+            times[r.solver_name] = r.exec_ms
+        measured_best = min(times, key=times.get)
+        lo, hi = sorted(times.values())
+        if hi - lo < 0.1 * hi:
+            measured_best = "~tie"  # latency-bound: both pipeline equally
+        print(
+            f"{label:>22s} {features.granularity:12.3f} {picked:>10s} "
+            f"{times['SyncFree']:12.4f} {times['Capellini']:13.4f} "
+            f"{measured_best:>14s}"
+        )
+    print(
+        "\n\nGraphs and LP factors sit above the paper's 0.7 granularity"
+        "\nthreshold and go to thread-level Capellini; the dense FEM band"
+        "\nsits at the bottom of the scale and stays with warp-level"
+        "\nSyncFree — Figure 6's decision rule.  (On the cycle simulator"
+        "\nthe FEM chain is latency-bound for both algorithms, hence the"
+        "\nnear-tie; the analytic tier resolves it in SyncFree's favor.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

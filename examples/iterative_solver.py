@@ -1,0 +1,98 @@
+"""SpTRSV as a building block: Gauss-Seidel iteration for ``A x = b``.
+
+The paper's introduction motivates SpTRSV through "preconditioners of
+sparse iterative solvers": each Gauss-Seidel sweep *is* one sparse
+triangular solve with the lower part of ``A``.  This example builds a
+diagonally dominant sparse system, runs Gauss-Seidel where every sweep's
+triangular solve goes through the CapelliniSpTRSV kernel on the simulated
+GPU, and reports the convergence history plus the accumulated simulated
+solve time.
+
+Run:  python examples/iterative_solver.py
+"""
+
+import numpy as np
+
+from repro.gpu import SIM_SMALL
+from repro.solvers import WritingFirstCapelliniSolver
+from repro.sparse import (
+    COOMatrix,
+    coo_to_csr,
+    csr_to_coo,
+)
+
+
+def build_spd_system(n: int = 600, seed: int = 0):
+    """Sparse, strictly diagonally dominant A (guarantees GS convergence)."""
+    rng = np.random.default_rng(seed)
+    nnz_per_row = 4
+    rows = np.repeat(np.arange(n), nnz_per_row)
+    cols = rng.integers(0, n, size=len(rows))
+    vals = rng.uniform(-0.5, 0.5, size=len(rows))
+    keep = rows != cols
+    coo = COOMatrix(n, n, rows[keep], cols[keep], vals[keep])
+    A_off = coo_to_csr(coo)
+    # dominant diagonal: |a_ii| > sum_j |a_ij|
+    row_ids = np.repeat(np.arange(n), A_off.row_lengths())
+    row_abs = np.zeros(n)
+    np.add.at(row_abs, row_ids, np.abs(A_off.values))
+    off = csr_to_coo(A_off)
+    diag_vals = row_abs + 1.0
+    full = COOMatrix(
+        n, n,
+        np.concatenate([off.rows, np.arange(n)]),
+        np.concatenate([off.cols, np.arange(n)]),
+        np.concatenate([off.values, diag_vals]),
+    )
+    A = coo_to_csr(full)
+    x_true = rng.uniform(-1, 1, n)
+    return A, A.matvec(x_true), x_true
+
+
+def lower_part_with_diagonal(A):
+    """Gauss-Seidel's triangular factor: L = tril(A) including diagonal."""
+    coo = csr_to_coo(A)
+    keep = coo.cols <= coo.rows
+    return coo_to_csr(
+        COOMatrix(A.n_rows, A.n_cols, coo.rows[keep], coo.cols[keep],
+                  coo.values[keep])
+    )
+
+
+def upper_matvec(A, x):
+    """U @ x where U = triu(A, 1)."""
+    coo = csr_to_coo(A)
+    keep = coo.cols > coo.rows
+    out = np.zeros(A.n_rows)
+    np.add.at(out, coo.rows[keep], coo.values[keep] * x[coo.cols[keep]])
+    return out
+
+
+def main() -> None:
+    A, b, x_true = build_spd_system()
+    L = lower_part_with_diagonal(A)
+    solver = WritingFirstCapelliniSolver()
+
+    x = np.zeros(A.n_rows)
+    total_sim_ms = 0.0
+    print("Gauss-Seidel with CapelliniSpTRSV sweeps (simulated GPU):")
+    for sweep in range(1, 13):
+        # x_{k+1} = L^{-1} (b - U x_k): one SpTRSV per sweep
+        rhs = b - upper_matvec(A, x)
+        result = solver.solve(L, rhs, device=SIM_SMALL)
+        x = result.x
+        total_sim_ms += result.exec_ms
+        err = float(np.linalg.norm(x - x_true) / np.linalg.norm(x_true))
+        print(f"  sweep {sweep:2d}: rel. error = {err:10.3e}   "
+              f"(sweep solve: {result.exec_ms:.4f} sim ms)")
+        if err < 1e-12:
+            break
+    print(f"\nconverged; accumulated simulated SpTRSV time: "
+          f"{total_sim_ms:.4f} ms")
+    print("Capellini needs no per-matrix preprocessing, so repeated solves "
+          "against the same factor pay zero setup — the property that "
+          "matters inside iterative solvers.")
+
+
+if __name__ == "__main__":
+    main()

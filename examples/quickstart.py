@@ -1,0 +1,45 @@
+"""Quickstart: generate a sparse triangular system, solve it with
+CapelliniSpTRSV on the simulated GPU, and inspect the metrics.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.analysis import extract_features
+from repro.datasets import generate
+from repro.gpu import SIM_SMALL
+from repro.solvers import SyncFreeSolver, WritingFirstCapelliniSolver
+from repro.sparse import lower_triangular_system
+
+
+def main() -> None:
+    # 1. A circuit-simulation-style matrix: thin rows, wide levels — the
+    #    high parallel-granularity regime the paper targets.
+    L = generate("circuit", n_rows=1200, seed=0)
+    features = extract_features(L)
+    print("matrix:", features.summary())
+
+    # 2. Manufacture a right-hand side with a known exact solution.
+    system = lower_triangular_system(L)
+
+    # 3. Solve with both the warp-level baseline and CapelliniSpTRSV.
+    for solver in (SyncFreeSolver(), WritingFirstCapelliniSolver()):
+        result = solver.solve(system.L, system.b, device=SIM_SMALL)
+        err = float(np.max(np.abs(result.x - system.x_true)))
+        stats = result.stats
+        print(
+            f"{result.solver_name:>10s}: exec={result.exec_ms:8.4f} ms (sim)"
+            f"  instructions={stats.total_instructions:>8d}"
+            f"  stall={stats.stall_fraction:6.1%}"
+            f"  max|err|={err:.2e}"
+        )
+
+    print(
+        "\nCapellini solves one component per *thread* instead of per warp,"
+        "\nwhich is why it needs far fewer instructions on thin-row matrices."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Regenerate the paper's headline artifacts at reduced scale.
+
+Runs Table 2 (instant), Table 1 and the Section 4.3 ablation on the
+cycle simulator, and Table 4 / Figure 5 on the analytic tier with a
+small suite, printing each artifact.  The full-size regeneration lives
+in ``benchmarks/`` (``pytest benchmarks/ --benchmark-only``).
+
+Run:  python examples/reproduce_paper.py          (~2-4 minutes)
+      python examples/reproduce_paper.py --fast   (skips the sweeps)
+"""
+
+import sys
+
+from repro.experiments import ablation, table1, table2
+
+
+def main() -> None:
+    fast = "--fast" in sys.argv
+
+    print(table2.run().text, "\n")
+    print(table1.run(scale=0.25).text, "\n")
+    print(ablation.run(scale=0.25).text, "\n")
+
+    if fast:
+        print("(--fast: skipping the analytic sweeps)")
+        return
+
+    # small suites keep this example minutes-scale; the benchmarks use
+    # larger ones (and REPRO_BENCH_SUITE=245 gives the paper-size run)
+    from repro.datasets.suite import cached_evaluation_suite
+    from repro.experiments import fig5, table4
+
+    suite = list(cached_evaluation_suite(18, seed=2020))
+    print(table4.run(suite=suite).text, "\n")
+    print(fig5.run(suite=suite).text, "\n")
+
+
+if __name__ == "__main__":
+    main()

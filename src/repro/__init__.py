@@ -1,0 +1,27 @@
+"""CapelliniSpTRSV reproduction.
+
+A from-scratch Python reproduction of *CapelliniSpTRSV: A Thread-Level
+Synchronization-Free Sparse Triangular Solve on GPUs* (Su et al., ICPP
+2020), built on a lock-step SIMT GPU simulator so the paper's execution
+phenomena — warp residency limits, idle lanes, busy-wait spinning, and
+intra-warp deadlock — are observable on a CPU-only machine.
+
+Quickstart::
+
+    import numpy as np
+    from repro import datasets, solvers
+    from repro.sparse import lower_triangular_system
+
+    L = datasets.generate("circuit", n_rows=2000, seed=0)
+    system = lower_triangular_system(L)
+    solver = solvers.WritingFirstCapelliniSolver()
+    result = solver.solve(system.L, system.b)
+    assert np.allclose(result.x, system.x_true)
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

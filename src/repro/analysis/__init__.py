@@ -1,0 +1,39 @@
+"""Dependency analysis for sparse triangular systems.
+
+This package implements the concepts of Section 2.1 of the paper:
+components, dependencies, the dependency DAG, and level-sets — plus the
+paper's own contribution on the analysis side, the *parallel granularity*
+indicator of Section 3.2 (Equation 1).
+"""
+
+from repro.analysis.levels import LevelSchedule, compute_levels
+from repro.analysis.dag import dependency_dag, dependency_edge_count, critical_path
+from repro.analysis.granularity import (
+    GranularityParams,
+    parallel_granularity,
+    parallel_granularity_from_stats,
+)
+from repro.analysis.features import MatrixFeatures, extract_features
+from repro.analysis.reorder import (
+    apply_inverse_permutation,
+    permute_symmetric,
+    reorder_by_levels,
+    reorder_reverse_cuthill_mckee,
+)
+
+__all__ = [
+    "LevelSchedule",
+    "compute_levels",
+    "dependency_dag",
+    "dependency_edge_count",
+    "critical_path",
+    "GranularityParams",
+    "parallel_granularity",
+    "parallel_granularity_from_stats",
+    "MatrixFeatures",
+    "extract_features",
+    "apply_inverse_permutation",
+    "permute_symmetric",
+    "reorder_by_levels",
+    "reorder_reverse_cuthill_mckee",
+]

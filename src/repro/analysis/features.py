@@ -1,0 +1,90 @@
+"""Matrix feature extraction for the experiment harness.
+
+Bundles every statistic the paper reports about a matrix — size, nnz,
+``nnz_row`` (α in Table 6), ``n_level`` (β), the level structure, and the
+parallel granularity (δ) — into one record so the sweep experiments
+compute the (potentially expensive) level schedule exactly once per
+matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.granularity import (
+    GranularityParams,
+    parallel_granularity_from_stats,
+)
+from repro.analysis.levels import LevelSchedule, compute_levels
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["MatrixFeatures", "extract_features"]
+
+
+@dataclass(frozen=True)
+class MatrixFeatures:
+    """Structural statistics of a lower triangular matrix.
+
+    The Greek letters match Table 6 of the paper:
+    δ = :attr:`granularity`, α = :attr:`avg_nnz_per_row`,
+    β = :attr:`avg_rows_per_level`.
+    """
+
+    n_rows: int
+    nnz: int
+    avg_nnz_per_row: float
+    max_nnz_per_row: int
+    n_levels: int
+    avg_rows_per_level: float
+    max_level_width: int
+    granularity: float
+    schedule: LevelSchedule
+    row_lengths: np.ndarray
+
+    @property
+    def critical_path_length(self) -> int:
+        """Levels minus one: serialized steps any schedule must pay."""
+        return max(self.n_levels - 1, 0)
+
+    def summary(self) -> str:
+        """One-line human-readable summary (used by the CLI)."""
+        return (
+            f"n={self.n_rows} nnz={self.nnz} "
+            f"alpha(nnz/row)={self.avg_nnz_per_row:.2f} "
+            f"beta(rows/level)={self.avg_rows_per_level:.2f} "
+            f"levels={self.n_levels} delta(granularity)={self.granularity:.3f}"
+        )
+
+
+def extract_features(
+    L: CSRMatrix,
+    params: GranularityParams | None = None,
+    *,
+    schedule: LevelSchedule | None = None,
+) -> MatrixFeatures:
+    """Compute all features of ``L`` in one pass.
+
+    ``schedule`` may be supplied when the caller already level-scheduled
+    the matrix (the experiment harness does) to avoid recomputation.
+    """
+    if schedule is None:
+        schedule = compute_levels(L)
+    lengths = L.row_lengths()
+    return MatrixFeatures(
+        n_rows=L.n_rows,
+        nnz=L.nnz,
+        avg_nnz_per_row=L.avg_nnz_per_row(),
+        max_nnz_per_row=int(lengths.max()) if L.n_rows else 0,
+        n_levels=schedule.n_levels,
+        avg_rows_per_level=schedule.avg_rows_per_level(),
+        max_level_width=schedule.max_level_width(),
+        granularity=parallel_granularity_from_stats(
+            max(schedule.avg_rows_per_level(), 1.0),
+            L.avg_nnz_per_row(),
+            params,
+        ),
+        schedule=schedule,
+        row_lengths=lengths,
+    )

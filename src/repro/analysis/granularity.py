@@ -1,0 +1,95 @@
+"""The parallel granularity indicator (Section 3.2, Equation 1).
+
+.. math::
+
+    \\text{granularity} = \\log_{c_1}\\!\\left(
+        \\frac{\\log_{c_2}(n_{level})}{\\log_{c_3}(nnz_{row} + b_1)} + b_2
+    \\right)
+
+where ``n_level`` is the average number of components per level and
+``nnz_row`` the average number of stored elements per row.  Larger
+``n_level`` (wide levels) and smaller ``nnz_row`` (thin rows) push the
+indicator up; the paper finds warp-level sync-free SpTRSV collapses for
+granularity > 0.7 and evaluates Capellini on exactly those matrices.
+
+Defaults follow the paper: all bases 10, ``b1 = b2 = 0.01``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.levels import compute_levels
+from repro.sparse.csr import CSRMatrix
+
+__all__ = [
+    "GranularityParams",
+    "parallel_granularity",
+    "parallel_granularity_from_stats",
+    "HIGH_GRANULARITY_THRESHOLD",
+]
+
+#: The paper's empirical cutoff: SyncFree performance declines beyond this
+#: (Section 5.2, "parallel granularity larger than 0.7 ... 245 matrices").
+HIGH_GRANULARITY_THRESHOLD = 0.7
+
+
+@dataclass(frozen=True)
+class GranularityParams:
+    """Bases and biases of Equation 1 ("can be adjusted by users")."""
+
+    c1: float = 10.0
+    c2: float = 10.0
+    c3: float = 10.0
+    b1: float = 0.01
+    b2: float = 0.01
+
+    def __post_init__(self) -> None:
+        for name in ("c1", "c2", "c3"):
+            base = getattr(self, name)
+            if base <= 1.0:
+                raise ValueError(f"logarithm base {name}={base} must be > 1")
+        if self.b1 <= 0 or self.b2 <= 0:
+            raise ValueError("biases b1 and b2 must be positive")
+
+
+def parallel_granularity_from_stats(
+    n_level: float,
+    nnz_row: float,
+    params: GranularityParams | None = None,
+) -> float:
+    """Evaluate Equation 1 from precomputed statistics.
+
+    Returns ``-inf``-free, always-finite output: degenerate inputs (a
+    single fully-sequential chain has ``n_level = 1`` so the numerator is
+    0) still produce a finite, very low granularity thanks to ``b2``.
+    """
+    p = params or GranularityParams()
+    if n_level < 1.0 or nnz_row < 0.0:
+        raise ValueError(
+            f"invalid statistics: n_level={n_level}, nnz_row={nnz_row}"
+        )
+    numerator = math.log(n_level, p.c2) if n_level > 0 else 0.0
+    denominator = math.log(nnz_row + p.b1, p.c3)
+    if denominator <= 0.0:
+        # nnz_row <= 1 - b1: rows are (near-)diagonal-only; parallelism is
+        # maximal.  Clamp the ratio at a large value instead of flipping
+        # sign, mirroring how the paper's matrices (nnz > 100k) never hit
+        # this region.
+        ratio = numerator / max(denominator, 1e-12) if numerator else 0.0
+        ratio = abs(ratio)
+    else:
+        ratio = numerator / denominator
+    return math.log(ratio + p.b2, p.c1)
+
+
+def parallel_granularity(
+    L: CSRMatrix,
+    params: GranularityParams | None = None,
+) -> float:
+    """Evaluate Equation 1 directly on a lower triangular matrix."""
+    schedule = compute_levels(L)
+    return parallel_granularity_from_stats(
+        schedule.avg_rows_per_level(), L.avg_nnz_per_row(), params
+    )

@@ -1,0 +1,163 @@
+"""Level-set computation for lower triangular matrices.
+
+A *level* (Section 2.1) is the solution depth of a component in the
+dependency DAG: ``level(i) = 1 + max(level(j))`` over all ``j`` with
+``L[i, j] != 0, j < i``, and ``level(i) = 0`` for rows with no
+off-diagonal entry.  Components that share a level form a *level-set* and
+can be solved in parallel.
+
+The computation here is the preprocessing step the level-set SpTRSV
+algorithm (Algorithm 2) needs — the paper charges its cost in Table 1.  We
+implement it as a single forward sweep over the CSR arrays, which is
+O(nnz) like the production implementations in [1, 35].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import NotTriangularError
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["LevelSchedule", "compute_levels"]
+
+
+@dataclass(frozen=True)
+class LevelSchedule:
+    """The output of level-set preprocessing (Section 2.2).
+
+    Attributes
+    ----------
+    level_of_row:
+        ``level_of_row[i]`` is the level of component ``x_i``.
+    level_ptr:
+        CSR-style pointer into :attr:`order`; level ``k`` occupies
+        ``order[level_ptr[k]:level_ptr[k+1]]``.  This is the paper's
+        ``layer_num`` array.
+    order:
+        Row indices rearranged so rows of one level are contiguous,
+        preserving ascending row order inside a level (the paper's
+        ``order`` array).
+    """
+
+    level_of_row: np.ndarray
+    level_ptr: np.ndarray
+    order: np.ndarray
+
+    @property
+    def n_levels(self) -> int:
+        """Number of levels (the paper's ``layer``)."""
+        return len(self.level_ptr) - 1
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.level_of_row)
+
+    def level_sizes(self) -> np.ndarray:
+        """Number of components in each level-set."""
+        return np.diff(self.level_ptr)
+
+    def rows_in_level(self, k: int) -> np.ndarray:
+        """Row indices of level ``k`` in ascending order."""
+        if not 0 <= k < self.n_levels:
+            raise IndexError(f"level {k} out of range for {self.n_levels} levels")
+        return self.order[self.level_ptr[k]: self.level_ptr[k + 1]]
+
+    def avg_rows_per_level(self) -> float:
+        """The paper's ``n_level`` statistic (Section 3.2)."""
+        if self.n_levels == 0:
+            return 0.0
+        return self.n_rows / self.n_levels
+
+    def max_level_width(self) -> int:
+        """Size of the widest level-set (peak available parallelism)."""
+        if self.n_levels == 0:
+            return 0
+        return int(self.level_sizes().max())
+
+
+#: Iterations of the vectorized relaxation before falling back to the
+#: serial sweep (deep-level matrices converge slowly under relaxation).
+_RELAXATION_LIMIT = 96
+
+
+def compute_levels(L: CSRMatrix) -> LevelSchedule:
+    """Compute the level schedule of a lower triangular CSR matrix.
+
+    Two strategies share the exact same semantics:
+
+    * a vectorized fixed-point relaxation (one O(nnz) ``reduceat`` pass
+      per level) — fast for the wide, shallow matrices the paper targets;
+    * a serial forward sweep — taken over when the level count exceeds
+      :data:`_RELAXATION_LIMIT` (deep FEM/chain structures), where
+      relaxation would need one pass per level.
+    """
+    n = L.n_rows
+    if not L.is_square:
+        raise NotTriangularError(f"matrix must be square, got {L.shape}")
+    rows = np.repeat(np.arange(n, dtype=np.int64), L.row_lengths())
+    if np.any(L.col_idx > rows):
+        bad = int(np.nonzero(L.col_idx > rows)[0][0])
+        raise NotTriangularError(
+            f"upper-triangular element stored at position {bad} "
+            f"(row {int(rows[bad])}, col {int(L.col_idx[bad])})"
+        )
+
+    level = _levels_by_relaxation(n, rows, L.col_idx)
+    if level is None:
+        level = _levels_serial(L)
+
+    n_levels = int(level.max()) + 1 if n else 0
+    level_ptr = np.zeros(n_levels + 1, dtype=np.int64)
+    np.add.at(level_ptr, level + 1, 1)
+    np.cumsum(level_ptr, out=level_ptr)
+    # stable sort keeps ascending row order inside each level
+    order = np.argsort(level, kind="stable").astype(np.int64)
+    return LevelSchedule(level_of_row=level, level_ptr=level_ptr, order=order)
+
+
+def _levels_by_relaxation(
+    n: int, rows: np.ndarray, col_idx: np.ndarray
+) -> np.ndarray | None:
+    """Fixed-point relaxation of ``level[i] = 1 + max(level[deps])``.
+
+    Returns ``None`` when convergence exceeds :data:`_RELAXATION_LIMIT`
+    iterations (the caller falls back to the serial sweep).
+    """
+    strict = col_idx < rows
+    src = col_idx[strict]
+    dst_counts = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(dst_counts, rows[strict] + 1, 1)
+    ptr = np.cumsum(dst_counts)
+    if len(src) == 0:
+        return np.zeros(n, dtype=np.int64)
+    nonempty = ptr[:-1] != ptr[1:]
+    starts = ptr[:-1][nonempty]  # strictly increasing, tiles src exactly
+
+    level = np.zeros(n, dtype=np.int64)
+    seg_max = np.zeros(n, dtype=np.int64)
+    for _ in range(_RELAXATION_LIMIT):
+        cand = level[src] + 1
+        seg_max[nonempty] = np.maximum.reduceat(cand, starts)
+        new_level = np.maximum(level, seg_max)
+        if np.array_equal(new_level, level):
+            return level
+        level = new_level
+    return None
+
+
+def _levels_serial(L: CSRMatrix) -> np.ndarray:
+    """Serial forward sweep (dependencies precede their consumers)."""
+    n = L.n_rows
+    level = np.zeros(n, dtype=np.int64)
+    row_ptr = L.row_ptr
+    col_idx = L.col_idx
+    for i in range(n):
+        lo, hi = int(row_ptr[i]), int(row_ptr[i + 1])
+        cols = col_idx[lo:hi]
+        deps = cols[cols < i]
+        if deps.size:
+            level[i] = level[deps].max() + 1
+    return level

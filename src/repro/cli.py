@@ -1,0 +1,214 @@
+"""Command-line interface.
+
+Usage::
+
+    repro-sptrsv experiments --list
+    repro-sptrsv experiments table4 fig5 --n-matrices 36
+    repro-sptrsv solve --domain circuit --n-rows 2000 --solver Capellini
+    repro-sptrsv analyze --matrix path/to/file.mtx
+    repro-sptrsv generate --domain lp --n-rows 5000 --out lp.mtx
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+#: experiment-id -> module name under repro.experiments
+EXPERIMENT_IDS = (
+    "table1",
+    "table2",
+    "fig2",
+    "fig3",
+    "table4",
+    "fig4",
+    "fig5",
+    "table5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "table6",
+    "ablation",
+    "amortization",
+)
+
+_SOLVERS: dict[str, Callable] = {}
+
+
+def _solver_registry() -> dict[str, Callable]:
+    if not _SOLVERS:
+        from repro import solvers
+
+        _SOLVERS.update(
+            {
+                "Serial": solvers.SerialReferenceSolver,
+                "LevelSet": solvers.LevelSetSolver,
+                "SyncFree": solvers.SyncFreeSolver,
+                "cuSPARSE": solvers.CuSparseProxySolver,
+                "Capellini": solvers.WritingFirstCapelliniSolver,
+                "Capellini-TwoPhase": solvers.TwoPhaseCapelliniSolver,
+                "Adaptive": solvers.AdaptiveCapelliniSolver,
+                "auto": None,  # granularity-driven selection
+            }
+        )
+    return _SOLVERS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sptrsv",
+        description="CapelliniSpTRSV reproduction: solvers, analysis and "
+        "paper experiments on a simulated GPU",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiments", help="regenerate paper tables/figures")
+    p_exp.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    p_exp.add_argument("--list", action="store_true", help="list experiment ids")
+    p_exp.add_argument("--n-matrices", type=int, default=None,
+                       help="suite size for the sweep experiments")
+    p_exp.add_argument("--scale", type=float, default=0.5,
+                       help="stand-in matrix scale for cycle-sim experiments")
+    p_exp.add_argument("--json", metavar="DIR", default=None,
+                       help="also write each result as JSON into DIR")
+
+    p_solve = sub.add_parser("solve", help="solve one generated system")
+    p_solve.add_argument("--domain", default="circuit")
+    p_solve.add_argument("--n-rows", type=int, default=2000)
+    p_solve.add_argument("--seed", type=int, default=0)
+    p_solve.add_argument("--solver", default="auto",
+                         choices=sorted(_solver_registry()))
+    p_solve.add_argument("--device", default="SimSmall",
+                         choices=["SimSmall", "SimTiny"])
+
+    p_an = sub.add_parser("analyze", help="level/granularity analysis")
+    group = p_an.add_mutually_exclusive_group(required=True)
+    group.add_argument("--matrix", help="Matrix Market file to analyze")
+    group.add_argument("--domain", help="generate a matrix of this domain")
+    p_an.add_argument("--n-rows", type=int, default=10000)
+    p_an.add_argument("--seed", type=int, default=0)
+
+    p_gen = sub.add_parser("generate", help="write a synthetic matrix to .mtx")
+    p_gen.add_argument("--domain", required=True)
+    p_gen.add_argument("--n-rows", type=int, required=True)
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("--out", required=True)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "experiments":
+        return _cmd_experiments(args)
+    if args.command == "solve":
+        return _cmd_solve(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _cmd_experiments(args) -> int:
+    import importlib
+
+    if args.list:
+        print("\n".join(EXPERIMENT_IDS))
+        return 0
+    ids = args.ids or list(EXPERIMENT_IDS)
+    unknown = [i for i in ids if i not in EXPERIMENT_IDS]
+    if unknown:
+        print(f"unknown experiment id(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    for exp_id in ids:
+        module = importlib.import_module(f"repro.experiments.{exp_id}")
+        kwargs = {}
+        import inspect
+
+        params = inspect.signature(module.run).parameters
+        if args.n_matrices is not None and "n_matrices" in params:
+            kwargs["n_matrices"] = args.n_matrices
+        if "scale" in params:
+            kwargs["scale"] = args.scale
+        result = module.run(**kwargs)
+        print(result.text)
+        print()
+        if args.json:
+            import json
+            from pathlib import Path
+
+            out_dir = Path(args.json)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            path = out_dir / f"{result.experiment_id}.json"
+            path.write_text(json.dumps(result.to_json_dict(), indent=2))
+    return 0
+
+
+def _cmd_solve(args) -> int:
+    from repro.datasets import generate
+    from repro.gpu.device import SIM_SMALL, SIM_TINY
+    from repro.solvers import select_solver
+    from repro.sparse import lower_triangular_system
+
+    device = SIM_SMALL if args.device == "SimSmall" else SIM_TINY
+    L = generate(args.domain, args.n_rows, args.seed)
+    system = lower_triangular_system(L)
+    solver_cls = _solver_registry()[args.solver]
+    solver = select_solver(L) if solver_cls is None else solver_cls()
+    result = solver.solve(system.L, system.b, device=device)
+    err = float(np.max(np.abs(result.x - system.x_true)))
+    print(f"solver    : {result.solver_name}")
+    print(f"matrix    : {args.domain}, n={L.n_rows}, nnz={L.nnz}")
+    print(f"exec (sim): {result.exec_ms:.4f} ms "
+          f"({result.gflops(L):.3f} GFLOPS)")
+    print(f"preprocess: {result.preprocess.modeled_ms:.4f} ms modeled — "
+          f"{result.preprocess.description}")
+    if result.stats:
+        s = result.stats
+        print(f"instr     : {s.total_instructions} "
+              f"(stall {s.stall_fraction:.1%}, "
+              f"lane util {s.lane_utilization:.1%})")
+    print(f"max error : {err:.3e}")
+    return 0 if err < 1e-8 else 1
+
+
+def _cmd_analyze(args) -> int:
+    from repro.analysis import extract_features
+    from repro.datasets import generate
+    from repro.sparse import read_matrix_market, make_unit_lower_triangular
+
+    if args.matrix:
+        L = make_unit_lower_triangular(read_matrix_market(args.matrix))
+        name = args.matrix
+    else:
+        L = generate(args.domain, args.n_rows, args.seed)
+        name = args.domain
+    f = extract_features(L)
+    print(f"{name}: {f.summary()}")
+    from repro.solvers import select_solver
+
+    print(f"recommended solver: {select_solver(f).name}")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from repro.datasets import generate
+    from repro.sparse import write_matrix_market
+
+    L = generate(args.domain, args.n_rows, args.seed)
+    write_matrix_market(
+        L, args.out,
+        comment=f"repro synthetic domain={args.domain} n={args.n_rows} "
+        f"seed={args.seed}",
+    )
+    print(f"wrote {args.out}: n={L.n_rows}, nnz={L.nnz}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Shared helpers for the matrix generators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.sparse.coo import COOMatrix
+from repro.sparse.convert import coo_to_csr
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.triangular import make_unit_lower_triangular
+
+__all__ = ["finalize_pattern", "require", "rng_from_seed"]
+
+
+def rng_from_seed(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Normalize a seed/generator argument to a Generator."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def require(condition: bool, message: str) -> None:
+    """Parameter validation with the package's error type."""
+    if not condition:
+        raise DatasetError(message)
+
+
+def finalize_pattern(
+    n: int,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    rng: np.random.Generator,
+) -> CSRMatrix:
+    """Turn a strictly-lower-triangular *pattern* into a solvable system.
+
+    Applies the paper's Section 5.1 preprocessing — keep the lower-left
+    pattern, install a unit diagonal — and assigns off-diagonal values
+    scaled by each row's population so deep dependency chains stay well
+    conditioned (|x| neither explodes nor vanishes along the solve).
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    keep = cols < rows  # strict lower triangle only
+    rows, cols = rows[keep], cols[keep]
+    values = rng.uniform(0.2, 1.0, size=len(rows)) * rng.choice(
+        (-1.0, 1.0), size=len(rows)
+    )
+    pattern = coo_to_csr(COOMatrix(n, n, rows, cols, values))
+    # normalize row magnitudes: sum of |off-diag| per row kept below ~0.9
+    lengths = pattern.row_lengths()
+    row_ids = np.repeat(np.arange(n, dtype=np.int64), lengths)
+    abs_sum = np.zeros(n)
+    np.add.at(abs_sum, row_ids, np.abs(pattern.values))
+    scale = np.ones(n)
+    heavy = abs_sum > 0.9
+    scale[heavy] = 0.9 / abs_sum[heavy]
+    scaled = pattern.with_values(pattern.values * scale[row_ids])
+    return make_unit_lower_triangular(scaled)

@@ -1,0 +1,53 @@
+"""Generator registry: one name per application domain."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.datasets import domains, graphs, synthetic
+from repro.errors import DatasetError
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["DOMAINS", "generate", "list_generators"]
+
+GeneratorFn = Callable[..., CSRMatrix]
+
+#: Domain name -> generator.  Names mirror the paper's Section 5.2
+#: domain breakdown plus the elementary structures.
+DOMAINS: dict[str, GeneratorFn] = {
+    # the paper's evaluation domains
+    "graph": graphs.scale_free_graph,
+    "social": graphs.social_graph,
+    "road": graphs.road_network,
+    "circuit": domains.circuit,
+    "lp": domains.linear_programming,
+    "optimization": domains.optimization_kkt,
+    "combinatorial": domains.combinatorial,
+    # elementary / low-granularity structures
+    "fem": synthetic.banded,
+    "stencil": synthetic.stencil2d,
+    "random": synthetic.random_lower,
+    "chain": synthetic.chain,
+    "diagonal": synthetic.diagonal,
+}
+
+
+def list_generators() -> list[str]:
+    """Registered domain names, sorted."""
+    return sorted(DOMAINS)
+
+
+def generate(domain: str, n_rows: int, seed: int | None = 0, **params) -> CSRMatrix:
+    """Generate a unit-lower-triangular matrix of the given domain.
+
+    >>> L = generate("circuit", 2000, seed=7)
+    >>> L.n_rows
+    2000
+    """
+    try:
+        fn = DOMAINS[domain]
+    except KeyError:
+        raise DatasetError(
+            f"unknown domain {domain!r}; available: {', '.join(list_generators())}"
+        ) from None
+    return fn(n_rows, seed, **params)

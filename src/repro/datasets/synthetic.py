@@ -1,0 +1,133 @@
+"""Elementary structural generators (chains, bands, stencils, random).
+
+These are the building blocks and edge cases: the fully sequential chain
+(zero parallelism — one component per level), the diagonal matrix (full
+parallelism), FEM-like bands (dense rows, deep levels — SyncFree's home
+turf), regular grid stencils (atmosmodd-like wavefront levels) and
+uniform random lower triangles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import finalize_pattern, require, rng_from_seed
+from repro.sparse.csr import CSRMatrix
+
+__all__ = [
+    "chain",
+    "diagonal",
+    "banded",
+    "random_lower",
+    "stencil2d",
+]
+
+
+def diagonal(n_rows: int, seed: int | None = 0) -> CSRMatrix:
+    """Unit diagonal matrix: every component independent (one level)."""
+    require(n_rows > 0, "n_rows must be positive")
+    rng = rng_from_seed(seed)
+    empty = np.empty(0, dtype=np.int64)
+    return finalize_pattern(n_rows, empty, empty, rng)
+
+
+def chain(n_rows: int, seed: int | None = 0, *, width: int = 1) -> CSRMatrix:
+    """Each row depends on its ``width`` predecessors: n levels, zero
+    parallelism — the paper's worst case (Section 1)."""
+    require(n_rows > 0, "n_rows must be positive")
+    require(width >= 1, "width must be >= 1")
+    rng = rng_from_seed(seed)
+    rows_list = []
+    cols_list = []
+    for k in range(1, width + 1):
+        r = np.arange(k, n_rows, dtype=np.int64)
+        rows_list.append(r)
+        cols_list.append(r - k)
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list)
+    return finalize_pattern(n_rows, rows, cols, rng)
+
+
+def banded(
+    n_rows: int,
+    seed: int | None = 0,
+    *,
+    bandwidth: int = 24,
+    fill: float = 0.9,
+) -> CSRMatrix:
+    """FEM-style band (cant-like): dense rows, level count ~ n.
+
+    Rows carry ``~fill * bandwidth`` nonzeros in the band below the
+    diagonal — high α, tiny β, low parallel granularity: the regime where
+    the warp-level SyncFree algorithm shines.
+    """
+    require(n_rows > 0, "n_rows must be positive")
+    require(bandwidth >= 1, "bandwidth must be >= 1")
+    require(0.0 < fill <= 1.0, "fill must be in (0, 1]")
+    rng = rng_from_seed(seed)
+    rows_list = []
+    cols_list = []
+    # one vectorized pass per band offset; offset 1 always kept so the
+    # band is structurally connected (a full-depth dependency chain)
+    for k in range(1, bandwidth + 1):
+        r = np.arange(k, n_rows, dtype=np.int64)
+        if k > 1:
+            r = r[rng.random(len(r)) < fill]
+        rows_list.append(r)
+        cols_list.append(r - k)
+    rows = np.concatenate(rows_list) if rows_list else np.empty(0, np.int64)
+    cols = np.concatenate(cols_list) if cols_list else np.empty(0, np.int64)
+    return finalize_pattern(n_rows, rows, cols, rng)
+
+
+def random_lower(
+    n_rows: int,
+    seed: int | None = 0,
+    *,
+    avg_nnz_per_row: float = 4.0,
+) -> CSRMatrix:
+    """Uniform Erdős–Rényi-style lower triangle.
+
+    Each row draws ``Poisson(avg)`` dependencies uniformly from all
+    earlier rows; depth grows like O(avg * log n), giving mid-range
+    granularity.
+    """
+    require(n_rows > 0, "n_rows must be positive")
+    require(avg_nnz_per_row >= 0, "avg_nnz_per_row must be >= 0")
+    rng = rng_from_seed(seed)
+    counts = rng.poisson(avg_nnz_per_row, size=n_rows)
+    counts = np.minimum(counts, np.arange(n_rows))  # row i has at most i deps
+    rows = np.repeat(np.arange(n_rows, dtype=np.int64), counts)
+    # dependency of row i: uniform in [0, i)
+    cols = (rng.random(len(rows)) * rows).astype(np.int64)
+    return finalize_pattern(n_rows, rows, cols, rng)
+
+
+def stencil2d(
+    n_rows: int,
+    seed: int | None = 0,
+    *,
+    aspect: float = 1.0,
+) -> CSRMatrix:
+    """5-point-stencil lower triangle on a grid (atmosmodd-like).
+
+    Row-major grid ordering: each cell depends on its west and south
+    neighbours, so levels are the grid's anti-diagonals — ``nx + ny``
+    levels of width up to ``min(nx, ny)``: α ≈ 3, β ≈ n/(nx+ny).
+    The requested ``n_rows`` is rounded down to ``nx * ny``.
+    """
+    require(n_rows >= 4, "n_rows must be >= 4")
+    require(aspect > 0, "aspect must be positive")
+    rng = rng_from_seed(seed)
+    nx = max(2, int(round(np.sqrt(n_rows * aspect))))
+    ny = max(2, n_rows // nx)
+    n = nx * ny
+
+    idx = np.arange(n, dtype=np.int64)
+    ix = idx % nx
+    iy = idx // nx
+    west_ok = ix > 0
+    south_ok = iy > 0
+    rows = np.concatenate([idx[west_ok], idx[south_ok]])
+    cols = np.concatenate([idx[west_ok] - 1, idx[south_ok] - nx])
+    return finalize_pattern(n, rows, cols, rng)

@@ -1,0 +1,74 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by this library derive from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SparseFormatError",
+    "NotTriangularError",
+    "SingularMatrixError",
+    "SimulationError",
+    "DeadlockError",
+    "LaunchConfigError",
+    "SolverError",
+    "ExperimentError",
+    "DatasetError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class SparseFormatError(ReproError):
+    """A sparse matrix container was constructed from inconsistent arrays."""
+
+
+class NotTriangularError(SparseFormatError):
+    """An operation required a (unit) lower triangular matrix and got
+    something else — e.g. an upper-triangular entry, or a missing diagonal."""
+
+
+class SingularMatrixError(ReproError):
+    """A triangular solve encountered a zero (or missing) diagonal entry."""
+
+
+class SimulationError(ReproError):
+    """Base class for failures inside the SIMT GPU simulator."""
+
+
+class DeadlockError(SimulationError):
+    """Every resident warp is blocked and no external event can unblock them.
+
+    This is the error the paper's Challenge 1 (Section 3.3) is about: a
+    naive thread-level kernel that busy-waits on a value produced by another
+    lane of the *same* warp can never make progress under lock-step
+    execution.  The simulator detects that condition instead of hanging.
+    """
+
+    def __init__(self, message: str, *, cycle: int | None = None,
+                 blocked_warps: tuple[int, ...] = ()):  # pragma: no cover - trivial
+        super().__init__(message)
+        self.cycle = cycle
+        self.blocked_warps = blocked_warps
+
+
+class LaunchConfigError(SimulationError):
+    """A kernel launch was configured with impossible parameters."""
+
+
+class SolverError(ReproError):
+    """A solver failed to produce a solution."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was mis-configured or failed to run."""
+
+
+class DatasetError(ReproError):
+    """A synthetic dataset generator was given invalid parameters."""

@@ -1,0 +1,43 @@
+"""Experiment modules: one per table/figure of the paper's evaluation.
+
+Every module exposes ``run(...) -> ExperimentResult``; the result carries
+the structured rows plus an ASCII rendering, and records which paper
+table/figure it regenerates.  The per-experiment index lives in
+DESIGN.md; measured-versus-paper numbers are recorded in EXPERIMENTS.md.
+
+===========================  ===========================================
+Module                       Regenerates
+===========================  ===========================================
+``experiments.table1``       Table 1 — preprocessing vs execution time
+``experiments.table2``       Table 2 — algorithm property summary
+``experiments.fig2``         Figure 2 — toy-device workflow walkthrough
+``experiments.fig3``         Figure 3 — SyncFree GFLOPS vs granularity
+``experiments.table4``       Table 4 — mean GFLOPS per platform
+``experiments.fig4``         Figure 4 — GFLOPS vs granularity, 3 platforms
+``experiments.fig5``         Figure 5 — speedup over SyncFree vs granularity
+``experiments.table5``       Table 5 — avg/max speedups per platform
+``experiments.fig6``         Figure 6 — optimal-algorithm distribution
+``experiments.fig7``         Figure 7 — bandwidth utilization
+``experiments.fig8``         Figure 8 — instructions and stall percentage
+``experiments.table6``       Table 6 — per-matrix detailed indicators
+``experiments.ablation``     Section 4.3 — Writing-First vs Two-Phase
+``experiments.amortization`` Table 1's narrative — preprocessing break-even
+===========================  ===========================================
+"""
+
+from repro.experiments.harness import (
+    CaseStudyMeasurement,
+    ExperimentResult,
+    run_case_study,
+    sweep_estimates,
+)
+from repro.experiments.report import render_series, render_table
+
+__all__ = [
+    "CaseStudyMeasurement",
+    "ExperimentResult",
+    "run_case_study",
+    "sweep_estimates",
+    "render_series",
+    "render_table",
+]

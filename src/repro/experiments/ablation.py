@@ -1,0 +1,89 @@
+"""Section 4.3 ablation — Writing-First vs Two-Phase Capellini.
+
+Paper: the Writing-First control flow is 28.9x faster than Two-Phase,
+improves bandwidth utilization 4.57x, and executes 56.16% fewer
+instructions.  The mechanism is head-of-line blocking: Two-Phase's
+phase-1 busy-waits stall whole warps and its phase-2 entry waits for the
+slowest lane, while Writing-First lanes poll productively.
+
+The reproduction targets the *direction and rough magnitude*: Writing-
+First must be severalfold faster with clearly fewer executed
+instructions and higher achieved bandwidth on the high-granularity case
+matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.harness import ExperimentResult, run_case_study
+from repro.experiments.report import render_table
+from repro.gpu.device import SIM_SMALL, DeviceSpec
+from repro.solvers import TwoPhaseCapelliniSolver, WritingFirstCapelliniSolver
+
+__all__ = ["run", "MATRICES"]
+
+MATRICES = ("rajat29", "bayer01", "circuit5M_dc")
+
+
+def run(
+    *,
+    device: DeviceSpec = SIM_SMALL,
+    scale: float = 0.5,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Compare Algorithm 5 against Algorithm 4 on the case studies."""
+    measurements = run_case_study(
+        MATRICES,
+        [TwoPhaseCapelliniSolver(), WritingFirstCapelliniSolver()],
+        device=device,
+        scale=scale,
+        seed=seed,
+    )
+    by_key = {(m.matrix_name, m.solver_name): m for m in measurements}
+
+    rows = []
+    perf_ratios = []
+    bw_ratios = []
+    instr_savings = []
+    for name in MATRICES:
+        two = by_key[(name, "Capellini-TwoPhase")]
+        wf = by_key[(name, "Capellini")]
+        perf = two.result.exec_ms / wf.result.exec_ms
+        bw = wf.bandwidth_gbps / max(two.bandwidth_gbps, 1e-12)
+        instr = 100 * (1 - wf.instructions / max(two.instructions, 1))
+        perf_ratios.append(perf)
+        bw_ratios.append(bw)
+        instr_savings.append(instr)
+        rows.append([name, round(perf, 2), round(bw, 2), round(instr, 1)])
+
+    rows.append(
+        [
+            "mean",
+            round(float(np.mean(perf_ratios)), 2),
+            round(float(np.mean(bw_ratios)), 2),
+            round(float(np.mean(instr_savings)), 1),
+        ]
+    )
+    text = render_table(
+        ["Matrix", "Perf ratio (WF/TP)", "Bandwidth ratio",
+         "Instr. saved %"],
+        rows,
+        title="Section 4.3 ablation — Writing-First over Two-Phase "
+        f"({device.name}, scale={scale})",
+    )
+    text += (
+        "\n\npaper: 28.9x performance, 4.57x bandwidth, 56.16% fewer "
+        "instructions"
+    )
+    return ExperimentResult(
+        experiment_id="ablation-writing-first",
+        title="Writing-First vs Two-Phase CapelliniSpTRSV",
+        text=text,
+        data={
+            "perf_ratios": perf_ratios,
+            "bandwidth_ratios": bw_ratios,
+            "instruction_savings_pct": instr_savings,
+            "measurements": measurements,
+        },
+    )

@@ -1,0 +1,117 @@
+"""Preprocessing amortization — Table 1's narrative, quantified.
+
+The paper's core usability argument (Sections 1-2): level-set
+preprocessing can cost "dozens of times" one execution, so algorithms
+needing it only pay off after many solves of the same matrix — while
+CapelliniSpTRSV has zero setup and wins from the very first solve.
+
+This experiment computes, for each algorithm and case matrix, the
+break-even solve count against Capellini:
+
+.. math::
+
+    k^* = \\frac{prep_A - prep_{Cap}}{exec_{Cap} - exec_A}
+
+(the number of repeated solves after which algorithm A's faster/slower
+execution has paid back its preprocessing); ``inf`` when A never catches
+up (slower execution *and* more preprocessing).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.harness import ExperimentResult, run_case_study
+from repro.experiments.report import render_table
+from repro.gpu.device import SIM_SMALL, DeviceSpec
+from repro.solvers import (
+    CuSparseProxySolver,
+    LevelSetSolver,
+    SyncFreeSolver,
+    WritingFirstCapelliniSolver,
+)
+
+__all__ = ["run", "MATRICES", "break_even_solves"]
+
+MATRICES = ("nlpkkt160", "wiki-Talk", "cant")
+
+
+def break_even_solves(
+    prep_a: float, exec_a: float, prep_cap: float, exec_cap: float
+) -> float:
+    """Solves after which algorithm A beats Capellini cumulatively.
+
+    Returns 0 when A dominates outright, ``inf`` when it never does.
+    """
+    extra_prep = prep_a - prep_cap
+    per_solve_gain = exec_cap - exec_a
+    if per_solve_gain <= 0:
+        return 0.0 if extra_prep <= 0 else math.inf
+    if extra_prep <= 0:
+        return 0.0
+    return extra_prep / per_solve_gain
+
+
+def run(
+    *,
+    device: DeviceSpec = SIM_SMALL,
+    scale: float = 0.5,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Compute the break-even table on the Table 1 case matrices.
+
+    Preprocessing uses the calibrated paper-scale model; execution uses
+    the cycle simulator scaled so both are expressed in the same
+    (modeled) milliseconds — the *ratios* are the result.
+    """
+    solvers = [LevelSetSolver(), CuSparseProxySolver(), SyncFreeSolver(),
+               WritingFirstCapelliniSolver()]
+    measurements = run_case_study(
+        MATRICES, solvers, device=device, scale=scale, seed=seed
+    )
+    by_key = {(m.matrix_name, m.solver_name): m for m in measurements}
+
+    rows = []
+    break_evens: dict[tuple[str, str], float] = {}
+    for name in MATRICES:
+        cap = by_key[(name, "Capellini")].result
+        for solver in solvers[:-1]:
+            r = by_key[(name, solver.name)].result
+            k = break_even_solves(
+                r.preprocess.modeled_ms, r.exec_ms,
+                cap.preprocess.modeled_ms, cap.exec_ms,
+            )
+            break_evens[(name, solver.name)] = k
+            rows.append(
+                [
+                    name,
+                    solver.name,
+                    round(r.preprocess.modeled_ms, 3),
+                    round(r.exec_ms, 4),
+                    "never" if math.isinf(k) else round(k, 1),
+                ]
+            )
+    text = render_table(
+        ["Matrix", "Algorithm", "Preprocess (ms)", "Exec (sim ms)",
+         "Break-even solves vs Capellini"],
+        rows,
+        title="Preprocessing amortization — solves needed to beat "
+        f"zero-setup Capellini ({device.name}, scale={scale})",
+    )
+    never_fraction = sum(
+        1 for v in break_evens.values() if math.isinf(v)
+    ) / len(break_evens)
+    text += (
+        f"\n\nalgorithms that never catch up on these matrices: "
+        f"{never_fraction:.0%} of (matrix, algorithm) pairs"
+    )
+    return ExperimentResult(
+        experiment_id="amortization",
+        title="Preprocessing amortization versus Capellini",
+        text=text,
+        data={
+            "break_evens": break_evens,
+            "never_fraction": never_fraction,
+            "measurements": measurements,
+        },
+    )

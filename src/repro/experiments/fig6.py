@@ -1,0 +1,92 @@
+"""Figure 6 — optimal-algorithm distribution over (nnz_row, n_level).
+
+Paper: a scatter of the evaluated matrices in the (average nonzeros per
+row, average components per level) plane, colored by the faster
+algorithm — Capellini claims the high-β / low-α corner.
+
+We reproduce it as a winner grid: the sweep suite's matrices are bucketed
+into a log-log grid over (α, β) and each cell reports which algorithm
+wins it (majority vote of the matrices in the cell).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.suite import SuiteEntry, cached_full_sweep_suite
+from repro.experiments.harness import ExperimentResult, sweep_estimates
+from repro.experiments.report import render_table
+from repro.gpu.device import PASCAL_GTX1080, DeviceSpec
+
+__all__ = ["run"]
+
+
+def run(
+    *,
+    suite: list[SuiteEntry] | None = None,
+    n_matrices: int = 44,
+    device: DeviceSpec = PASCAL_GTX1080,
+    seed: int = 873,
+    alpha_bins: int = 5,
+    beta_bins: int = 5,
+) -> ExperimentResult:
+    """Regenerate Figure 6's winner map."""
+    if suite is None:
+        suite = list(cached_full_sweep_suite(n_matrices, seed=seed))
+    data = sweep_estimates(
+        suite, {device.name: device}, algorithms=("SyncFree", "Capellini")
+    )
+    cap = data.axis("Capellini", device.name, "exec_ms")
+    syn = data.axis("SyncFree", device.name, "exec_ms")
+    cap_wins = cap < syn
+
+    log_a = np.log10(np.maximum(data.alpha, 1.001))
+    log_b = np.log10(np.maximum(data.beta, 1.001))
+    a_edges = np.linspace(log_a.min(), log_a.max() + 1e-9, alpha_bins + 1)
+    b_edges = np.linspace(log_b.min(), log_b.max() + 1e-9, beta_bins + 1)
+    ai = np.clip(np.digitize(log_a, a_edges) - 1, 0, alpha_bins - 1)
+    bi = np.clip(np.digitize(log_b, b_edges) - 1, 0, beta_bins - 1)
+
+    grid_rows = []
+    grid = {}
+    for bb in reversed(range(beta_bins)):  # high beta at the top
+        row_label = f"beta~1e{(b_edges[bb] + b_edges[bb + 1]) / 2:.1f}"
+        row = [row_label]
+        for aa in range(alpha_bins):
+            mask = (ai == aa) & (bi == bb)
+            if not mask.any():
+                cell = "."
+            else:
+                wins = int(np.count_nonzero(cap_wins[mask]))
+                cell = "Capellini" if wins * 2 >= mask.sum() else "SyncFree"
+            grid[(aa, bb)] = cell
+            row.append(cell)
+        grid_rows.append(row)
+
+    headers = ["beta \\ alpha"] + [
+        f"~{10 ** ((a_edges[a] + a_edges[a + 1]) / 2):.1f}"
+        for a in range(alpha_bins)
+    ]
+    text = render_table(
+        headers, grid_rows,
+        title=f"Figure 6 — optimal algorithm by (alpha, beta), {device.name}",
+    )
+    # quadrant check: high-beta/low-alpha should belong to Capellini,
+    # low-beta/high-alpha to SyncFree (when populated)
+    hi_b_lo_a = grid.get((0, beta_bins - 1), ".")
+    lo_b_hi_a = grid.get((alpha_bins - 1, 0), ".")
+    text += (
+        f"\n\nhigh-beta/low-alpha corner: {hi_b_lo_a} (paper: Capellini); "
+        f"low-beta/high-alpha corner: {lo_b_hi_a} (paper: SyncFree)"
+    )
+    return ExperimentResult(
+        experiment_id="fig6",
+        title="Optimal algorithm distribution",
+        text=text,
+        data={
+            "grid": grid,
+            "capellini_win_fraction": float(np.mean(cap_wins)),
+            "corner_high_beta_low_alpha": hi_b_lo_a,
+            "corner_low_beta_high_alpha": lo_b_hi_a,
+        },
+    )

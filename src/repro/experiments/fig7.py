@@ -1,0 +1,96 @@
+"""Figure 7 — DRAM bandwidth utilization.
+
+Paper: on the high-granularity matrices Capellini achieves 56.09 GB/s
+average — 5.17x SyncFree's and 5.25x cuSPARSE's.  Bandwidth here is
+achieved-traffic-over-time, so the ratios track the speedups (all three
+algorithms move nearly the same bytes for the same matrix).
+
+Two measurement paths are reported: the analytic sweep (paper-scale
+matrices, Pascal parameters) and the cycle simulator's traffic counters
+on the named case studies.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.suite import SuiteEntry, cached_evaluation_suite
+from repro.experiments.harness import (
+    ExperimentResult,
+    run_case_study,
+    sweep_estimates,
+)
+from repro.experiments.report import render_table
+from repro.gpu.device import PASCAL_GTX1080, SIM_SMALL, DeviceSpec
+from repro.solvers import (
+    CuSparseProxySolver,
+    SyncFreeSolver,
+    WritingFirstCapelliniSolver,
+)
+
+__all__ = ["run", "ALGORITHMS"]
+
+ALGORITHMS = ("SyncFree", "cuSPARSE", "Capellini")
+
+
+def run(
+    *,
+    suite: list[SuiteEntry] | None = None,
+    n_matrices: int = 36,
+    seed: int = 2020,
+    device: DeviceSpec = PASCAL_GTX1080,
+    case_device: DeviceSpec = SIM_SMALL,
+    case_scale: float = 0.5,
+    include_case_study: bool = True,
+) -> ExperimentResult:
+    """Regenerate Figure 7's bandwidth comparison."""
+    if suite is None:
+        suite = list(cached_evaluation_suite(n_matrices, seed=seed))
+    data = sweep_estimates(suite, {device.name: device}, algorithms=ALGORITHMS)
+
+    rows = []
+    means = {}
+    for algo in ALGORITHMS:
+        bw = data.axis(algo, device.name, "bandwidth")
+        means[algo] = float(bw.mean())
+        rows.append([algo, means[algo]])
+    ratio_sync = means["Capellini"] / means["SyncFree"]
+    ratio_cusp = means["Capellini"] / means["cuSPARSE"]
+    text = render_table(
+        ["Algorithm", "Mean bandwidth (GB/s)"],
+        rows,
+        title=f"Figure 7 — bandwidth utilization ({len(suite)} matrices, "
+        f"{device.name}, analytic)",
+    )
+    text += (
+        f"\n\nCapellini / SyncFree bandwidth ratio: {ratio_sync:.2f}x "
+        "(paper: 5.17x); "
+        f"Capellini / cuSPARSE: {ratio_cusp:.2f}x (paper: 5.25x)"
+    )
+
+    case = []
+    if include_case_study:
+        case = run_case_study(
+            ("rajat29", "bayer01", "circuit5M_dc"),
+            [SyncFreeSolver(), CuSparseProxySolver(),
+             WritingFirstCapelliniSolver()],
+            device=case_device,
+            scale=case_scale,
+        )
+        case_rows = [
+            [m.matrix_name, m.solver_name, m.bandwidth_gbps] for m in case
+        ]
+        text += "\n\n" + render_table(
+            ["Matrix", "Algorithm", "Sim bandwidth (GB/s)"],
+            case_rows,
+            title=f"cycle-simulator traffic counters ({case_device.name})",
+        )
+    return ExperimentResult(
+        experiment_id="fig7",
+        title="Bandwidth utilization (read + write)",
+        text=text,
+        data={
+            "means": means,
+            "ratio_over_syncfree": ratio_sync,
+            "ratio_over_cusparse": ratio_cusp,
+            "case_study": case,
+        },
+    )

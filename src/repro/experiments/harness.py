@@ -1,0 +1,206 @@
+"""Shared experiment infrastructure.
+
+Two measurement paths (DESIGN.md Section 6):
+
+* :func:`sweep_estimates` — analytic-tier estimates of every algorithm
+  over a suite and a set of platforms, returned as dense arrays keyed by
+  (matrix, algorithm, platform).  Used by the 245-matrix experiments.
+* :func:`run_case_study` — cycle-simulator measurements of the named
+  stand-in matrices (Table 1/6, Figure 8, the ablation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.datasets.named import named_matrix
+from repro.datasets.suite import SuiteEntry
+from repro.errors import ExperimentError
+from repro.gpu.device import SIM_SMALL, DeviceSpec
+from repro.perfmodel.analytic import AnalyticModel, EstimateResult
+from repro.solvers.base import SolveResult, SpTRSVSolver, sptrsv_flops
+from repro.sparse.triangular import lower_triangular_system
+
+__all__ = [
+    "ExperimentResult",
+    "SweepData",
+    "sweep_estimates",
+    "CaseStudyMeasurement",
+    "run_case_study",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Rendered outcome of one experiment."""
+
+    experiment_id: str
+    title: str
+    text: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.text
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """JSON-safe view (numpy arrays become lists, objects summarize
+        to their repr) — what the CLI's ``--json`` flag writes, for CI
+        tracking of the regenerated artifacts."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "text": self.text,
+            "data": _jsonify(self.data),
+        }
+
+
+def _jsonify(value: Any, depth: int = 0) -> Any:
+    """Best-effort JSON conversion; non-serializable leaves become reprs."""
+    if depth > 6:
+        return repr(value)
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value if np.isfinite(value) else repr(value)
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return _jsonify(float(value), depth + 1)
+    if isinstance(value, np.ndarray):
+        return _jsonify(value.tolist(), depth + 1)
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v, depth + 1) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v, depth + 1) for v in value]
+    return repr(value)
+
+
+@dataclass(frozen=True)
+class SweepData:
+    """Dense analytic estimates over a suite.
+
+    ``estimate(name, algo, platform)`` addresses one cell; per-axis
+    vectors come from the index arrays.
+    """
+
+    names: list[str]
+    domains: list[str]
+    granularity: np.ndarray
+    alpha: np.ndarray  # avg nnz per row
+    beta: np.ndarray   # avg components per level
+    algorithms: list[str]
+    platforms: list[str]
+    #: shape (matrix, algorithm, platform)
+    gflops: np.ndarray
+    exec_ms: np.ndarray
+    bandwidth: np.ndarray
+    instructions: np.ndarray
+    stall: np.ndarray
+    preprocess_ms: np.ndarray
+
+    def axis(self, algorithm: str, platform: str, metric: str) -> np.ndarray:
+        """Per-matrix vector of one metric for (algorithm, platform)."""
+        a = self.algorithms.index(algorithm)
+        p = self.platforms.index(platform)
+        return getattr(self, metric)[:, a, p]
+
+
+def sweep_estimates(
+    suite: Sequence[SuiteEntry],
+    platforms: dict[str, DeviceSpec],
+    *,
+    algorithms: Sequence[str] = ("Capellini", "SyncFree", "cuSPARSE"),
+    model: AnalyticModel | None = None,
+) -> SweepData:
+    """Analytic estimates for every (matrix, algorithm, platform)."""
+    if not suite:
+        raise ExperimentError("empty suite")
+    model = model or AnalyticModel()
+    algorithms = list(algorithms)
+    platform_names = list(platforms)
+    shape = (len(suite), len(algorithms), len(platform_names))
+    arrays = {
+        key: np.zeros(shape)
+        for key in (
+            "gflops", "exec_ms", "bandwidth", "instructions", "stall",
+            "preprocess_ms",
+        )
+    }
+    for mi, entry in enumerate(suite):
+        for ai, algo in enumerate(algorithms):
+            for pi, pname in enumerate(platform_names):
+                est: EstimateResult = model.estimate(
+                    entry.features, algo, platforms[pname]
+                )
+                arrays["gflops"][mi, ai, pi] = est.gflops
+                arrays["exec_ms"][mi, ai, pi] = est.exec_ms
+                arrays["bandwidth"][mi, ai, pi] = est.bandwidth_gbps
+                arrays["instructions"][mi, ai, pi] = est.instructions
+                arrays["stall"][mi, ai, pi] = est.stall_fraction
+                arrays["preprocess_ms"][mi, ai, pi] = est.preprocess_ms
+    return SweepData(
+        names=[e.name for e in suite],
+        domains=[e.domain for e in suite],
+        granularity=np.array([e.features.granularity for e in suite]),
+        alpha=np.array([e.features.avg_nnz_per_row for e in suite]),
+        beta=np.array([e.features.avg_rows_per_level for e in suite]),
+        algorithms=algorithms,
+        platforms=platform_names,
+        **arrays,
+    )
+
+
+@dataclass(frozen=True)
+class CaseStudyMeasurement:
+    """Cycle-simulator measurement of one solver on one named matrix."""
+
+    matrix_name: str
+    solver_name: str
+    result: SolveResult
+    gflops: float
+    bandwidth_gbps: float
+    instructions: int
+    stall_fraction: float
+    correct: bool
+
+
+def run_case_study(
+    matrix_names: Sequence[str],
+    solvers: Sequence[SpTRSVSolver],
+    *,
+    device: DeviceSpec = SIM_SMALL,
+    scale: float = 0.5,
+    seed: int = 0,
+) -> list[CaseStudyMeasurement]:
+    """Run solvers on named stand-ins under the cycle simulator.
+
+    Every solve is verified against the manufactured exact solution; a
+    wrong solve is reported (``correct=False``) rather than raised so a
+    bench never silently records a time for a wrong answer.
+    """
+    out: list[CaseStudyMeasurement] = []
+    for name in matrix_names:
+        L, _spec = named_matrix(name, seed=seed, scale=scale)
+        system = lower_triangular_system(L)
+        for solver in solvers:
+            res = solver.solve(system.L, system.b, device=device)
+            correct = bool(
+                np.allclose(res.x, system.x_true, rtol=1e-9, atol=1e-12)
+            )
+            stats = res.stats
+            out.append(
+                CaseStudyMeasurement(
+                    matrix_name=name,
+                    solver_name=res.solver_name,
+                    result=res,
+                    gflops=sptrsv_flops(L) / (res.exec_ms * 1e6),
+                    bandwidth_gbps=res.bandwidth_gbps(),
+                    instructions=stats.total_instructions if stats else 0,
+                    stall_fraction=stats.stall_fraction if stats else 0.0,
+                    correct=correct,
+                )
+            )
+    return out

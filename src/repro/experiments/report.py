@@ -1,0 +1,89 @@
+"""Plain-text rendering of experiment tables and figure series.
+
+The paper's figures are scatter/line plots; in a terminal-first
+reproduction we render each figure as the table of its plotted series
+(bin centers and per-series values), which is also what EXPERIMENTS.md
+records.  An optional sparkline gives the shape at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["render_table", "render_series", "sparkline"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Fixed-width ASCII table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(
+            " | ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Unicode sparkline of a series (NaNs render as spaces)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    finite = arr[np.isfinite(arr)]
+    if finite.size == 0:
+        return " " * len(arr)
+    lo, hi = float(finite.min()), float(finite.max())
+    span = hi - lo if hi > lo else 1.0
+    chars = []
+    for v in arr:
+        if not np.isfinite(v):
+            chars.append(" ")
+        else:
+            k = int((v - lo) / span * (len(_BLOCKS) - 1))
+            chars.append(_BLOCKS[k])
+    return "".join(chars)
+
+
+def render_series(
+    title: str,
+    x: Sequence[float],
+    series: dict[str, Sequence[float]],
+    *,
+    x_label: str = "granularity",
+) -> str:
+    """Render a figure as its per-bin table plus sparklines."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, xv in enumerate(x):
+        rows.append([xv] + [series[name][i] for name in series])
+    table = render_table(headers, rows, title=title)
+    shapes = "\n".join(
+        f"  {name:>20s}  {sparkline(vals)}" for name, vals in series.items()
+    )
+    return f"{table}\n\nshape:\n{shapes}"
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float) or isinstance(cell, np.floating):
+        if not np.isfinite(cell):
+            return "-"
+        if cell != 0 and (abs(cell) >= 1e5 or abs(cell) < 1e-3):
+            return f"{cell:.3g}"
+        return f"{cell:.3f}".rstrip("0").rstrip(".")
+    return str(cell)

@@ -1,0 +1,76 @@
+"""Table 4 — mean GFLOPS per platform and Capellini's win percentage.
+
+Paper (245 high-granularity matrices): Capellini 6.84 GFLOPS average vs
+SyncFree 1.78 and cuSPARSE 1.92; Capellini is the best algorithm on
+87.28% of the matrices.  The reproduction target is the *ordering* and
+the rough factors (Capellini several-fold ahead on every platform; win
+percentage in the 80-95% band).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.suite import SuiteEntry, cached_evaluation_suite
+from repro.experiments.harness import ExperimentResult, sweep_estimates
+from repro.experiments.report import render_table
+from repro.gpu.device import PLATFORMS
+from repro.metrics.aggregate import percent_where_best
+
+__all__ = ["run", "ALGORITHMS"]
+
+ALGORITHMS = ("SyncFree", "cuSPARSE", "Capellini")
+
+
+def run(
+    *,
+    suite: list[SuiteEntry] | None = None,
+    n_matrices: int = 36,
+    seed: int = 2020,
+) -> ExperimentResult:
+    """Regenerate Table 4 over the high-granularity suite."""
+    if suite is None:
+        suite = list(cached_evaluation_suite(n_matrices, seed=seed))
+    data = sweep_estimates(suite, dict(PLATFORMS), algorithms=ALGORITHMS)
+
+    platform_names = data.platforms
+    rows = []
+    means: dict[str, dict[str, float]] = {}
+    for algo in ALGORITHMS:
+        row = [algo]
+        means[algo] = {}
+        for p in platform_names:
+            mean = float(data.axis(algo, p, "gflops").mean())
+            means[algo][p] = mean
+            row.append(mean)
+        row.append(float(np.mean([means[algo][p] for p in platform_names])))
+        rows.append(row)
+
+    pct_row = ["% Capellini optimal"]
+    pcts = []
+    for p in platform_names:
+        cap = data.axis("Capellini", p, "gflops")
+        others = [data.axis(a, p, "gflops") for a in ALGORITHMS if a != "Capellini"]
+        pct = percent_where_best(cap, others)
+        pcts.append(pct)
+        pct_row.append(pct)
+    pct_row.append(float(np.mean(pcts)))
+    rows.append(pct_row)
+
+    text = render_table(
+        ["Algorithm"] + platform_names + ["Average"],
+        rows,
+        title=f"Table 4 — GFLOPS by platform ({len(suite)} matrices, "
+        "granularity > 0.7)",
+    )
+    text += (
+        "\n\npaper: SyncFree 1.78 / cuSPARSE 1.92 / Capellini 6.84 GFLOPS "
+        "average; Capellini optimal on 87.28% of matrices"
+    )
+    return ExperimentResult(
+        experiment_id="table4",
+        title="GFLOPS of SpTRSV algorithms and Capellini win percentage",
+        text=text,
+        data={"means": means, "percent_optimal": dict(zip(platform_names, pcts)),
+              "sweep": data},
+    )

@@ -1,0 +1,13 @@
+"""Incomplete factorization substrate.
+
+The paper motivates SpTRSV through direct methods and preconditioned
+iterative solvers (Section 1): in both, the triangular systems come from
+a factorization.  This package provides the standard ILU(0) incomplete
+factorization so the library covers the full pipeline a downstream user
+runs — factor a general sparse matrix, then hammer the triangular
+factors with SpTRSV inside an iterative method.
+"""
+
+from repro.factorization.ilu0 import ILU0Factors, ilu0
+
+__all__ = ["ILU0Factors", "ilu0"]

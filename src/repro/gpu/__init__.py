@@ -1,0 +1,59 @@
+"""A lock-step SIMT GPU simulator.
+
+This package is the substitute for the CUDA GPUs the paper runs on (see
+DESIGN.md, Section 2).  It models exactly the execution properties the
+paper's arguments rest on:
+
+* **Lock-step warps** — lanes of a warp advance together, one instruction
+  per warp per issue; a lane blocked in a busy-wait loop blocks its whole
+  warp (the source of the paper's Challenge 1 deadlock).
+* **Bounded residency** — each streaming multiprocessor hosts at most
+  ``max_resident_warps`` warps; a wide level therefore executes in several
+  rounds (Section 3.1's first under-utilization cause).
+* **Warp-order scheduling** — warps are admitted to SMs in grid order,
+  which is the property synchronization-free SpTRSVs rely on for forward
+  progress.
+* **Counters** — instructions issued, spin cycles, stall cycles, idle-lane
+  slots and DRAM/cache traffic, feeding the paper's Figures 7/8 and
+  Table 6 metrics.
+
+Kernels are plain Python generator functions: one generator per lane,
+``yield`` marks one instruction slot, and the yielded value selects the
+instruction kind (ALU step, blocking spin, productive poll).
+"""
+
+from repro.gpu.device import (
+    DeviceSpec,
+    PASCAL_GTX1080,
+    TURING_RTX2080TI,
+    VOLTA_V100,
+    SIM_SMALL,
+    SIM_TINY,
+    PLATFORMS,
+)
+from repro.gpu.counters import KernelStats, LaneCounters
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.kernel import ALU, WARP_SYNC, Poll, SpinWait, ThreadCtx
+from repro.gpu.simt import SIMTEngine
+from repro.gpu.trace import Tracer, render_timeline
+
+__all__ = [
+    "DeviceSpec",
+    "PASCAL_GTX1080",
+    "VOLTA_V100",
+    "TURING_RTX2080TI",
+    "SIM_SMALL",
+    "SIM_TINY",
+    "PLATFORMS",
+    "KernelStats",
+    "LaneCounters",
+    "GlobalMemory",
+    "ALU",
+    "WARP_SYNC",
+    "Poll",
+    "SpinWait",
+    "ThreadCtx",
+    "SIMTEngine",
+    "Tracer",
+    "render_timeline",
+]

@@ -1,0 +1,121 @@
+"""Performance counters collected by the SIMT engine.
+
+The counter names map onto the metrics the paper reports:
+
+* ``warp_instructions`` + ``spin_instructions`` → Figure 8(a) "number of
+  GPU instructions executed" (spinning executes real load/test
+  instructions on hardware, so both are counted).
+* ``stall_cycles`` / (``stall_cycles`` + issue slots used) → Figure 8(b)
+  "percentage of instruction dependency stalls".
+* ``dram_bytes_read`` + ``dram_bytes_written`` over runtime → Figure 7
+  bandwidth utilization.
+* ``idle_lane_slots`` / lane slots → the warp under-utilization of
+  Section 3.1 (idle threads in lock-step warps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LaneCounters", "KernelStats"]
+
+
+@dataclass
+class LaneCounters:
+    """Mutable counters shared by every thread context of one launch."""
+
+    dram_bytes_read: int = 0
+    dram_bytes_written: int = 0
+    cache_bytes_read: int = 0
+    shared_bytes: int = 0
+    flag_polls: int = 0
+    fences: int = 0
+    #: DRAM load *events* (cache-served flag re-polls excluded); the warp
+    #: state machine diffs this across a step to decide whether the step
+    #: pays the device's DRAM latency.
+    dram_load_events: int = 0
+
+
+@dataclass(frozen=True)
+class KernelStats:
+    """Immutable summary of one kernel launch.
+
+    Attributes
+    ----------
+    cycles:
+        Global cycles from launch to the retirement of the last warp.
+    warp_instructions:
+        Warp-granularity instructions issued (one per warp-step).
+    spin_instructions:
+        Instruction slots burned while warps were blocked in busy-wait
+        spins (hardware would execute a load+test per slot).
+    stall_cycles:
+        Cycles a resident, ready warp could not issue (issue-width
+        contention) plus cycles blocked in spins.
+    active_lane_slots:
+        Sum over issued warp instructions of live (unfinished) lanes.
+    idle_lane_slots:
+        Sum over issued warp instructions of dead/exited lanes — the
+        lock-step waste Capellini eliminates.
+    warps_launched:
+        Total warps in the grid.
+    dram_bytes:
+        DRAM traffic (read + write), excluding cached flag re-polls.
+    cache_bytes:
+        Traffic served by cache in our model (flag re-polls).
+    """
+
+    cycles: int
+    warp_instructions: int
+    spin_instructions: int
+    stall_cycles: int
+    active_lane_slots: int
+    idle_lane_slots: int
+    warps_launched: int
+    dram_bytes: int
+    cache_bytes: int
+    flag_polls: int = 0
+    fences: int = 0
+    #: Cycles warps spent parked on DRAM latency.  Kept separate from
+    #: ``stall_cycles``: the paper's Figure 8(b) metric is *instruction
+    #: dependency* stalls (spins, barriers), not memory latency, which
+    #: resident-warp oversubscription hides on real parts.
+    mem_stall_cycles: int = 0
+
+    @property
+    def total_instructions(self) -> int:
+        """Executed instructions including spin slots (Figure 8(a))."""
+        return self.warp_instructions + self.spin_instructions
+
+    @property
+    def stall_fraction(self) -> float:
+        """Stalled share of issue opportunities (Figure 8(b)), in [0, 1]."""
+        denom = self.warp_instructions + self.stall_cycles
+        if denom == 0:
+            return 0.0
+        return self.stall_cycles / denom
+
+    @property
+    def lane_utilization(self) -> float:
+        """Live-lane share of issued lane slots, in (0, 1]."""
+        denom = self.active_lane_slots + self.idle_lane_slots
+        if denom == 0:
+            return 1.0
+        return self.active_lane_slots / denom
+
+    def merged_with(self, other: "KernelStats") -> "KernelStats":
+        """Combine stats of two sequential launches (cycles add)."""
+        return KernelStats(
+            cycles=self.cycles + other.cycles,
+            warp_instructions=self.warp_instructions + other.warp_instructions,
+            spin_instructions=self.spin_instructions + other.spin_instructions,
+            stall_cycles=self.stall_cycles + other.stall_cycles,
+            active_lane_slots=self.active_lane_slots + other.active_lane_slots,
+            idle_lane_slots=self.idle_lane_slots + other.idle_lane_slots,
+            warps_launched=self.warps_launched + other.warps_launched,
+            dram_bytes=self.dram_bytes + other.dram_bytes,
+            cache_bytes=self.cache_bytes + other.cache_bytes,
+            flag_polls=self.flag_polls + other.flag_polls,
+            fences=self.fences + other.fences,
+            mem_stall_cycles=self.mem_stall_cycles + other.mem_stall_cycles,
+        )

@@ -1,0 +1,163 @@
+"""Device specifications.
+
+``DeviceSpec`` carries the handful of architectural parameters the
+simulator and the analytic performance model share.  The three *paper*
+presets mirror Table 3's platforms at their real scale (used by the
+analytic model for the large sweeps); the ``SIM_*`` presets are reduced-
+scale devices for the cycle simulator so case-study solves finish in
+seconds of host time while keeping the same warp size and per-SM shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "DeviceSpec",
+    "PASCAL_GTX1080",
+    "VOLTA_V100",
+    "TURING_RTX2080TI",
+    "SIM_SMALL",
+    "SIM_TINY",
+    "PLATFORMS",
+]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Architectural parameters of a (simulated) GPU.
+
+    Attributes
+    ----------
+    name:
+        Human-readable platform name.
+    sm_count:
+        Number of streaming multiprocessors.
+    warp_size:
+        Lanes per warp (32 on every real NVIDIA part; the paper's Figure 2
+        walkthrough uses 3, which the simulator supports for tests).
+    max_resident_warps:
+        Warps resident per SM — the bound that forces wide levels into
+        multiple execution rounds (Section 3.1).
+    issue_width:
+        Warp instructions an SM can issue per cycle.
+    clock_ghz:
+        Core clock used to convert cycles to milliseconds.
+    dram_bandwidth_gbps:
+        Peak DRAM bandwidth (GB/s), used by the analytic model's memory
+        roofline and to sanity-check Figure 7 outputs.
+    dram_latency_cycles:
+        Latency charged (analytically) to a dependent DRAM access chain.
+    """
+
+    name: str
+    sm_count: int
+    warp_size: int = 32
+    max_resident_warps: int = 64
+    issue_width: int = 4
+    clock_ghz: float = 1.5
+    dram_bandwidth_gbps: float = 320.0
+    dram_latency_cycles: int = 400
+
+    def __post_init__(self) -> None:
+        if self.sm_count <= 0:
+            raise ValueError("sm_count must be positive")
+        if self.warp_size <= 0:
+            raise ValueError("warp_size must be positive")
+        if self.max_resident_warps <= 0:
+            raise ValueError("max_resident_warps must be positive")
+        if self.issue_width <= 0:
+            raise ValueError("issue_width must be positive")
+        if self.clock_ghz <= 0:
+            raise ValueError("clock_ghz must be positive")
+
+    @property
+    def resident_warp_capacity(self) -> int:
+        """Device-wide number of simultaneously resident warps."""
+        return self.sm_count * self.max_resident_warps
+
+    @property
+    def resident_thread_capacity(self) -> int:
+        """Device-wide number of simultaneously resident threads."""
+        return self.resident_warp_capacity * self.warp_size
+
+    def cycles_to_ms(self, cycles: float) -> float:
+        """Convert a cycle count to milliseconds at this device's clock."""
+        return cycles / (self.clock_ghz * 1e6)
+
+    def scaled(self, factor: float) -> "DeviceSpec":
+        """A device with ``sm_count`` scaled (min 1), other parameters kept.
+
+        Used by ablation benches that sweep machine width.
+        """
+        return replace(
+            self,
+            name=f"{self.name}-x{factor:g}",
+            sm_count=max(1, int(round(self.sm_count * factor))),
+        )
+
+
+#: GTX 1080 (Pascal, Table 3): 20 SMs, GDDR5X.
+PASCAL_GTX1080 = DeviceSpec(
+    name="Pascal",
+    sm_count=20,
+    max_resident_warps=64,
+    issue_width=4,
+    clock_ghz=1.61,
+    dram_bandwidth_gbps=320.0,
+    dram_latency_cycles=450,
+)
+
+#: Tesla V100 (Volta, Table 3): 80 SMs, HBM2.
+VOLTA_V100 = DeviceSpec(
+    name="Volta",
+    sm_count=80,
+    max_resident_warps=64,
+    issue_width=4,
+    clock_ghz=1.38,
+    dram_bandwidth_gbps=900.0,
+    dram_latency_cycles=400,
+)
+
+#: RTX 2080 Ti (Turing, Table 3): 68 SMs, GDDR6, 32 resident warps/SM.
+TURING_RTX2080TI = DeviceSpec(
+    name="Turing",
+    sm_count=68,
+    max_resident_warps=32,
+    issue_width=4,
+    clock_ghz=1.545,
+    dram_bandwidth_gbps=616.0,
+    dram_latency_cycles=420,
+)
+
+#: Reduced-scale device for the cycle simulator: same per-SM shape as
+#: Pascal, 4 SMs.  Case-study solves on ~10k-row matrices run in seconds.
+SIM_SMALL = DeviceSpec(
+    name="SimSmall",
+    sm_count=4,
+    max_resident_warps=16,
+    issue_width=2,
+    clock_ghz=1.0,
+    dram_bandwidth_gbps=64.0,
+    dram_latency_cycles=120,
+)
+
+#: Minimal device for unit tests and the Figure 2 walkthrough (2 warps of
+#: 3 threads, exactly the paper's illustration).
+SIM_TINY = DeviceSpec(
+    name="SimTiny",
+    sm_count=1,
+    warp_size=3,
+    max_resident_warps=2,
+    issue_width=1,
+    clock_ghz=1.0,
+    dram_bandwidth_gbps=8.0,
+    dram_latency_cycles=20,
+)
+
+#: The paper's three evaluation platforms (Table 3), keyed by name.
+PLATFORMS: dict[str, DeviceSpec] = {
+    "Pascal": PASCAL_GTX1080,
+    "Volta": VOLTA_V100,
+    "Turing": TURING_RTX2080TI,
+}

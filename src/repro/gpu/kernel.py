@@ -1,0 +1,175 @@
+"""Kernel programming model: thread contexts and instruction yields.
+
+A kernel is a Python generator function taking a single
+:class:`ThreadCtx`.  Each ``yield`` marks one instruction slot of that
+lane; the yielded value selects the instruction kind:
+
+``ALU`` (or ``None``)
+    One ordinary instruction (arithmetic, address math, branch...).
+    Memory accesses performed through ``ctx.load`` / ``ctx.store`` between
+    yields attach to the surrounding instruction slots.
+
+``SpinWait(name, idx, expected)``
+    A *blocking* busy-wait: the lane loops ``while mem[name][idx] !=
+    expected``.  Under lock-step execution the whole warp stops advancing
+    until every spinning lane's predicate holds — this is the semantics
+    that makes the paper's naive thread-level kernel deadlock (Challenge
+    1, Section 3.3) and that the warp-level SyncFree algorithm can use
+    safely because its dependencies always live in other warps.
+
+``Poll(name, idx, expected)``
+    A *productive* poll: one load+test of the flag.  If it fails, the lane
+    retries on subsequent warp-steps, but the other lanes of the warp keep
+    advancing — exactly the control flow of Writing-First Capellini
+    (Algorithm 5), where a failed flag check falls through to the
+    last-element test and loops.
+
+Example — a kernel where each thread squares one element::
+
+    def square(ctx: ThreadCtx):
+        i = ctx.global_id
+        if i >= n:
+            return
+        v = ctx.load("data", i)
+        yield ALU
+        ctx.store("out", i, v * v)
+        yield ALU
+
+    engine.launch(square, n_threads=n)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.gpu.memory import GlobalMemory
+
+__all__ = ["ALU", "WARP_SYNC", "SpinWait", "Poll", "ThreadCtx"]
+
+
+class _ALUInstruction:
+    """Singleton sentinel for an ordinary instruction slot."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "ALU"
+
+
+#: The ordinary-instruction sentinel; ``yield ALU`` and ``yield None`` are
+#: equivalent (the engine treats ``None`` as ALU).
+ALU = _ALUInstruction()
+
+
+class _WarpSyncInstruction:
+    """Singleton sentinel for an intra-warp barrier.
+
+    Models the warp-synchronous convergence point classic warp-level code
+    relies on (``__syncwarp`` on modern CUDA, implicit lock-step on older
+    parts).  The SyncFree reduction (Algorithm 3, lines 13-17) needs it:
+    lanes must not read a neighbour's ``left_sum`` slot before it is
+    written.  A lane yielding ``WARP_SYNC`` waits until every live lane of
+    its warp reaches the barrier.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "WARP_SYNC"
+
+
+#: The intra-warp barrier sentinel (see :class:`_WarpSyncInstruction`).
+WARP_SYNC = _WarpSyncInstruction()
+
+
+@dataclass(frozen=True)
+class SpinWait:
+    """Blocking busy-wait on ``mem[name][idx] == expected`` (see module doc)."""
+
+    name: str
+    idx: int
+    expected: float = 1
+
+
+@dataclass(frozen=True)
+class Poll:
+    """One productive poll of ``mem[name][idx] == expected`` (see module doc)."""
+
+    name: str
+    idx: int
+    expected: float = 1
+
+
+class ThreadCtx:
+    """Per-lane view of the machine handed to kernel generators.
+
+    Attributes
+    ----------
+    global_id:
+        Flat thread index across the grid.
+    warp_id:
+        Flat warp index (``global_id // warp_size``).
+    lane_id:
+        Index within the warp (``global_id % warp_size``).
+    warp_size:
+        Device warp width.
+    shared:
+        Per-warp scratch array (the model of shared memory used by the
+        SyncFree reduction, Algorithm 3 lines 13-17); ``None`` when the
+        launch requested no shared memory.
+    """
+
+    __slots__ = ("global_id", "warp_id", "lane_id", "warp_size", "shared", "_mem")
+
+    def __init__(
+        self,
+        global_id: int,
+        warp_id: int,
+        lane_id: int,
+        warp_size: int,
+        shared: np.ndarray | None,
+        mem: "GlobalMemory",
+    ) -> None:
+        self.global_id = global_id
+        self.warp_id = warp_id
+        self.lane_id = lane_id
+        self.warp_size = warp_size
+        self.shared = shared
+        self._mem = mem
+
+    def load(self, name: str, idx: int):
+        """Counted load from global memory."""
+        return self._mem.load(name, int(idx))
+
+    def store(self, name: str, idx: int, value) -> None:
+        """Counted store to global memory (fires spin/poll wake-ups)."""
+        self._mem.store(name, int(idx), value)
+
+    def atomic_add(self, name: str, idx: int, value) -> float:
+        """Atomic add to global memory; returns the old value."""
+        return self._mem.atomic_add(name, int(idx), value)
+
+    def shared_read(self, idx: int):
+        """Counted read of the per-warp shared scratch."""
+        assert self.shared is not None, "launch had shared_per_warp=0"
+        self._mem.counters.shared_bytes += self.shared.itemsize
+        return self.shared[idx]
+
+    def shared_write(self, idx: int, value) -> None:
+        """Counted write of the per-warp shared scratch."""
+        assert self.shared is not None, "launch had shared_per_warp=0"
+        self._mem.counters.shared_bytes += self.shared.itemsize
+        self.shared[idx] = value
+
+    def threadfence(self) -> None:
+        """Memory fence (Algorithm 3 line 21 / Algorithm 5 line 15).
+
+        The simulator's memory is sequentially consistent, so the fence
+        only needs to be *recorded*; tests assert each kernel fences
+        between publishing a component value and raising its flag.
+        """
+        self._mem.counters.fences += 1

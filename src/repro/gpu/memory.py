@@ -1,0 +1,159 @@
+"""Simulated global memory with traffic accounting and store watches.
+
+Memory is sequentially consistent (Python-level interleaving at warp-step
+granularity defines the order), which is stronger than a real GPU — but
+every kernel in this repository still issues the ``threadfence`` the paper's
+pseudocode requires before publishing a flag, and a test asserts the
+value store precedes the flag store, so the kernels remain correct under
+the weaker real-hardware model.
+
+Traffic model: accesses to arrays registered as *streamed* count as DRAM
+traffic at element granularity; re-polls of *flag* arrays count as cache
+traffic after the first touch of a location (spin loops hit L1/L2 on real
+parts, and `nvprof`'s DRAM counters — what the paper's Figure 7 reports —
+do not see them).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.gpu.counters import LaneCounters
+
+__all__ = ["GlobalMemory"]
+
+WatchKey = tuple[str, int]
+
+
+class GlobalMemory:
+    """Named numpy arrays with per-access accounting and store callbacks."""
+
+    #: DRAM transaction (sector) size in bytes; 32 B on modern NVIDIA parts.
+    SECTOR_BYTES = 32
+
+    def __init__(self, counters: LaneCounters) -> None:
+        self._arrays: dict[str, np.ndarray] = {}
+        self._flag_arrays: set[str] = set()
+        self._touched: dict[str, np.ndarray] = {}
+        self.counters = counters
+        self._watchers: dict[WatchKey, list[Callable[[], None]]] = defaultdict(list)
+        # coalescing batch: distinct (array, sector) pairs touched during
+        # the current warp step; None outside a batch (host-style access)
+        self._batch: set[tuple[str, int]] | None = None
+
+    # ------------------------------------------------------------------
+    # coalescing batches (driven by Warp.step)
+    # ------------------------------------------------------------------
+    def begin_access_batch(self) -> None:
+        """Start a warp-step coalescing window.
+
+        Within one window, loads that fall into the same DRAM sector of
+        the same array are merged into one transaction: the first load
+        charges a full sector, the rest are free (they ride the same
+        transaction).  This models the coalescing asymmetry between
+        warp-level kernels (lanes read consecutive elements of one row)
+        and thread-level kernels (lanes read scattered rows).
+        """
+        self._batch = set()
+
+    def end_access_batch(self) -> None:
+        self._batch = None
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def alloc(self, name: str, array: np.ndarray, *, flags: bool = False) -> np.ndarray:
+        """Register ``array`` under ``name``.
+
+        ``flags=True`` marks the array as a synchronization-flag array:
+        repeated loads of one location are charged to cache, not DRAM,
+        and stores to it fire watch callbacks (used for spin wake-ups).
+        """
+        if name in self._arrays:
+            raise SimulationError(f"array {name!r} already allocated")
+        array = np.ascontiguousarray(array)
+        self._arrays[name] = array
+        if flags:
+            self._flag_arrays.add(name)
+            self._touched[name] = np.zeros(len(array), dtype=bool)
+        return array
+
+    def array(self, name: str) -> np.ndarray:
+        """Raw backing array (host-side inspection; not counted)."""
+        return self._arrays[name]
+
+    # ------------------------------------------------------------------
+    # counted accesses (called from thread contexts)
+    # ------------------------------------------------------------------
+    def load(self, name: str, idx: int) -> float:
+        arr = self._arrays[name]
+        if name in self._flag_arrays:
+            touched = self._touched[name]
+            if touched[idx]:
+                self.counters.cache_bytes_read += arr.itemsize
+            else:
+                touched[idx] = True
+                self.counters.dram_bytes_read += arr.itemsize
+                self.counters.dram_load_events += 1
+            self.counters.flag_polls += 1
+        elif self._batch is None:
+            # host-style access: exact byte accounting, one event each
+            self.counters.dram_bytes_read += arr.itemsize
+            self.counters.dram_load_events += 1
+        else:
+            sector = (name, (int(idx) * arr.itemsize) // self.SECTOR_BYTES)
+            if sector in self._batch:
+                self.counters.cache_bytes_read += arr.itemsize
+            else:
+                self._batch.add(sector)
+                self.counters.dram_bytes_read += self.SECTOR_BYTES
+                self.counters.dram_load_events += 1
+        return arr[idx]
+
+    def store(self, name: str, idx: int, value) -> None:
+        arr = self._arrays[name]
+        arr[idx] = value
+        self.counters.dram_bytes_written += arr.itemsize
+        key = (name, int(idx))
+        watchers = self._watchers.pop(key, None)
+        if watchers:
+            for cb in watchers:
+                cb()
+
+    def atomic_add(self, name: str, idx: int, value) -> float:
+        """Atomic read-modify-write; returns the *old* value (CUDA
+        ``atomicAdd`` semantics).
+
+        The simulator interleaves lanes at warp-step granularity and a
+        step's lane actions run one after another on the host, so the
+        read-modify-write is indivisible by construction; the method
+        exists to make the kernel's intent explicit, count the traffic,
+        and fire watches (the CSC SyncFree algorithm's counter increments
+        must wake spinning consumer warps).
+        """
+        arr = self._arrays[name]
+        old = arr[idx]
+        self.counters.dram_bytes_read += arr.itemsize
+        self.store(name, idx, old + value)
+        return old
+
+    def peek(self, name: str, idx: int):
+        """Uncounted load — used by the engine to evaluate spin predicates."""
+        return self._arrays[name][idx]
+
+    # ------------------------------------------------------------------
+    # watches
+    # ------------------------------------------------------------------
+    def watch(self, name: str, idx: int, callback: Callable[[], None]) -> None:
+        """Invoke ``callback`` once, on the next store to ``name[idx]``."""
+        if name not in self._arrays:
+            raise SimulationError(f"cannot watch unknown array {name!r}")
+        self._watchers[(name, int(idx))].append(callback)
+
+    @property
+    def pending_watches(self) -> int:
+        return sum(len(v) for v in self._watchers.values())

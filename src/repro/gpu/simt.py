@@ -1,0 +1,330 @@
+"""The SIMT engine: SM scheduler, residency, watches, deadlock detection.
+
+One :class:`SIMTEngine` instance models one device executing one or more
+kernel launches against a shared :class:`~repro.gpu.memory.GlobalMemory`.
+
+Scheduling model (see DESIGN.md):
+
+* Warps are admitted to SMs **in grid order** as residency slots free up —
+  the property synchronization-free SpTRSV needs for forward progress
+  (row ``i`` only depends on rows ``j < i``, whose warps are admitted no
+  later than ``i``'s).
+* Each cycle, every SM issues up to ``issue_width`` warp instructions,
+  round-robin over its runnable warps.  Runnable warps that could not
+  issue record contention stalls.
+* Warps blocked in a :class:`~repro.gpu.kernel.SpinWait` or sleeping on
+  an all-lanes-failed :class:`~repro.gpu.kernel.Poll` are parked on
+  memory watches instead of being rescanned every cycle; the cycles they
+  spend parked are credited as spin instructions (and, for blocking
+  spins, dependency stalls) when they wake.
+* If a cycle passes in which no SM issued and no warp was admitted while
+  work remains, no store can ever happen again — the launch is deadlocked
+  and :class:`~repro.errors.DeadlockError` is raised (this is exactly how
+  the paper's Challenge-1 naive kernel fails).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Callable, Generator
+
+import numpy as np
+
+from repro.errors import DeadlockError, LaunchConfigError, SimulationError
+from repro.gpu.counters import KernelStats, LaneCounters
+from repro.gpu.device import DeviceSpec
+from repro.gpu.kernel import ThreadCtx
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.warp import Warp, WarpState
+
+__all__ = ["SIMTEngine"]
+
+KernelFn = Callable[[ThreadCtx], Generator]
+
+
+class _SM:
+    """Per-SM scheduler state."""
+
+    __slots__ = ("index", "resident", "runnable")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.resident = 0
+        self.runnable: deque[Warp] = deque()
+
+
+class SIMTEngine:
+    """Lock-step SIMT executor for one simulated device.
+
+    Parameters
+    ----------
+    device:
+        Architectural parameters (SM count, warp size, residency...).
+    max_cycles:
+        Safety bound; exceeded only by a livelocked kernel, which raises
+        :class:`~repro.errors.SimulationError` instead of hanging.
+    """
+
+    def __init__(self, device: DeviceSpec, *, max_cycles: int = 50_000_000) -> None:
+        self.device = device
+        self.max_cycles = max_cycles
+        self.counters = LaneCounters()
+        self.memory = GlobalMemory(self.counters)
+        #: optional :class:`repro.gpu.trace.Tracer`; zero overhead if None
+        self.tracer = None
+
+    # ------------------------------------------------------------------
+    def launch(
+        self,
+        kernel: KernelFn,
+        n_threads: int,
+        *,
+        shared_per_warp: int = 0,
+    ) -> KernelStats:
+        """Run ``kernel`` over ``n_threads`` lanes to completion.
+
+        Returns the launch's :class:`~repro.gpu.counters.KernelStats`.
+        Traffic counters accumulate on the engine across launches; the
+        returned stats cover only this launch (deltas).
+        """
+        if n_threads <= 0:
+            raise LaunchConfigError(f"n_threads must be positive, got {n_threads}")
+        dev = self.device
+        ws = dev.warp_size
+        total_warps = -(-n_threads // ws)  # ceil division
+
+        mem = self.memory
+        c0 = _traffic_snapshot(self.counters)
+
+        sms = [_SM(i) for i in range(dev.sm_count)]
+        next_admit = 0
+        done_warps = 0
+        parked_warps: set[int] = set()
+        latency = dev.dram_latency_cycles
+        # (wake_cycle, seq, warp, sm) — warps parked on DRAM latency
+        timed: list[tuple[int, int, Warp, _SM]] = []
+        timed_seq = 0
+
+        # mutable cells shared with watch callbacks
+        state = _LaunchState()
+        tracer = self.tracer
+
+        def make_warp(warp_id: int, sm: _SM) -> Warp:
+            lanes = []
+            base = warp_id * ws
+            n_lanes = min(ws, n_threads - base)
+            shared = (
+                np.zeros(shared_per_warp, dtype=np.float64)
+                if shared_per_warp
+                else None
+            )
+            for lane in range(n_lanes):
+                ctx = ThreadCtx(base + lane, warp_id, lane, ws, shared, mem)
+                lanes.append(kernel(ctx))
+            return Warp(warp_id, lanes, mem)
+
+        def arm_spin_watch(
+            w: Warp, sm: _SM, name: str, idx: int, lane: int, expected: float
+        ) -> None:
+            def cb() -> None:
+                if w.warp_id not in parked_warps:
+                    return
+                if w.resolve_spin(lane):
+                    _credit_unpark(w, state, blocked=True)
+                    parked_warps.discard(w.warp_id)
+                    sm.runnable.append(w)
+                    if tracer is not None:
+                        tracer.record(state.cycle, w.warp_id, "wake")
+                elif w.lane_still_spinning(lane):
+                    # predicate still false (store of a different value):
+                    # keep watching the same location.
+                    mem.watch(name, idx, cb)
+
+            mem.watch(name, idx, cb)
+            # Close the store-before-watch race: the producing store may
+            # have landed earlier this very cycle, before the watch existed.
+            if mem.peek(name, idx) == expected:
+                cb()
+
+        def arm_sleep_watch(
+            w: Warp, sm: _SM, name: str, idx: int
+        ) -> None:
+            def cb() -> None:
+                if w.warp_id not in parked_warps:
+                    return
+                if w.wake_from_sleep():
+                    _credit_unpark(w, state, blocked=False)
+                    parked_warps.discard(w.warp_id)
+                    sm.runnable.append(w)
+                    if tracer is not None:
+                        tracer.record(state.cycle, w.warp_id, "wake")
+
+            mem.watch(name, idx, cb)
+
+        cycle = 0
+        while done_warps < total_warps:
+            if cycle >= self.max_cycles:
+                raise SimulationError(
+                    f"kernel exceeded max_cycles={self.max_cycles} "
+                    f"({done_warps}/{total_warps} warps retired) — livelock?"
+                )
+            state.cycle = cycle
+            # release warps whose DRAM latency has elapsed
+            while timed and timed[0][0] <= cycle:
+                _, _, tw, tsm = heapq.heappop(timed)
+                tsm.runnable.append(tw)
+            progressed = False
+            for sm in sms:
+                # admit pending warps in grid order
+                while (
+                    sm.resident < dev.max_resident_warps
+                    and next_admit < total_warps
+                ):
+                    w = make_warp(next_admit, sm)
+                    sm.runnable.append(w)
+                    sm.resident += 1
+                    next_admit += 1
+                    progressed = True
+                    if tracer is not None:
+                        tracer.record(cycle, w.warp_id, "admit")
+                # issue up to issue_width warp instructions
+                issued = 0
+                n_runnable_before = len(sm.runnable)
+                budget = min(dev.issue_width, n_runnable_before)
+                while issued < budget and sm.runnable:
+                    w = sm.runnable.popleft()
+                    outcome = w.step()
+                    issued += 1
+                    if tracer is not None:
+                        tracer.record(cycle, w.warp_id, "issue")
+                    state.warp_instructions += 1
+                    state.active_lane_slots += outcome.live_lanes
+                    state.idle_lane_slots += ws - outcome.live_lanes
+                    if outcome.state is WarpState.RUNNABLE:
+                        if outcome.dram_touched and latency > 0:
+                            # the step issued DRAM loads: park the warp for
+                            # the memory latency; other resident warps hide
+                            # it, exactly as on hardware
+                            timed_seq += 1
+                            heapq.heappush(
+                                timed, (cycle + latency, timed_seq, w, sm)
+                            )
+                            state.mem_stall_cycles += latency
+                            if tracer is not None:
+                                tracer.record(cycle, w.warp_id, "mem")
+                        else:
+                            sm.runnable.append(w)
+                    elif outcome.state is WarpState.DONE:
+                        sm.resident -= 1
+                        done_warps += 1
+                        if tracer is not None:
+                            tracer.record(cycle, w.warp_id, "done")
+                    elif outcome.state is WarpState.BLOCKED:
+                        w.parked_since = cycle
+                        parked_warps.add(w.warp_id)
+                        if tracer is not None:
+                            tracer.record(cycle, w.warp_id, "block")
+                        for name, idx, lane, expected in outcome.watch_lanes:
+                            arm_spin_watch(w, sm, name, idx, lane, expected)
+                    else:  # SLEEPING
+                        w.parked_since = cycle
+                        parked_warps.add(w.warp_id)
+                        if tracer is not None:
+                            tracer.record(cycle, w.warp_id, "sleep")
+                        for name, idx, _lane, _expected in outcome.watch_lanes:
+                            arm_sleep_watch(w, sm, name, idx)
+                        # Close the store-before-watch race for polls.
+                        if w.warp_id in parked_warps and w.any_poll_satisfied():
+                            if w.wake_from_sleep():
+                                _credit_unpark(w, state, blocked=False)
+                                parked_warps.discard(w.warp_id)
+                                sm.runnable.append(w)
+                if issued:
+                    progressed = True
+                # contention: runnable warps that did not get an issue slot
+                # this cycle (warps woken mid-cycle start counting next
+                # cycle; warps that issued and stayed runnable are not
+                # stalled).
+                state.stall_cycles += max(0, n_runnable_before - budget)
+
+            if not progressed:
+                if timed:
+                    # nothing issuable until the next memory wake-up:
+                    # fast-forward the clock instead of idling cycle by
+                    # cycle (host-time optimization, no semantic effect)
+                    cycle = max(cycle + 1, int(timed[0][0]))
+                    continue
+                raise DeadlockError(
+                    "no warp could issue and no warp could be admitted: "
+                    f"{len(parked_warps)} warp(s) parked forever "
+                    f"(warps {sorted(parked_warps)[:8]}...) — intra-warp "
+                    "busy-wait dependency? (paper Section 3.3, Challenge 1)",
+                    cycle=cycle,
+                    blocked_warps=tuple(sorted(parked_warps)[:32]),
+                )
+            cycle += 1
+
+        c1 = _traffic_snapshot(self.counters)
+        return KernelStats(
+            cycles=cycle,
+            warp_instructions=state.warp_instructions,
+            spin_instructions=state.spin_instructions,
+            stall_cycles=state.stall_cycles,
+            active_lane_slots=state.active_lane_slots,
+            idle_lane_slots=state.idle_lane_slots,
+            warps_launched=total_warps,
+            dram_bytes=(c1[0] - c0[0]) + (c1[1] - c0[1]),
+            cache_bytes=c1[2] - c0[2],
+            flag_polls=c1[3] - c0[3],
+            fences=c1[4] - c0[4],
+            mem_stall_cycles=state.mem_stall_cycles,
+        )
+
+
+class _LaunchState:
+    """Mutable per-launch accounting shared with watch callbacks."""
+
+    __slots__ = (
+        "cycle",
+        "warp_instructions",
+        "spin_instructions",
+        "stall_cycles",
+        "mem_stall_cycles",
+        "active_lane_slots",
+        "idle_lane_slots",
+    )
+
+    def __init__(self) -> None:
+        self.cycle = 0
+        self.warp_instructions = 0
+        self.spin_instructions = 0
+        self.stall_cycles = 0
+        self.mem_stall_cycles = 0
+        self.active_lane_slots = 0
+        self.idle_lane_slots = 0
+
+
+def _credit_unpark(w: Warp, state: _LaunchState, *, blocked: bool) -> None:
+    """Credit the cycles a warp spent parked.
+
+    A blocking spin executes a load+test every cycle (spin instructions)
+    and is a dependency stall; a sleeping poll warp would likewise issue
+    poll iterations, but those are the *productive* polling of Algorithm
+    5 — counted as spin instructions only.
+    """
+    duration = max(0, state.cycle - w.parked_since)
+    state.spin_instructions += duration
+    if blocked:
+        state.stall_cycles += duration
+    w.parked_since = -1
+
+
+def _traffic_snapshot(c: LaneCounters) -> tuple[int, int, int, int, int]:
+    return (
+        c.dram_bytes_read,
+        c.dram_bytes_written,
+        c.cache_bytes_read,
+        c.flag_polls,
+        c.fences,
+    )

@@ -1,0 +1,143 @@
+"""Warp-timeline tracing for the SIMT engine.
+
+A :class:`Tracer` attached to an engine records every warp state
+transition (admitted, issued, blocked on a spin, sleeping on polls,
+parked on DRAM latency, woken, retired) with its cycle.  The renderer
+compresses the timeline into a fixed-width ASCII chart — one row per
+warp — which makes the papers' execution arguments *visible*: SyncFree
+warps spend their rows spinning (``s``), Capellini warps alternate issue
+(``#``) and memory (``m``), the naive kernel's rows freeze in ``s``
+forever.
+
+Usage::
+
+    engine = SIMTEngine(device)
+    tracer = Tracer()
+    engine.tracer = tracer
+    engine.launch(kernel, n_threads)
+    print(render_timeline(tracer, width=72))
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+__all__ = ["Tracer", "TraceEvent", "render_timeline"]
+
+#: Event kinds, in rendering priority order (later wins within a bucket).
+ISSUE = "issue"
+ADMIT = "admit"
+BLOCK = "block"      # SpinWait (dependency stall)
+SLEEP = "sleep"      # all-lanes-failed Poll
+MEM = "mem"          # parked on DRAM latency
+WAKE = "wake"
+DONE = "done"
+
+_SYMBOLS = {
+    ISSUE: "#",
+    BLOCK: "s",
+    SLEEP: "z",
+    MEM: "m",
+}
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded state transition."""
+
+    cycle: int
+    warp_id: int
+    kind: str
+
+
+@dataclass
+class Tracer:
+    """Collects engine events; cheap appends, analysis after the run."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+    max_events: int = 2_000_000
+
+    def record(self, cycle: int, warp_id: int, kind: str) -> None:
+        if len(self.events) < self.max_events:
+            self.events.append(TraceEvent(cycle, warp_id, kind))
+
+    # ------------------------------------------------------------------
+    def by_warp(self) -> dict[int, list[TraceEvent]]:
+        out: dict[int, list[TraceEvent]] = defaultdict(list)
+        for ev in self.events:
+            out[ev.warp_id].append(ev)
+        return dict(out)
+
+    def last_cycle(self) -> int:
+        return max((ev.cycle for ev in self.events), default=0)
+
+    def summary(self) -> dict[str, int]:
+        """Event counts by kind."""
+        counts: dict[str, int] = defaultdict(int)
+        for ev in self.events:
+            counts[ev.kind] += 1
+        return dict(counts)
+
+
+def render_timeline(
+    tracer: Tracer,
+    *,
+    width: int = 64,
+    max_warps: int = 24,
+) -> str:
+    """ASCII chart: one row per warp, ``width`` cycle buckets.
+
+    Symbols: ``#`` issued, ``s`` blocked in a busy-wait, ``z`` sleeping
+    on polls, ``m`` parked on memory latency, ``.`` retired,
+    `` `` (space) not yet admitted.
+    """
+    per_warp = tracer.by_warp()
+    if not per_warp:
+        return "(no trace events)"
+    end = tracer.last_cycle() + 1
+    bucket = max(1, -(-end // width))
+
+    lines = [
+        f"warp timeline — {end} cycles, {bucket} cycles/column "
+        f"(#=issue s=spin z=sleep m=mem .=done)"
+    ]
+    shown = sorted(per_warp)[:max_warps]
+    for warp_id in shown:
+        events = sorted(per_warp[warp_id], key=lambda e: e.cycle)
+        # walk the event list, tracking the warp's state per bucket
+        row = [" "] * width
+        state: str | None = None
+        done_at: int | None = None
+        admitted_at: int | None = None
+        idx = 0
+        for b in range(width):
+            b_end = (b + 1) * bucket
+            issued_here = False
+            while idx < len(events) and events[idx].cycle < b_end:
+                ev = events[idx]
+                idx += 1
+                if ev.kind == ADMIT:
+                    admitted_at = ev.cycle
+                    state = None
+                elif ev.kind == ISSUE:
+                    issued_here = True
+                    state = None
+                elif ev.kind in (BLOCK, SLEEP, MEM):
+                    state = ev.kind
+                elif ev.kind == WAKE:
+                    state = None
+                elif ev.kind == DONE:
+                    done_at = ev.cycle
+            if done_at is not None and done_at < b_end - bucket:
+                row[b] = "."
+            elif issued_here:
+                row[b] = "#"
+            elif state in _SYMBOLS:
+                row[b] = _SYMBOLS[state]
+            elif admitted_at is not None:
+                row[b] = "-"
+        lines.append(f"  w{warp_id:<4d} |{''.join(row)}|")
+    if len(per_warp) > max_warps:
+        lines.append(f"  ... ({len(per_warp) - max_warps} more warps)")
+    return "\n".join(lines)

@@ -1,0 +1,249 @@
+"""Warp state machine for the lock-step engine.
+
+A :class:`Warp` owns one generator per lane and advances them together:
+one call to :meth:`Warp.step` is one warp instruction.  The step logic
+implements the three instruction kinds of :mod:`repro.gpu.kernel` and
+reports the warp's resulting state to the scheduler, including the memory
+locations the scheduler must watch to wake the warp again.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Generator, Iterable
+
+from repro.errors import SimulationError
+from repro.gpu.kernel import ALU, WARP_SYNC, Poll, SpinWait
+from repro.gpu.memory import GlobalMemory
+
+__all__ = ["Warp", "WarpState", "StepOutcome"]
+
+
+class WarpState(enum.Enum):
+    """Scheduler-visible warp states."""
+
+    RUNNABLE = "runnable"
+    BLOCKED = "blocked"      # >=1 lane in an unsatisfied SpinWait
+    SLEEPING = "sleeping"    # every live lane in an unsatisfied Poll
+    DONE = "done"
+
+
+class _LaneState(enum.Enum):
+    READY = 0     # advance the generator on the next step
+    POLLING = 1   # re-evaluate a Poll predicate on the next step
+    SPINNING = 2  # parked in a SpinWait (warp is BLOCKED)
+    SYNCING = 3   # waiting at a WARP_SYNC barrier
+    DONE = 4
+
+
+class StepOutcome:
+    """What one warp instruction did (consumed by the scheduler).
+
+    ``watch_lanes`` lists ``(array, index, lane, expected)`` tuples the
+    scheduler must arm watches for — spin watches when the warp BLOCKED,
+    poll watches when it went SLEEPING.  ``dram_touched`` is True when
+    any lane loaded from DRAM during the step: the scheduler parks the
+    warp for the device's DRAM latency before its next issue (other
+    resident warps hide the latency, exactly as on hardware).
+    """
+
+    __slots__ = ("state", "live_lanes", "watch_lanes", "dram_touched")
+
+    def __init__(
+        self,
+        state: WarpState,
+        live_lanes: int,
+        watch_lanes: tuple[tuple[str, int, int, float], ...] = (),
+        dram_touched: bool = False,
+    ) -> None:
+        self.state = state
+        self.live_lanes = live_lanes
+        self.watch_lanes = watch_lanes
+        self.dram_touched = dram_touched
+
+
+class Warp:
+    """One warp: ``warp_size`` lane generators advancing in lock-step."""
+
+    __slots__ = (
+        "warp_id",
+        "mem",
+        "_lanes",
+        "_lane_state",
+        "_pending",
+        "spin_unresolved",
+        "state",
+        "parked_since",
+    )
+
+    def __init__(
+        self,
+        warp_id: int,
+        lanes: Iterable[Generator],
+        mem: GlobalMemory,
+    ) -> None:
+        self.warp_id = warp_id
+        self.mem = mem
+        self._lanes: list[Generator | None] = list(lanes)
+        self._lane_state = [_LaneState.READY] * len(self._lanes)
+        # _pending[i] holds the unsatisfied Poll/SpinWait request of lane i
+        self._pending: list[Poll | SpinWait | None] = [None] * len(self._lanes)
+        self.spin_unresolved = 0
+        self.state = WarpState.RUNNABLE
+        # cycle at which the warp blocked or slept (for stall accounting)
+        self.parked_since = -1
+
+    # ------------------------------------------------------------------
+    @property
+    def n_lanes(self) -> int:
+        return len(self._lanes)
+
+    @property
+    def live_lanes(self) -> int:
+        return sum(1 for s in self._lane_state if s is not _LaneState.DONE)
+
+    # ------------------------------------------------------------------
+    def step(self) -> StepOutcome:
+        """Execute one warp instruction: advance every live lane once."""
+        if self.state is not WarpState.RUNNABLE:
+            raise SimulationError(
+                f"warp {self.warp_id} stepped while {self.state.value}"
+            )
+        mem = self.mem
+        mem.begin_access_batch()  # coalesce this step's loads per sector
+        dram_events_before = mem.counters.dram_load_events
+        lane_state = self._lane_state
+        pending = self._pending
+        live = 0
+        spin_watches: list[tuple[str, int, int, float]] = []
+        poll_watches: list[tuple[str, int, int, float]] = []
+        any_progress = False  # a lane did something other than a failed poll
+        retired = 0  # lanes that exited during this step
+
+        n_syncing = 0
+        for i, gen in enumerate(self._lanes):
+            st = lane_state[i]
+            if st is _LaneState.DONE:
+                continue
+            live += 1
+            if st is _LaneState.SYNCING:
+                n_syncing += 1
+                continue
+            if st is _LaneState.POLLING:
+                req = pending[i]
+                assert isinstance(req, Poll)
+                # one poll iteration: load + test (counted as a flag load)
+                if mem.load(req.name, req.idx) == req.expected:
+                    lane_state[i] = _LaneState.READY
+                    pending[i] = None
+                    any_progress = True
+                else:
+                    poll_watches.append((req.name, req.idx, i, req.expected))
+                continue
+            if st is _LaneState.SPINNING:  # pragma: no cover - defensive
+                raise SimulationError("spinning lane inside a runnable warp")
+            # READY: advance the generator by one instruction.
+            assert gen is not None
+            try:
+                instr = next(gen)
+            except StopIteration:
+                lane_state[i] = _LaneState.DONE
+                self._lanes[i] = None
+                retired += 1
+                any_progress = True
+                continue
+            if instr is None or instr is ALU:
+                any_progress = True
+                continue
+            if instr is WARP_SYNC:
+                lane_state[i] = _LaneState.SYNCING
+                n_syncing += 1
+                any_progress = True
+                continue
+            if type(instr) is Poll:
+                # the yield itself is the first poll iteration
+                if mem.load(instr.name, instr.idx) == instr.expected:
+                    any_progress = True
+                else:
+                    lane_state[i] = _LaneState.POLLING
+                    pending[i] = instr
+                    poll_watches.append((instr.name, instr.idx, i, instr.expected))
+                continue
+            if type(instr) is SpinWait:
+                if mem.load(instr.name, instr.idx) == instr.expected:
+                    any_progress = True
+                else:
+                    lane_state[i] = _LaneState.SPINNING
+                    pending[i] = instr
+                    spin_watches.append((instr.name, instr.idx, i, instr.expected))
+                continue
+            raise SimulationError(f"kernel yielded unknown instruction {instr!r}")
+
+        mem.end_access_batch()
+        live_after = live - retired
+        if n_syncing and n_syncing == live_after:
+            # barrier complete: release every lane; they advance next step
+            for i, st in enumerate(lane_state):
+                if st is _LaneState.SYNCING:
+                    lane_state[i] = _LaneState.READY
+        dram_touched = mem.counters.dram_load_events > dram_events_before
+        if spin_watches:
+            self.state = WarpState.BLOCKED
+            self.spin_unresolved = len(spin_watches)
+            return StepOutcome(self.state, live, tuple(spin_watches), dram_touched)
+        if live_after == 0:
+            self.state = WarpState.DONE
+            return StepOutcome(self.state, live, (), dram_touched)
+        if not any_progress and poll_watches:
+            # Every live lane failed its poll this step: the warp would
+            # keep issuing identical poll iterations, so it sleeps until
+            # any watched flag is stored (the skipped iterations are
+            # credited as spin instructions by the scheduler).
+            self.state = WarpState.SLEEPING
+            return StepOutcome(self.state, live, tuple(poll_watches), dram_touched)
+        return StepOutcome(self.state, live, (), dram_touched)
+
+    # ------------------------------------------------------------------
+    # wake-up paths (called by the scheduler's watch callbacks)
+    # ------------------------------------------------------------------
+    def resolve_spin(self, lane: int) -> bool:
+        """A watched location of ``lane``'s SpinWait was stored.
+
+        Re-validates the predicate (stores are wake *hints*): on success
+        the lane becomes READY; returns True when the whole warp is
+        unblocked.  On failure the caller must re-arm the watch.
+        """
+        req = self._pending[lane]
+        if not isinstance(req, SpinWait):  # already resolved another way
+            return self.state is WarpState.RUNNABLE
+        if self.mem.peek(req.name, req.idx) != req.expected:
+            return False
+        self._lane_state[lane] = _LaneState.READY
+        self._pending[lane] = None
+        self.spin_unresolved -= 1
+        if self.spin_unresolved == 0:
+            self.state = WarpState.RUNNABLE
+            return True
+        return False
+
+    def lane_still_spinning(self, lane: int) -> bool:
+        """True while ``lane`` is parked in an unsatisfied SpinWait."""
+        return self._lane_state[lane] is _LaneState.SPINNING
+
+    def any_poll_satisfied(self) -> bool:
+        """True if any parked Poll predicate currently holds (used by the
+        scheduler to close the store-before-watch race)."""
+        for i, st in enumerate(self._lane_state):
+            if st is _LaneState.POLLING:
+                req = self._pending[i]
+                assert isinstance(req, Poll)
+                if self.mem.peek(req.name, req.idx) == req.expected:
+                    return True
+        return False
+
+    def wake_from_sleep(self) -> bool:
+        """Any watched poll location was stored: resume issuing polls."""
+        if self.state is WarpState.SLEEPING:
+            self.state = WarpState.RUNNABLE
+            return True
+        return False

@@ -1,0 +1,19 @@
+"""Metric helpers shared by the experiment harness and benchmarks."""
+
+from repro.metrics.speedup import SpeedupSummary, speedup, speedup_summary
+from repro.metrics.aggregate import (
+    BinnedSeries,
+    bin_by_granularity,
+    geometric_mean,
+    percent_where_best,
+)
+
+__all__ = [
+    "SpeedupSummary",
+    "speedup",
+    "speedup_summary",
+    "BinnedSeries",
+    "bin_by_granularity",
+    "geometric_mean",
+    "percent_where_best",
+]

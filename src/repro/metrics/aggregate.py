@@ -1,0 +1,86 @@
+"""Aggregation helpers: means, winner percentages, granularity binning."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+__all__ = [
+    "geometric_mean",
+    "percent_where_best",
+    "BinnedSeries",
+    "bin_by_granularity",
+]
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean of positive values."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ExperimentError("geometric mean of an empty set")
+    if np.any(arr <= 0):
+        raise ExperimentError("geometric mean needs positive values")
+    return float(np.exp(np.log(arr).mean()))
+
+
+def percent_where_best(
+    candidate: np.ndarray, others: list[np.ndarray], *, higher_is_better: bool = True
+) -> float:
+    """Share of entries where ``candidate`` beats every series in ``others``
+    (Table 4's "percentage of matrices that achieve the optimal
+    performance using CapelliniSpTRSV")."""
+    candidate = np.asarray(candidate, dtype=np.float64)
+    if not others:
+        return 100.0
+    stacked = np.stack([np.asarray(o, dtype=np.float64) for o in others])
+    if stacked.shape[1] != len(candidate):
+        raise ExperimentError("series lengths differ")
+    if higher_is_better:
+        wins = np.all(candidate[None, :] >= stacked, axis=0)
+    else:
+        wins = np.all(candidate[None, :] <= stacked, axis=0)
+    return 100.0 * float(np.count_nonzero(wins)) / len(candidate)
+
+
+@dataclass(frozen=True)
+class BinnedSeries:
+    """A metric binned along the granularity axis (one plotted line)."""
+
+    bin_centers: np.ndarray
+    mean: np.ndarray
+    count: np.ndarray
+
+    def as_rows(self) -> list[tuple[float, float, int]]:
+        """(center, mean, count) rows for table rendering."""
+        return [
+            (float(c), float(m), int(k))
+            for c, m, k in zip(self.bin_centers, self.mean, self.count)
+        ]
+
+
+def bin_by_granularity(
+    granularity: np.ndarray,
+    metric: np.ndarray,
+    *,
+    lo: float = 0.0,
+    hi: float = 1.25,
+    n_bins: int = 12,
+) -> BinnedSeries:
+    """Bin a per-matrix metric by parallel granularity (Figures 3/4/5)."""
+    granularity = np.asarray(granularity, dtype=np.float64)
+    metric = np.asarray(metric, dtype=np.float64)
+    if granularity.shape != metric.shape:
+        raise ExperimentError("granularity and metric must align")
+    if n_bins <= 0 or hi <= lo:
+        raise ExperimentError("invalid binning parameters")
+    edges = np.linspace(lo, hi, n_bins + 1)
+    idx = np.clip(np.digitize(granularity, edges) - 1, 0, n_bins - 1)
+    count = np.bincount(idx, minlength=n_bins)
+    sums = np.bincount(idx, weights=metric, minlength=n_bins)
+    with np.errstate(invalid="ignore"):
+        mean = np.where(count > 0, sums / np.maximum(count, 1), np.nan)
+    centers = (edges[:-1] + edges[1:]) / 2
+    return BinnedSeries(bin_centers=centers, mean=mean, count=count)

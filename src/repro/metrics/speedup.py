@@ -1,0 +1,55 @@
+"""Speedup computations (Table 5 / Figure 5 metrics)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+__all__ = ["speedup", "SpeedupSummary", "speedup_summary"]
+
+
+def speedup(baseline_ms: float, candidate_ms: float) -> float:
+    """``baseline / candidate``: > 1 means the candidate is faster."""
+    if baseline_ms <= 0 or candidate_ms <= 0:
+        raise ExperimentError(
+            f"speedup needs positive times, got {baseline_ms} / {candidate_ms}"
+        )
+    return baseline_ms / candidate_ms
+
+
+@dataclass(frozen=True)
+class SpeedupSummary:
+    """Average/maximum speedup over a matrix set (one Table 5 cell pair)."""
+
+    average: float
+    maximum: float
+    argmax_name: str
+    n_matrices: int
+
+
+def speedup_summary(
+    names: list[str],
+    baseline_ms: np.ndarray,
+    candidate_ms: np.ndarray,
+) -> SpeedupSummary:
+    """Summarize per-matrix speedups the way Table 5 reports them:
+    arithmetic mean and maximum, plus the argmax matrix name."""
+    baseline_ms = np.asarray(baseline_ms, dtype=np.float64)
+    candidate_ms = np.asarray(candidate_ms, dtype=np.float64)
+    if not (len(names) == len(baseline_ms) == len(candidate_ms)):
+        raise ExperimentError("names and time arrays must align")
+    if len(names) == 0:
+        raise ExperimentError("cannot summarize an empty matrix set")
+    if np.any(baseline_ms <= 0) or np.any(candidate_ms <= 0):
+        raise ExperimentError("times must be positive")
+    s = baseline_ms / candidate_ms
+    k = int(np.argmax(s))
+    return SpeedupSummary(
+        average=float(s.mean()),
+        maximum=float(s[k]),
+        argmax_name=names[k],
+        n_matrices=len(names),
+    )

@@ -1,0 +1,28 @@
+"""Performance models: calibration constants and the analytic estimator.
+
+Two fidelity tiers exist in this repository (DESIGN.md, Section 6): the
+cycle-level SIMT simulator in :mod:`repro.gpu`, and the vectorized
+analytic estimator here, which shares the same
+:class:`~repro.gpu.device.DeviceSpec` parameters and is used for the
+paper's 245-matrix sweeps where cycle simulation would be prohibitive.
+"""
+
+from repro.perfmodel.calibration import (
+    Calibration,
+    DEFAULT_CALIBRATION,
+    preprocessing_model_ms,
+)
+from repro.perfmodel.analytic import (
+    AlgorithmProfile,
+    AnalyticModel,
+    EstimateResult,
+)
+
+__all__ = [
+    "Calibration",
+    "DEFAULT_CALIBRATION",
+    "preprocessing_model_ms",
+    "AlgorithmProfile",
+    "AnalyticModel",
+    "EstimateResult",
+]

@@ -1,0 +1,116 @@
+"""Solver interface shared by host-reference and simulated-GPU solvers."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.gpu.counters import KernelStats
+from repro.gpu.device import DeviceSpec, SIM_SMALL
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.triangular import check_solvable
+
+__all__ = ["PreprocessInfo", "SolveResult", "SpTRSVSolver", "sptrsv_flops"]
+
+
+def sptrsv_flops(L: CSRMatrix) -> int:
+    """Floating-point operations of one SpTRSV on ``L``.
+
+    One multiply+add per off-diagonal element and one subtract+divide per
+    row: with the diagonal stored that is ``2 * nnz`` — the convention the
+    paper's GFLOPS figures use.
+    """
+    return 2 * L.nnz
+
+
+@dataclass(frozen=True)
+class PreprocessInfo:
+    """What a solver did before its first solve of a given matrix.
+
+    ``modeled_ms`` is the calibrated cost on the *target platform* (what
+    Table 1 reports); ``host_seconds`` is the wall time this Python
+    implementation actually took (reported for transparency, never used
+    in paper-comparison tables).
+    """
+
+    description: str
+    modeled_ms: float = 0.0
+    host_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """Outcome of one SpTRSV solve."""
+
+    x: np.ndarray
+    solver_name: str
+    exec_ms: float
+    preprocess: PreprocessInfo
+    stats: KernelStats | None = None
+    device: DeviceSpec | None = None
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def gflops(self, L: CSRMatrix) -> float:
+        """Achieved GFLOPS/s of the execution phase (paper convention)."""
+        if self.exec_ms <= 0:
+            raise SolverError("execution time is zero; GFLOPS undefined")
+        return sptrsv_flops(L) / (self.exec_ms * 1e6)
+
+    def bandwidth_gbps(self) -> float:
+        """Achieved DRAM bandwidth (Figure 7 metric); 0 when no stats."""
+        if self.stats is None or self.exec_ms <= 0:
+            return 0.0
+        return self.stats.dram_bytes / (self.exec_ms * 1e6)
+
+
+class SpTRSVSolver(abc.ABC):
+    """Abstract SpTRSV solver.
+
+    Class attributes mirror the paper's Table 2 taxonomy so the table can
+    be generated from the implementations themselves.
+    """
+
+    #: Display name ("Capellini", "SyncFree", ...).
+    name: str = "abstract"
+    #: Sparse storage format the algorithm consumes natively.
+    storage_format: str = "CSR"
+    #: "none" | "low" | "high" — Table 2's preprocessing overhead column.
+    preprocessing_overhead: str = "none"
+    #: Whether inter-level synchronization is required (Table 2).
+    requires_synchronization: bool = False
+    #: "thread" | "warp" | "thread/warp" | "unknown" (Table 2).
+    processing_granularity: str = "thread"
+
+    def solve(
+        self,
+        L: CSRMatrix,
+        b: np.ndarray,
+        *,
+        device: DeviceSpec = SIM_SMALL,
+    ) -> SolveResult:
+        """Solve ``L x = b``.
+
+        Validates the system (square, lower triangular, explicit nonzero
+        diagonal last in each row), then dispatches to the concrete
+        implementation.
+        """
+        check_solvable(L)
+        b = np.asarray(b, dtype=np.float64)
+        if b.shape != (L.n_rows,):
+            raise SolverError(
+                f"b has shape {b.shape}, expected ({L.n_rows},)"
+            )
+        return self._solve(L, b, device)
+
+    @abc.abstractmethod
+    def _solve(
+        self, L: CSRMatrix, b: np.ndarray, device: DeviceSpec
+    ) -> SolveResult:
+        """Concrete solve; inputs are already validated."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,198 @@
+"""CapelliniSpTRSV: thread-level synchronization-free solvers.
+
+Two variants, exactly as the paper develops them:
+
+* :class:`TwoPhaseCapelliniSolver` — Algorithm 4.  Phase 1 busy-waits
+  (blocking spin) on components produced *outside* the thread's warp;
+  phase 2 consumes intra-warp dependencies with a bounded
+  ``WARP_SIZE``-iteration loop of productive polls, which cannot deadlock
+  because every pass resolves at least one component of the warp.
+* :class:`WritingFirstCapelliniSolver` — Algorithm 5, the optimized
+  control flow.  No phase split: each thread repeatedly polls the flag of
+  its current element, accumulating whenever the flag is up and publishing
+  its component the moment it reaches the diagonal — threads "write first"
+  without waiting for warp-mates (Section 4.3).
+
+Neither needs preprocessing; both read CSR directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.device import DeviceSpec
+from repro.gpu.kernel import ALU, WARP_SYNC, Poll, SpinWait, ThreadCtx
+from repro.solvers import _sim
+from repro.solvers.base import PreprocessInfo, SolveResult, SpTRSVSolver
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["TwoPhaseCapelliniSolver", "WritingFirstCapelliniSolver"]
+
+_NO_PREPROCESSING = PreprocessInfo(
+    description="none (Capellini requires no preprocessing)", modeled_ms=0.0
+)
+
+
+class TwoPhaseCapelliniSolver(SpTRSVSolver):
+    """Algorithm 4: Two-Phase CapelliniSpTRSV."""
+
+    name = "Capellini-TwoPhase"
+    storage_format = "CSR"
+    preprocessing_overhead = "none"
+    requires_synchronization = False
+    processing_granularity = "thread"
+
+    def _solve(
+        self, L: CSRMatrix, b: np.ndarray, device: DeviceSpec
+    ) -> SolveResult:
+        m = L.n_rows
+        ws = device.warp_size
+        engine = _sim.make_engine(device)
+        _sim.alloc_system(engine, L, b)
+
+        def kernel(ctx: ThreadCtx):
+            # one thread per component, natural row order (line 3)
+            i = ctx.global_id
+            if i >= m:
+                return
+            warp_begin = (i // ws) * ws  # line 4
+            lo = int(ctx.load(_sim.ROW_PTR, i))
+            hi = int(ctx.load(_sim.ROW_PTR, i + 1))
+            yield ALU
+
+            left_sum = 0.0
+            j = lo
+            # ---- Phase 1 (lines 6-13): elements produced outside this
+            # warp; classic busy-wait is safe for them.
+            while j < hi:
+                col = int(ctx.load(_sim.COL_IDX, j))
+                yield ALU
+                if col >= warp_begin:
+                    break  # line 13: first intra-warp (or diagonal) element
+                yield SpinWait(_sim.GET_VALUE, col, 1)  # lines 9-10
+                left_sum += ctx.load(_sim.VALUES, j) * ctx.load(_sim.X, col)
+                yield ALU  # line 11
+                j += 1
+            else:  # pragma: no cover - diagonal guarantees the break
+                return
+
+            # ---- Phase 2 (lines 14-25): bounded WARP_SIZE-iteration loop
+            # over the remaining, possibly intra-warp-dependent elements.
+            # The phases are separated by the warp-wide reconvergence of
+            # the divergent phase-1 loop ("the premise of starting the
+            # second phase is that all threads in the same warp have
+            # finished ... [phase 1]", Section 4.3) — and each outer pass
+            # is itself a uniform, warp-synchronous loop iteration.  Both
+            # convergence points are what makes the WARP_SIZE bound sound:
+            # in pass k the k-th unresolved lane's dependencies are all
+            # published, so it consumes them within that same pass.
+            yield WARP_SYNC
+            solved = False
+            for _k in range(ws):  # line 14
+                # lines 15-18: consume every element whose flag is up
+                while True:
+                    flag = ctx.load(_sim.GET_VALUE, col)
+                    yield ALU
+                    if flag != 1:
+                        break
+                    left_sum += ctx.load(_sim.VALUES, j) * ctx.load(_sim.X, col)
+                    yield ALU
+                    j += 1
+                    col = int(ctx.load(_sim.COL_IDX, j))
+                # lines 19-25: last-element check
+                if col == i:
+                    bi = ctx.load(_sim.RHS, i)
+                    diag = ctx.load(_sim.VALUES, hi - 1)
+                    ctx.store(_sim.X, i, (bi - left_sum) / diag)
+                    yield ALU
+                    ctx.threadfence()
+                    yield ALU
+                    ctx.store(_sim.GET_VALUE, i, 1)
+                    yield ALU
+                    solved = True
+                    break
+                yield WARP_SYNC  # uniform outer loop: passes reconverge
+            # If the WARP_SIZE bound were ever insufficient the component
+            # would be left unsolved; _sim.assert_all_solved turns that
+            # into a loud SolverError after the launch.
+            del solved
+
+        stats = engine.launch(kernel, _grid_threads(m, ws))
+        _sim.assert_all_solved(engine, m, self.name)
+        return SolveResult(
+            x=engine.memory.array(_sim.X).copy(),
+            solver_name=self.name,
+            exec_ms=device.cycles_to_ms(stats.cycles),
+            preprocess=_NO_PREPROCESSING,
+            stats=stats,
+            device=device,
+        )
+
+
+class WritingFirstCapelliniSolver(SpTRSVSolver):
+    """Algorithm 5: Writing-First CapelliniSpTRSV (the paper's headline)."""
+
+    name = "Capellini"
+    storage_format = "CSR"
+    preprocessing_overhead = "none"
+    requires_synchronization = False
+    processing_granularity = "thread"
+
+    def _solve(
+        self, L: CSRMatrix, b: np.ndarray, device: DeviceSpec
+    ) -> SolveResult:
+        m = L.n_rows
+        ws = device.warp_size
+        engine = _sim.make_engine(device)
+        _sim.alloc_system(engine, L, b)
+
+        def kernel(ctx: ThreadCtx):
+            # one thread per component, natural row order (line 3)
+            i = ctx.global_id
+            if i >= m:
+                return
+            lo = int(ctx.load(_sim.ROW_PTR, i))
+            hi = int(ctx.load(_sim.ROW_PTR, i + 1))
+            yield ALU
+
+            left_sum = 0.0
+            j = lo
+            col = int(ctx.load(_sim.COL_IDX, j))
+            yield ALU
+            while True:  # line 6
+                if col == i:
+                    # lines 12-18: the diagonal — write first, immediately
+                    bi = ctx.load(_sim.RHS, i)
+                    diag = ctx.load(_sim.VALUES, hi - 1)
+                    ctx.store(_sim.X, i, (bi - left_sum) / diag)
+                    yield ALU
+                    ctx.threadfence()
+                    yield ALU
+                    ctx.store(_sim.GET_VALUE, i, 1)
+                    yield ALU
+                    return
+                # lines 8-11: productive poll — the lane retries on later
+                # warp-steps while its warp-mates keep advancing, which is
+                # exactly the integrated last-element check of Section 4.1
+                # (a set flag proves col is not this row's diagonal).
+                yield Poll(_sim.GET_VALUE, col, 1)
+                left_sum += ctx.load(_sim.VALUES, j) * ctx.load(_sim.X, col)
+                yield ALU
+                j += 1
+                col = int(ctx.load(_sim.COL_IDX, j))
+
+        stats = engine.launch(kernel, _grid_threads(m, ws))
+        _sim.assert_all_solved(engine, m, self.name)
+        return SolveResult(
+            x=engine.memory.array(_sim.X).copy(),
+            solver_name=self.name,
+            exec_ms=device.cycles_to_ms(stats.cycles),
+            preprocess=_NO_PREPROCESSING,
+            stats=stats,
+            device=device,
+        )
+
+
+def _grid_threads(m: int, warp_size: int) -> int:
+    """Round the grid up to whole warps (threads past ``m`` exit at once)."""
+    return -(-m // warp_size) * warp_size

@@ -1,0 +1,39 @@
+"""Black-box model of the cuSPARSE SpTRSV (Section 2.4).
+
+cuSPARSE is closed source; the paper treats it as a black box with an
+observable profile: a short ``csrsv_analysis`` phase (Table 1), execution
+comparable to — usually slightly worse than — SyncFree on high-granularity
+matrices (Table 4), and the highest instruction-dependency stall
+percentage of the three algorithms (Table 6: 33-45%).
+
+We model it as a level-scheduled executor (the paper itself speculates a
+level-style internal structure from the analysis phase) with a cheap
+analysis pass and a *larger* inter-level overhead than our explicit
+level-set solver — reproducing its observable profile without claiming to
+know its internals.
+"""
+
+from __future__ import annotations
+
+from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.solvers.levelset import LevelSetSolver
+
+__all__ = ["CuSparseProxySolver"]
+
+
+class CuSparseProxySolver(LevelSetSolver):
+    """cuSPARSE ``csrsv`` stand-in (see module docstring)."""
+
+    name = "cuSPARSE"
+    storage_format = "CSR"
+    preprocessing_overhead = "low"
+    requires_synchronization = True  # observable stalls suggest barriers
+    processing_granularity = "unknown"
+
+    _prep_model = "cusparse"
+
+    def __init__(self, *, calibration: Calibration = DEFAULT_CALIBRATION) -> None:
+        super().__init__(calibration=calibration)
+
+    def _sync_cycles(self) -> float:
+        return self.calibration.cusparse_sync_cycles

@@ -1,0 +1,174 @@
+"""Vectorized host-side level-scheduled SpTRSV.
+
+The inspector-executor pattern from the paper's related work (Kulkarni
+et al., Pingali et al.): an *inspector* pass builds an execution plan —
+rows regrouped by level, their off-diagonal elements packed contiguously
+— and the *executor* then solves each level as a handful of dense numpy
+operations.  One gather + one segmented sum + one scaled store per
+level: O(nnz) total work with only ``n_levels`` interpreter iterations.
+
+This is the practical way to run large SpTRSVs in pure Python (the SIMT
+simulator is a measurement instrument, not a production path), and the
+plan is reusable: repeated solves against one factor — the iterative-
+solver pattern — pay the inspection once.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.levels import LevelSchedule, compute_levels
+from repro.gpu.device import DeviceSpec
+from repro.solvers.base import PreprocessInfo, SolveResult, SpTRSVSolver
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.triangular import check_solvable
+
+__all__ = ["ExecutionPlan", "HostLevelScheduleSolver", "build_plan"]
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """Inspector output: everything the executor needs, packed flat.
+
+    Attributes
+    ----------
+    schedule:
+        The level schedule the plan was built from.
+    rows:
+        All row indices, level by level (= ``schedule.order``).
+    row_ptr:
+        Element spans: row ``rows[k]``'s off-diagonal elements occupy
+        ``cols[row_ptr[k]:row_ptr[k+1]]`` / ``vals[...]``.
+    cols, vals:
+        Off-diagonal columns and values, packed in plan order.
+    diag:
+        Diagonal value per plan row.
+    level_ptr:
+        Plan-row spans per level (mirrors ``schedule.level_ptr``).
+    """
+
+    schedule: LevelSchedule
+    rows: np.ndarray
+    row_ptr: np.ndarray
+    cols: np.ndarray
+    vals: np.ndarray
+    diag: np.ndarray
+    level_ptr: np.ndarray
+
+    @property
+    def n_levels(self) -> int:
+        return self.schedule.n_levels
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Executor: one vectorized pass per level."""
+        b = np.asarray(b, dtype=np.float64)
+        n = len(self.rows)
+        x = np.zeros(n, dtype=np.float64)
+        rows, row_ptr = self.rows, self.row_ptr
+        cols, vals, diag = self.cols, self.vals, self.diag
+        lptr = self.level_ptr
+        nonempty_global = row_ptr[:-1] != row_ptr[1:]
+        for k in range(self.n_levels):
+            r0, r1 = int(lptr[k]), int(lptr[k + 1])
+            e0, e1 = int(row_ptr[r0]), int(row_ptr[r1])
+            level_rows = rows[r0:r1]
+            if e1 > e0:
+                contrib = vals[e0:e1] * x[cols[e0:e1]]
+                sums = np.zeros(r1 - r0, dtype=np.float64)
+                ne = nonempty_global[r0:r1]
+                if ne.any():
+                    starts = row_ptr[r0:r1][ne] - e0
+                    sums[ne] = np.add.reduceat(contrib, starts)
+                x[level_rows] = (b[level_rows] - sums) / diag[r0:r1]
+            else:
+                x[level_rows] = b[level_rows] / diag[r0:r1]
+        return x
+
+
+def build_plan(
+    L: CSRMatrix, *, schedule: LevelSchedule | None = None
+) -> ExecutionPlan:
+    """Inspector: pack ``L``'s off-diagonal elements in level order."""
+    check_solvable(L)
+    schedule = schedule or compute_levels(L)
+    order = schedule.order
+    # off-diagonal spans per original row (diagonal is last by contract)
+    off_lo = L.row_ptr[:-1]
+    off_hi = L.row_ptr[1:] - 1
+    lengths = (off_hi - off_lo).astype(np.int64)
+
+    plan_lengths = lengths[order]
+    row_ptr = np.zeros(L.n_rows + 1, dtype=np.int64)
+    np.cumsum(plan_lengths, out=row_ptr[1:])
+
+    total = int(row_ptr[-1])
+    # gather indices, vectorized: element e of plan row k maps to
+    # off_lo[order[k]] + (e - row_ptr[k])
+    src_base = np.repeat(off_lo[order], plan_lengths)
+    src_rel = np.arange(total, dtype=np.int64) - np.repeat(
+        row_ptr[:-1], plan_lengths
+    )
+    src = src_base + src_rel
+    cols = L.col_idx[src]
+    vals = L.values[src]
+    diag = L.values[L.row_ptr[1:] - 1][order]
+    return ExecutionPlan(
+        schedule=schedule,
+        rows=order.copy(),
+        row_ptr=row_ptr,
+        cols=cols,
+        vals=vals,
+        diag=diag,
+        level_ptr=schedule.level_ptr.copy(),
+    )
+
+
+class HostLevelScheduleSolver(SpTRSVSolver):
+    """Inspector-executor SpTRSV on the host (wall-clock timed).
+
+    Plans are cached per matrix identity, so repeated solves against the
+    same factor skip the inspector.
+    """
+
+    name = "HostVectorized"
+    storage_format = "CSR"
+    preprocessing_overhead = "high"
+    requires_synchronization = True
+    processing_granularity = "vector"
+
+    def __init__(self) -> None:
+        self._plan_cache: dict[int, ExecutionPlan] = {}
+
+    def plan_for(self, L: CSRMatrix) -> ExecutionPlan:
+        """The (cached) execution plan for ``L``."""
+        key = id(L)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            plan = build_plan(L)
+            self._plan_cache.clear()  # cache exactly one matrix
+            self._plan_cache[key] = plan
+        return plan
+
+    def _solve(
+        self, L: CSRMatrix, b: np.ndarray, device: DeviceSpec
+    ) -> SolveResult:
+        t0 = time.perf_counter()
+        plan = self.plan_for(L)
+        prep = time.perf_counter() - t0
+        t1 = time.perf_counter()
+        x = plan.solve(b)
+        dt = time.perf_counter() - t1
+        return SolveResult(
+            x=x,
+            solver_name=self.name,
+            exec_ms=dt * 1e3,
+            preprocess=PreprocessInfo(
+                description="inspector: level schedule + element packing "
+                "(cached across solves of the same matrix)",
+                host_seconds=prep,
+            ),
+            extra={"n_levels": plan.n_levels},
+        )

@@ -1,0 +1,146 @@
+"""Level-set SpTRSV (Algorithm 2; Anderson & Saad [1], Saltz [35]).
+
+Preprocessing partitions the components into level-sets (the expensive
+step Table 1 charges at hundreds of milliseconds for large matrices);
+execution then launches one grid per level — one thread per component,
+no flags needed because the schedule guarantees every dependency is
+already solved — with an inter-level synchronization cost per launch
+(the "costly synchronizations" of Section 2.2).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.analysis.levels import compute_levels
+from repro.gpu.counters import KernelStats
+from repro.gpu.device import DeviceSpec
+from repro.gpu.kernel import ALU, ThreadCtx
+from repro.perfmodel.calibration import (
+    Calibration,
+    DEFAULT_CALIBRATION,
+    preprocessing_model_ms,
+)
+from repro.solvers import _sim
+from repro.solvers.base import PreprocessInfo, SolveResult, SpTRSVSolver
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["LevelSetSolver"]
+
+
+class LevelSetSolver(SpTRSVSolver):
+    """Algorithm 2 on the SIMT simulator, one launch per level."""
+
+    name = "LevelSet"
+    storage_format = "CSR"
+    preprocessing_overhead = "high"
+    requires_synchronization = True
+    processing_granularity = "thread/warp"
+
+    #: preprocessing-model key (subclasses override; see CuSparseProxySolver)
+    _prep_model = "levelset"
+
+    def __init__(self, *, calibration: Calibration = DEFAULT_CALIBRATION) -> None:
+        self.calibration = calibration
+
+    def _sync_cycles(self) -> float:
+        """Inter-level synchronization cost per level (cycles)."""
+        return self.calibration.levelset_sync_cycles
+
+    def _solve(
+        self, L: CSRMatrix, b: np.ndarray, device: DeviceSpec
+    ) -> SolveResult:
+        # ---- preprocessing: the level-set partition ------------------
+        t0 = time.perf_counter()
+        schedule = compute_levels(L)
+        prep_host = time.perf_counter() - t0
+
+        engine = _sim.make_engine(device)
+        _sim.alloc_system(engine, L, b, with_flags=False)
+        engine.memory.alloc("order", schedule.order)
+
+        m = L.n_rows
+        stats: KernelStats | None = None
+        level_ptr = schedule.level_ptr
+        for k in range(schedule.n_levels):
+            base = int(level_ptr[k])
+            size = int(level_ptr[k + 1]) - base
+            launch_stats = engine.launch(
+                _make_level_kernel(base, size), max(size, 1)
+            )
+            stats = launch_stats if stats is None else stats.merged_with(launch_stats)
+        assert stats is not None  # n_levels >= 1 for a nonempty matrix
+
+        sync_cycles = int(self._sync_cycles() * schedule.n_levels)
+        exec_cycles = stats.cycles + sync_cycles
+        return SolveResult(
+            x=engine.memory.array(_sim.X).copy(),
+            solver_name=self.name,
+            exec_ms=device.cycles_to_ms(exec_cycles),
+            preprocess=PreprocessInfo(
+                description="level-set partition (layer / layer_num / order)",
+                modeled_ms=preprocessing_model_ms(
+                    self._prep_model,
+                    n_rows=m,
+                    nnz=L.nnz,
+                    n_levels=schedule.n_levels,
+                    calibration=self.calibration,
+                ),
+                host_seconds=prep_host,
+            ),
+            stats=_with_sync_overhead(stats, sync_cycles),
+            device=device,
+            extra={"n_levels": schedule.n_levels},
+        )
+
+
+def _make_level_kernel(base: int, size: int):
+    """Kernel solving the ``size`` components of one level (Algorithm 2
+    lines 3-8); thread ``t`` handles ``order[base + t]``."""
+
+    def kernel(ctx: ThreadCtx):
+        t = ctx.global_id
+        if t >= size:
+            return
+        row = int(ctx.load("order", base + t))  # line 3
+        lo = int(ctx.load(_sim.ROW_PTR, row))
+        hi = int(ctx.load(_sim.ROW_PTR, row + 1))
+        yield ALU
+        left_sum = 0.0
+        for j in range(lo, hi - 1):  # lines 5-6
+            col = int(ctx.load(_sim.COL_IDX, j))
+            left_sum += ctx.load(_sim.VALUES, j) * ctx.load(_sim.X, col)
+            yield ALU
+        bi = ctx.load(_sim.RHS, row)
+        diag = ctx.load(_sim.VALUES, hi - 1)
+        ctx.store(_sim.X, row, (bi - left_sum) / diag)  # lines 7-8
+        yield ALU
+
+    return kernel
+
+
+def _with_sync_overhead(stats: KernelStats, sync_cycles: int) -> KernelStats:
+    """Fold the modeled inter-level synchronization into the launch stats.
+
+    Synchronization cycles are dependency stalls (every warp of the next
+    level waits on the barrier — Section 2.2's bottleneck), and barrier
+    waiting executes spin instructions on real hardware, which is why the
+    paper's Figure 8(a) shows cuSPARSE executing the same order of
+    instructions as SyncFree despite doing less numeric work.
+    """
+    return KernelStats(
+        cycles=stats.cycles + sync_cycles,
+        warp_instructions=stats.warp_instructions,
+        spin_instructions=stats.spin_instructions + sync_cycles,
+        stall_cycles=stats.stall_cycles + sync_cycles,
+        active_lane_slots=stats.active_lane_slots,
+        idle_lane_slots=stats.idle_lane_slots,
+        warps_launched=stats.warps_launched,
+        dram_bytes=stats.dram_bytes,
+        cache_bytes=stats.cache_bytes,
+        flag_polls=stats.flag_polls,
+        fences=stats.fences,
+        mem_stall_cycles=stats.mem_stall_cycles,
+    )

@@ -1,0 +1,95 @@
+"""The naive thread-level SpTRSV — the paper's Challenge 1 (Section 3.3).
+
+This is what you get if you take the warp-level SyncFree algorithm and
+"just" assign one thread per row while keeping its blocking busy-wait:
+whenever a row depends on a component produced by another lane of the
+*same* warp, the spinning lane stops the whole lock-step warp — including
+the producer — and the kernel deadlocks.
+
+It is included deliberately: it demonstrates why Capellini's two-phase /
+writing-first designs are necessary, and it exercises the simulator's
+deadlock detection.  On matrices whose dependencies never stay inside a
+warp (e.g. a diagonal matrix, or any matrix when consecutive rows are
+independent within each aligned group of ``warp_size`` rows) it is
+correct and completes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.device import DeviceSpec
+from repro.gpu.kernel import ALU, SpinWait, ThreadCtx
+from repro.solvers import _sim
+from repro.solvers.base import PreprocessInfo, SolveResult, SpTRSVSolver
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["NaiveThreadSolver", "has_intra_warp_dependency"]
+
+
+def has_intra_warp_dependency(L: CSRMatrix, warp_size: int) -> bool:
+    """True if some element's producer row shares the consumer's warp.
+
+    Exactly the condition under which :class:`NaiveThreadSolver`
+    deadlocks (and the condition Capellini's phase split is built around).
+    """
+    rows = np.repeat(np.arange(L.n_rows, dtype=np.int64), L.row_lengths())
+    warp_of_row = rows // warp_size
+    warp_of_col = L.col_idx // warp_size
+    strict = L.col_idx < rows
+    return bool(np.any((warp_of_row == warp_of_col) & strict))
+
+
+class NaiveThreadSolver(SpTRSVSolver):
+    """One thread per row with blocking busy-waits (deadlocks; see module)."""
+
+    name = "NaiveThread"
+    storage_format = "CSR"
+    preprocessing_overhead = "none"
+    requires_synchronization = False
+    processing_granularity = "thread"
+
+    def _solve(
+        self, L: CSRMatrix, b: np.ndarray, device: DeviceSpec
+    ) -> SolveResult:
+        m = L.n_rows
+        ws = device.warp_size
+        engine = _sim.make_engine(device)
+        _sim.alloc_system(engine, L, b)
+
+        def kernel(ctx: ThreadCtx):
+            i = ctx.global_id
+            if i >= m:
+                return
+            lo = int(ctx.load(_sim.ROW_PTR, i))
+            hi = int(ctx.load(_sim.ROW_PTR, i + 1))
+            yield ALU
+            left_sum = 0.0
+            for j in range(lo, hi - 1):
+                col = int(ctx.load(_sim.COL_IDX, j))
+                yield ALU
+                # the fatal line: a blocking while-loop on a flag that may
+                # be owned by a lane of this very warp
+                yield SpinWait(_sim.GET_VALUE, col, 1)
+                left_sum += ctx.load(_sim.VALUES, j) * ctx.load(_sim.X, col)
+                yield ALU
+            bi = ctx.load(_sim.RHS, i)
+            diag = ctx.load(_sim.VALUES, hi - 1)
+            ctx.store(_sim.X, i, (bi - left_sum) / diag)
+            yield ALU
+            ctx.threadfence()
+            yield ALU
+            ctx.store(_sim.GET_VALUE, i, 1)
+            yield ALU
+
+        n_threads = -(-m // ws) * ws
+        stats = engine.launch(kernel, n_threads)  # may raise DeadlockError
+        _sim.assert_all_solved(engine, m, self.name)
+        return SolveResult(
+            x=engine.memory.array(_sim.X).copy(),
+            solver_name=self.name,
+            exec_ms=device.cycles_to_ms(stats.cycles),
+            preprocess=PreprocessInfo(description="none"),
+            stats=stats,
+            device=device,
+        )

@@ -1,0 +1,92 @@
+"""Host reference solvers.
+
+:class:`SerialReferenceSolver` is Algorithm 1 of the paper verbatim — the
+serial forward substitution every parallel variant must agree with.
+:class:`ScipyReferenceSolver` wraps ``scipy.sparse.linalg.spsolve_triangular``
+as an *independent* oracle (it shares no code with this repository), used
+by the test suite to cross-check our own reference.
+
+Both report host wall time as ``exec_ms``; they carry no kernel stats and
+never appear in the paper-comparison tables.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.gpu.device import DeviceSpec
+from repro.solvers.base import PreprocessInfo, SolveResult, SpTRSVSolver
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["SerialReferenceSolver", "ScipyReferenceSolver", "serial_sptrsv"]
+
+
+def serial_sptrsv(L: CSRMatrix, b: np.ndarray) -> np.ndarray:
+    """Algorithm 1: serial forward substitution over CSR.
+
+    The inner dot product is vectorized with numpy; the row loop is the
+    inherent sequential dependency of the algorithm.
+    """
+    n = L.n_rows
+    x = np.zeros(n, dtype=np.float64)
+    row_ptr, col_idx, values = L.row_ptr, L.col_idx, L.values
+    for i in range(n):
+        lo, hi = row_ptr[i], row_ptr[i + 1]
+        # all elements of the row except the last (the diagonal)
+        cols = col_idx[lo: hi - 1]
+        vals = values[lo: hi - 1]
+        left_sum = vals @ x[cols] if cols.size else 0.0
+        x[i] = (b[i] - left_sum) / values[hi - 1]
+    return x
+
+
+class SerialReferenceSolver(SpTRSVSolver):
+    """Algorithm 1 (basic SpTRSV) on the host."""
+
+    name = "Serial"
+    storage_format = "CSR"
+    preprocessing_overhead = "none"
+    requires_synchronization = False
+    processing_granularity = "serial"
+
+    def _solve(
+        self, L: CSRMatrix, b: np.ndarray, device: DeviceSpec
+    ) -> SolveResult:
+        t0 = time.perf_counter()
+        x = serial_sptrsv(L, b)
+        dt = time.perf_counter() - t0
+        return SolveResult(
+            x=x,
+            solver_name=self.name,
+            exec_ms=dt * 1e3,
+            preprocess=PreprocessInfo(description="none"),
+        )
+
+
+class ScipyReferenceSolver(SpTRSVSolver):
+    """Independent oracle via scipy's triangular solve."""
+
+    name = "SciPy"
+    storage_format = "CSR"
+    preprocessing_overhead = "none"
+    requires_synchronization = False
+    processing_granularity = "serial"
+
+    def _solve(
+        self, L: CSRMatrix, b: np.ndarray, device: DeviceSpec
+    ) -> SolveResult:
+        import scipy.sparse.linalg as spla
+
+        from repro.sparse.convert import csr_to_scipy
+
+        t0 = time.perf_counter()
+        x = spla.spsolve_triangular(csr_to_scipy(L), b, lower=True)
+        dt = time.perf_counter() - t0
+        return SolveResult(
+            x=np.asarray(x, dtype=np.float64),
+            solver_name=self.name,
+            exec_ms=dt * 1e3,
+            preprocess=PreprocessInfo(description="none"),
+        )

@@ -1,0 +1,56 @@
+"""Granularity-driven solver selection (the decision rule of Figure 6).
+
+The paper's Figure 6 shows the optimal-algorithm distribution over the
+(average nonzeros per row, average components per level) plane:
+CapelliniSpTRSV wins when levels are wide and rows are thin; SyncFree
+wins otherwise.  Equation 1 collapses the two axes into the parallel
+granularity, with 0.7 as the empirical crossover (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.features import MatrixFeatures, extract_features
+from repro.analysis.granularity import HIGH_GRANULARITY_THRESHOLD
+from repro.solvers.base import SpTRSVSolver
+from repro.solvers.capellini import (
+    TwoPhaseCapelliniSolver,
+    WritingFirstCapelliniSolver,
+)
+from repro.solvers.cusparse_proxy import CuSparseProxySolver
+from repro.solvers.levelset import LevelSetSolver
+from repro.solvers.syncfree import SyncFreeSolver
+from repro.solvers.syncfree_csc import SyncFreeCSCSolver
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["select_solver", "ALL_SIMULATED_SOLVERS"]
+
+#: Factories for every simulated algorithm the evaluation compares.
+ALL_SIMULATED_SOLVERS: tuple[type[SpTRSVSolver], ...] = (
+    LevelSetSolver,
+    CuSparseProxySolver,
+    SyncFreeSolver,
+    SyncFreeCSCSolver,
+    TwoPhaseCapelliniSolver,
+    WritingFirstCapelliniSolver,
+)
+
+
+def select_solver(
+    matrix_or_features: CSRMatrix | MatrixFeatures,
+    *,
+    threshold: float = HIGH_GRANULARITY_THRESHOLD,
+) -> SpTRSVSolver:
+    """Pick the solver the paper's evidence says should win.
+
+    High parallel granularity (wide levels, thin rows) → thread-level
+    Writing-First Capellini; otherwise the warp-level SyncFree baseline.
+    Accepts a matrix (features are computed, including the level
+    schedule) or precomputed :class:`MatrixFeatures`.
+    """
+    if isinstance(matrix_or_features, MatrixFeatures):
+        features = matrix_or_features
+    else:
+        features = extract_features(matrix_or_features)
+    if features.granularity > threshold:
+        return WritingFirstCapelliniSolver()
+    return SyncFreeSolver()

@@ -1,0 +1,121 @@
+"""Warp-level synchronization-free SpTRSV (Algorithm 3; Liu et al. [20]).
+
+One warp solves one component: lanes stride over the row's off-diagonal
+elements, each busy-waiting (blocking spin) until the element's producer
+flag is up, then the warp tree-reduces the partial sums in shared memory
+and lane 0 publishes the component.  Dependencies always point to earlier
+*rows* — other warps — so the blocking spin is deadlock-free, which is
+precisely why this design is stuck at warp granularity: moving to one
+thread per row would move producers into the spinning warp itself
+(Section 3.3, Challenge 1; see :mod:`repro.solvers.naive_thread`).
+
+The paper's baseline operates on CSC; Algorithm 3 as printed (and this
+implementation) indexes CSR arrays, with the format-conversion cost the
+CSC variant would impose charged to preprocessing per Section 2.3.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.gpu.device import DeviceSpec
+from repro.gpu.kernel import ALU, WARP_SYNC, SpinWait, ThreadCtx
+from repro.perfmodel.calibration import preprocessing_model_ms
+from repro.solvers import _sim
+from repro.solvers.base import PreprocessInfo, SolveResult, SpTRSVSolver
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["SyncFreeSolver"]
+
+
+class SyncFreeSolver(SpTRSVSolver):
+    """Warp-level SyncFree SpTRSV on the SIMT simulator."""
+
+    name = "SyncFree"
+    storage_format = "CSC"
+    preprocessing_overhead = "low"
+    requires_synchronization = False
+    processing_granularity = "warp"
+
+    def _solve(
+        self, L: CSRMatrix, b: np.ndarray, device: DeviceSpec
+    ) -> SolveResult:
+        m = L.n_rows
+        ws = device.warp_size
+        t0 = time.perf_counter()
+        engine = _sim.make_engine(device)
+        _sim.alloc_system(engine, L, b)
+        prep_host = time.perf_counter() - t0
+
+        def kernel(ctx: ThreadCtx):
+            # Algorithm 3: one concurrent warp per component.
+            i = ctx.warp_id
+            if i >= m:
+                return
+            lane = ctx.lane_id
+            lo = int(ctx.load(_sim.ROW_PTR, i))
+            hi = int(ctx.load(_sim.ROW_PTR, i + 1))
+            yield ALU  # row bounds + address setup
+
+            # lines 7-12: strided accumulation with busy-wait per element
+            acc = 0.0
+            j = lo + lane
+            while j < hi - 1:
+                col = int(ctx.load(_sim.COL_IDX, j))
+                yield ALU
+                yield SpinWait(_sim.GET_VALUE, col, 1)  # lines 10-11
+                acc += ctx.load(_sim.VALUES, j) * ctx.load(_sim.X, col)
+                yield ALU  # line 12
+                j += ctx.warp_size
+
+            # line 13: stage the partial sum in shared memory
+            ctx.shared_write(lane, acc)
+            yield WARP_SYNC
+
+            # lines 14-17: tree reduction over the warp
+            # tree reduction; the start width is the next power of two
+            # half so non-power-of-two warp sizes (e.g. the paper's
+            # 3-thread Figure 2 device) reduce correctly
+            add_len = 1
+            while add_len * 2 < ctx.warp_size:
+                add_len *= 2
+            while add_len > 0:
+                if lane < add_len and lane + add_len < ctx.warp_size:
+                    ctx.shared_write(
+                        lane,
+                        ctx.shared_read(lane) + ctx.shared_read(lane + add_len),
+                    )
+                yield WARP_SYNC
+                add_len //= 2
+
+            # lines 18-22: lane 0 publishes the component
+            if lane == 0:
+                bi = ctx.load(_sim.RHS, i)
+                diag = ctx.load(_sim.VALUES, hi - 1)
+                xi = (bi - ctx.shared_read(0)) / diag
+                ctx.store(_sim.X, i, xi)
+                yield ALU
+                ctx.threadfence()
+                yield ALU
+                ctx.store(_sim.GET_VALUE, i, 1)
+                yield ALU
+
+        stats = engine.launch(kernel, m * ws, shared_per_warp=ws)
+        _sim.assert_all_solved(engine, m, self.name)
+        return SolveResult(
+            x=engine.memory.array(_sim.X).copy(),
+            solver_name=self.name,
+            exec_ms=device.cycles_to_ms(stats.cycles),
+            preprocess=PreprocessInfo(
+                description="flag-array malloc/memset (+ CSC conversion "
+                "charged per Section 2.3)",
+                modeled_ms=preprocessing_model_ms(
+                    "syncfree", n_rows=m, nnz=L.nnz
+                ),
+                host_seconds=prep_host,
+            ),
+            stats=stats,
+            device=device,
+        )

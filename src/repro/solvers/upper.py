@@ -1,0 +1,78 @@
+"""Upper-triangular solves via index reversal.
+
+Every solver in this package is written for lower triangular systems.
+``U x = b`` reduces to a lower solve under the anti-transpose (reverse)
+permutation ``P`` that maps index ``i`` to ``n-1-i``:
+
+.. math::  U x = b  \\iff  (P U P) (P x) = (P b)
+
+and ``P U P`` is lower triangular with each diagonal stored as the last
+element of its row — exactly this library's input contract.  The
+reversal is O(nnz), done once per call; callers solving repeatedly
+should reverse once via :func:`reverse_matrix` and keep the result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NotTriangularError
+from repro.gpu.device import DeviceSpec, SIM_SMALL
+from repro.solvers.base import SpTRSVSolver
+from repro.sparse.coo import COOMatrix
+from repro.sparse.convert import coo_to_csr, csr_to_coo
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["reverse_matrix", "is_upper_triangular", "solve_upper"]
+
+
+def is_upper_triangular(csr: CSRMatrix, *, require_diagonal: bool = True) -> bool:
+    """True iff every stored element satisfies ``col >= row`` (and each
+    row's first element is its diagonal, when required)."""
+    if not csr.is_square:
+        return False
+    rows = np.repeat(np.arange(csr.n_rows, dtype=np.int64), csr.row_lengths())
+    if np.any(csr.col_idx < rows):
+        return False
+    if require_diagonal:
+        if np.any(csr.row_lengths() == 0):
+            return False
+        first = csr.col_idx[csr.row_ptr[:-1]]
+        if np.any(first != np.arange(csr.n_rows)):
+            return False
+    return True
+
+
+def reverse_matrix(csr: CSRMatrix) -> CSRMatrix:
+    """The anti-transpose reindexing: ``B[i, j] = A[n-1-i, n-1-j]``.
+
+    Maps upper triangular to lower triangular (and back); involutive.
+    """
+    if not csr.is_square:
+        raise NotTriangularError(
+            f"reverse_matrix needs a square matrix, got {csr.shape}"
+        )
+    n = csr.n_rows
+    coo = csr_to_coo(csr)
+    return coo_to_csr(
+        COOMatrix(n, n, n - 1 - coo.rows, n - 1 - coo.cols, coo.values)
+    )
+
+
+def solve_upper(
+    solver: SpTRSVSolver,
+    U: CSRMatrix,
+    b: np.ndarray,
+    *,
+    device: DeviceSpec = SIM_SMALL,
+) -> np.ndarray:
+    """Solve ``U x = b`` with any lower-triangular SpTRSV solver."""
+    if not is_upper_triangular(U, require_diagonal=True):
+        raise NotTriangularError(
+            "solve_upper needs an upper triangular matrix with explicit "
+            "diagonals stored first in each row"
+        )
+    b = np.asarray(b, dtype=np.float64)
+    L_rev = reverse_matrix(U)
+    y = solver.solve(L_rev, b[::-1].copy(), device=device).x
+    return y[::-1].copy()

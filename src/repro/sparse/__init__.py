@@ -1,0 +1,57 @@
+"""Sparse matrix containers and format utilities.
+
+The paper's algorithms operate on the compressed sparse row (CSR) format
+(Section 2.1, Figure 1); the warp-level SyncFree baseline of Liu et al. is
+formulated on compressed sparse column (CSC).  This package provides small,
+strictly-validated containers for both (plus COO as an assembly format),
+loss-free conversions between them, Matrix Market I/O, and the
+lower-triangularization preprocessing the paper applies to its dataset
+(Section 5.1: keep the lower-left elements, set a unit diagonal).
+"""
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.convert import (
+    coo_to_csr,
+    csc_to_csr,
+    csr_to_coo,
+    csr_to_csc,
+    csr_to_dense,
+    csr_to_scipy,
+    dense_to_csr,
+    scipy_to_csr,
+)
+from repro.sparse.triangular import (
+    TriangularSystem,
+    check_solvable,
+    is_lower_triangular,
+    is_unit_diagonal,
+    lower_triangular_system,
+    make_unit_lower_triangular,
+    strict_lower_part,
+)
+from repro.sparse.io_mm import read_matrix_market, write_matrix_market
+
+__all__ = [
+    "COOMatrix",
+    "CSCMatrix",
+    "CSRMatrix",
+    "coo_to_csr",
+    "csc_to_csr",
+    "csr_to_coo",
+    "csr_to_csc",
+    "csr_to_dense",
+    "csr_to_scipy",
+    "dense_to_csr",
+    "scipy_to_csr",
+    "TriangularSystem",
+    "check_solvable",
+    "is_lower_triangular",
+    "is_unit_diagonal",
+    "lower_triangular_system",
+    "make_unit_lower_triangular",
+    "strict_lower_part",
+    "read_matrix_market",
+    "write_matrix_market",
+]

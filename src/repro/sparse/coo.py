@@ -1,0 +1,90 @@
+"""Coordinate (COO) matrix container — the assembly format.
+
+Generators build matrices as unordered (row, col, value) triples; COO is
+the natural container for that, with duplicate summing and sorting handled
+at conversion time rather than per-generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SparseFormatError
+
+__all__ = ["COOMatrix"]
+
+
+@dataclass(frozen=True)
+class COOMatrix:
+    """A sparse matrix as parallel (rows, cols, values) triples.
+
+    Unlike the compressed containers, COO places no ordering requirement on
+    its entries and duplicates are allowed (they sum on conversion), which
+    is what makes it convenient for assembly.
+    """
+
+    n_rows: int
+    n_cols: int
+    rows: np.ndarray
+    cols: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rows", np.ascontiguousarray(self.rows, dtype=np.int64))
+        object.__setattr__(self, "cols", np.ascontiguousarray(self.cols, dtype=np.int64))
+        object.__setattr__(
+            self, "values", np.ascontiguousarray(self.values, dtype=np.float64)
+        )
+        self._validate()
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored triples (duplicates counted individually)."""
+        return len(self.values)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.n_rows, self.n_cols)
+
+    def deduplicated(self) -> "COOMatrix":
+        """Return an equivalent COO with duplicate coordinates summed."""
+        if self.nnz == 0:
+            return self
+        keys = self.rows * self.n_cols + self.cols
+        order = np.argsort(keys, kind="stable")
+        keys_sorted = keys[order]
+        uniq_mask = np.empty(len(keys_sorted), dtype=bool)
+        uniq_mask[0] = True
+        uniq_mask[1:] = keys_sorted[1:] != keys_sorted[:-1]
+        group_ids = np.cumsum(uniq_mask) - 1
+        summed = np.zeros(int(group_ids[-1]) + 1, dtype=np.float64)
+        np.add.at(summed, group_ids, self.values[order])
+        uniq_keys = keys_sorted[uniq_mask]
+        return COOMatrix(
+            self.n_rows,
+            self.n_cols,
+            uniq_keys // self.n_cols,
+            uniq_keys % self.n_cols,
+            summed,
+        )
+
+    def _validate(self) -> None:
+        if self.n_rows < 0 or self.n_cols < 0:
+            raise SparseFormatError("matrix dimensions must be non-negative")
+        if not (self.rows.shape == self.cols.shape == self.values.shape):
+            raise SparseFormatError(
+                "rows, cols and values must have identical shapes, got "
+                f"{self.rows.shape}, {self.cols.shape}, {self.values.shape}"
+            )
+        if self.rows.ndim != 1:
+            raise SparseFormatError("COO arrays must be one-dimensional")
+        if self.nnz:
+            if self.rows.min() < 0 or self.rows.max() >= self.n_rows:
+                raise SparseFormatError("row index out of range")
+            if self.cols.min() < 0 or self.cols.max() >= self.n_cols:
+                raise SparseFormatError("column index out of range")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"COOMatrix(shape={self.shape}, nnz={self.nnz})"

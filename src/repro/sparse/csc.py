@@ -1,0 +1,109 @@
+"""Compressed sparse column (CSC) matrix container.
+
+The warp-level SyncFree baseline of Liu et al. (the paper's [20]) is
+formulated on CSC; the paper stresses that needing CSC forces a format
+conversion that Capellini avoids.  We provide the container so the baseline
+can be expressed in its native format and so the conversion cost itself can
+be measured (it is part of the "preprocessing" the paper charges to
+SyncFree when the input arrives as CSR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SparseFormatError
+
+__all__ = ["CSCMatrix"]
+
+
+@dataclass(frozen=True)
+class CSCMatrix:
+    """A sparse matrix in CSC format.
+
+    ``col_ptr`` has length ``n_cols + 1``; ``row_idx``/``values`` store the
+    row index and value of each element, ordered column-major with strictly
+    increasing row indices inside each column.
+    """
+
+    n_rows: int
+    n_cols: int
+    col_ptr: np.ndarray
+    row_idx: np.ndarray
+    values: np.ndarray
+    _validated: bool = field(default=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "col_ptr", np.ascontiguousarray(self.col_ptr, dtype=np.int64)
+        )
+        object.__setattr__(
+            self, "row_idx", np.ascontiguousarray(self.row_idx, dtype=np.int64)
+        )
+        object.__setattr__(
+            self, "values", np.ascontiguousarray(self.values, dtype=np.float64)
+        )
+        if not self._validated:
+            self._validate()
+            object.__setattr__(self, "_validated", True)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.col_ptr[-1])
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.n_rows, self.n_cols)
+
+    def col_lengths(self) -> np.ndarray:
+        """Number of stored elements in each column."""
+        return np.diff(self.col_ptr)
+
+    def column(self, j: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(rows, values)`` views of column ``j``."""
+        if not 0 <= j < self.n_cols:
+            raise IndexError(f"column {j} out of range for {self.n_cols} columns")
+        lo, hi = int(self.col_ptr[j]), int(self.col_ptr[j + 1])
+        return self.row_idx[lo:hi], self.values[lo:hi]
+
+    def _validate(self) -> None:
+        if self.n_rows < 0 or self.n_cols < 0:
+            raise SparseFormatError("matrix dimensions must be non-negative")
+        if self.col_ptr.ndim != 1 or len(self.col_ptr) != self.n_cols + 1:
+            raise SparseFormatError(
+                f"col_ptr must have length n_cols+1={self.n_cols + 1}, "
+                f"got {self.col_ptr.shape}"
+            )
+        if self.col_ptr.size and self.col_ptr[0] != 0:
+            raise SparseFormatError("col_ptr[0] must be 0")
+        if np.any(np.diff(self.col_ptr) < 0):
+            raise SparseFormatError("col_ptr must be non-decreasing")
+        nnz = int(self.col_ptr[-1]) if self.col_ptr.size else 0
+        if self.row_idx.shape != (nnz,):
+            raise SparseFormatError(
+                f"row_idx has shape {self.row_idx.shape}, expected ({nnz},)"
+            )
+        if self.values.shape != (nnz,):
+            raise SparseFormatError(
+                f"values has shape {self.values.shape}, expected ({nnz},)"
+            )
+        if nnz:
+            if self.row_idx.min() < 0 or self.row_idx.max() >= self.n_rows:
+                raise SparseFormatError("row index out of range")
+            starts = self.col_ptr[:-1]
+            diffs = np.diff(self.row_idx)
+            col_break = np.zeros(max(nnz - 1, 0), dtype=bool)
+            inner = starts[(starts > 0) & (starts < nnz)]
+            col_break[inner - 1] = True
+            bad = (diffs <= 0) & ~col_break
+            if np.any(bad):
+                pos = int(np.nonzero(bad)[0][0])
+                raise SparseFormatError(
+                    "rows within a column must be strictly increasing "
+                    f"(violated at element {pos})"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CSCMatrix(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,208 @@
+"""Compressed sparse row (CSR) matrix container.
+
+This is the format every Capellini kernel consumes directly (the paper's
+third headline feature: no format conversion needed).  The container mirrors
+Figure 1(c) of the paper: ``row_ptr`` (csrRowPtr), ``col_idx`` (csrColIdx)
+and ``values`` (csrVal).
+
+The container is deliberately minimal and immutable-by-convention: the
+solver kernels index the three arrays exactly the way the paper's
+pseudocode does, so we keep them as plain contiguous numpy arrays rather
+than wrapping scipy.  Validation is strict — a malformed CSR matrix would
+otherwise surface as a wrong *solution*, which is much harder to debug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SparseFormatError
+
+__all__ = ["CSRMatrix"]
+
+
+@dataclass(frozen=True)
+class CSRMatrix:
+    """A sparse matrix in CSR format.
+
+    Parameters
+    ----------
+    n_rows, n_cols:
+        Matrix dimensions.
+    row_ptr:
+        ``int64`` array of length ``n_rows + 1``; ``row_ptr[i]`` is the
+        offset of the first stored element of row ``i`` in ``col_idx`` /
+        ``values`` and ``row_ptr[n_rows] == nnz``.
+    col_idx:
+        ``int64`` array of length ``nnz`` with the column of each element.
+        Within one row, columns must be strictly increasing — the Capellini
+        kernels rely on the diagonal being the *last* element of its row
+        (Algorithm 5, line 12).
+    values:
+        ``float64`` array of length ``nnz``.
+    """
+
+    n_rows: int
+    n_cols: int
+    row_ptr: np.ndarray
+    col_idx: np.ndarray
+    values: np.ndarray
+    _validated: bool = field(default=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "row_ptr", _as_index_array(self.row_ptr))
+        object.__setattr__(self, "col_idx", _as_index_array(self.col_idx))
+        object.__setattr__(
+            self, "values", np.ascontiguousarray(self.values, dtype=np.float64)
+        )
+        if not self._validated:
+            self._validate()
+            object.__setattr__(self, "_validated", True)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_arrays(
+        cls,
+        row_ptr: np.ndarray,
+        col_idx: np.ndarray,
+        values: np.ndarray,
+        *,
+        n_cols: int | None = None,
+    ) -> "CSRMatrix":
+        """Build a :class:`CSRMatrix`, inferring shape from the arrays."""
+        row_ptr = _as_index_array(row_ptr)
+        n_rows = len(row_ptr) - 1
+        if n_cols is None:
+            col_idx = _as_index_array(col_idx)
+            n_cols = int(col_idx.max()) + 1 if col_idx.size else n_rows
+        return cls(n_rows, n_cols, row_ptr, col_idx, values)
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored (structurally nonzero) elements."""
+        return int(self.row_ptr[-1])
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.n_rows, self.n_cols)
+
+    @property
+    def is_square(self) -> bool:
+        return self.n_rows == self.n_cols
+
+    def row_lengths(self) -> np.ndarray:
+        """Number of stored elements in each row (``nnz_row`` per row)."""
+        return np.diff(self.row_ptr)
+
+    def avg_nnz_per_row(self) -> float:
+        """The paper's ``nnz_row`` statistic (Section 3.2)."""
+        if self.n_rows == 0:
+            return 0.0
+        return self.nnz / self.n_rows
+
+    # ------------------------------------------------------------------
+    # element access (convenience, not used in hot paths)
+    # ------------------------------------------------------------------
+    def row(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(columns, values)`` views of row ``i``."""
+        if not 0 <= i < self.n_rows:
+            raise IndexError(f"row {i} out of range for {self.n_rows} rows")
+        lo, hi = int(self.row_ptr[i]), int(self.row_ptr[i + 1])
+        return self.col_idx[lo:hi], self.values[lo:hi]
+
+    def diagonal(self) -> np.ndarray:
+        """Dense array of diagonal values (0.0 where the diagonal is absent)."""
+        diag = np.zeros(min(self.n_rows, self.n_cols), dtype=np.float64)
+        for i in range(len(diag)):
+            cols, vals = self.row(i)
+            hit = np.nonzero(cols == i)[0]
+            if hit.size:
+                diag[i] = vals[hit[0]]
+        return diag
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Dense ``A @ x`` — used by tests to verify solver residuals."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.n_cols,):
+            raise ValueError(f"x has shape {x.shape}, expected ({self.n_cols},)")
+        contrib = self.values * x[self.col_idx]
+        out = np.zeros(self.n_rows, dtype=np.float64)
+        # reduceat needs a guard for empty rows; add.reduceat on row_ptr[:-1]
+        # misbehaves when a row is empty, so use bincount on a row-id vector.
+        row_ids = np.repeat(np.arange(self.n_rows), self.row_lengths())
+        np.add.at(out, row_ids, contrib)
+        return out
+
+    def with_values(self, values: np.ndarray) -> "CSRMatrix":
+        """Return a matrix with the same pattern but new values."""
+        values = np.ascontiguousarray(values, dtype=np.float64)
+        if values.shape != self.values.shape:
+            raise ValueError(
+                f"values has shape {values.shape}, expected {self.values.shape}"
+            )
+        return CSRMatrix(
+            self.n_rows, self.n_cols, self.row_ptr, self.col_idx, values,
+            _validated=True,
+        )
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        if self.n_rows < 0 or self.n_cols < 0:
+            raise SparseFormatError("matrix dimensions must be non-negative")
+        if self.row_ptr.ndim != 1 or len(self.row_ptr) != self.n_rows + 1:
+            raise SparseFormatError(
+                f"row_ptr must have length n_rows+1={self.n_rows + 1}, "
+                f"got {self.row_ptr.shape}"
+            )
+        if self.row_ptr.size and self.row_ptr[0] != 0:
+            raise SparseFormatError("row_ptr[0] must be 0")
+        if np.any(np.diff(self.row_ptr) < 0):
+            raise SparseFormatError("row_ptr must be non-decreasing")
+        nnz = int(self.row_ptr[-1]) if self.row_ptr.size else 0
+        if self.col_idx.shape != (nnz,):
+            raise SparseFormatError(
+                f"col_idx has shape {self.col_idx.shape}, expected ({nnz},)"
+            )
+        if self.values.shape != (nnz,):
+            raise SparseFormatError(
+                f"values has shape {self.values.shape}, expected ({nnz},)"
+            )
+        if nnz:
+            if self.col_idx.min() < 0 or self.col_idx.max() >= self.n_cols:
+                raise SparseFormatError("column index out of range")
+            # strictly increasing columns within each row
+            starts = self.row_ptr[:-1]
+            ends = self.row_ptr[1:]
+            diffs = np.diff(self.col_idx)
+            # positions where a new row begins mask out the cross-row diff
+            row_break = np.zeros(max(nnz - 1, 0), dtype=bool)
+            inner = starts[(starts > 0) & (starts < nnz)]
+            row_break[inner - 1] = True
+            bad = (diffs <= 0) & ~row_break
+            if np.any(bad):
+                pos = int(np.nonzero(bad)[0][0])
+                raise SparseFormatError(
+                    "columns within a row must be strictly increasing "
+                    f"(violated at element {pos}: col {self.col_idx[pos]} -> "
+                    f"{self.col_idx[pos + 1]})"
+                )
+            _ = ends  # ends participates only via starts/diff logic
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CSRMatrix(shape={self.shape}, nnz={self.nnz}, "
+            f"avg_nnz_per_row={self.avg_nnz_per_row():.2f})"
+        )
+
+
+def _as_index_array(arr: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(arr, dtype=np.int64)

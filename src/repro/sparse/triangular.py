@@ -1,0 +1,153 @@
+"""Lower-triangular structure utilities.
+
+Section 5.1 of the paper: "To ensure the matrices are lower triangular (we
+use unit-lower triangular here), we keep only the lower-left elements and
+assign values to the diagonal elements."  :func:`make_unit_lower_triangular`
+implements exactly that preprocessing, and :func:`lower_triangular_system`
+packages a matrix with a right-hand side whose exact solution is known, so
+every solver can be checked without running a reference solve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import NotTriangularError, SingularMatrixError
+from repro.sparse.coo import COOMatrix
+from repro.sparse.convert import coo_to_csr, csr_to_coo
+from repro.sparse.csr import CSRMatrix
+
+__all__ = [
+    "is_lower_triangular",
+    "is_unit_diagonal",
+    "strict_lower_part",
+    "make_unit_lower_triangular",
+    "lower_triangular_system",
+    "TriangularSystem",
+    "check_solvable",
+]
+
+
+def is_lower_triangular(csr: CSRMatrix, *, require_diagonal: bool = True) -> bool:
+    """True iff every stored element satisfies ``col <= row`` and (optionally)
+    every row stores its diagonal element as its last entry."""
+    if not csr.is_square:
+        return False
+    rows = np.repeat(np.arange(csr.n_rows, dtype=np.int64), csr.row_lengths())
+    if np.any(csr.col_idx > rows):
+        return False
+    if require_diagonal:
+        lengths = csr.row_lengths()
+        if np.any(lengths == 0):
+            return False
+        last = csr.col_idx[csr.row_ptr[1:] - 1]
+        if np.any(last != np.arange(csr.n_rows)):
+            return False
+    return True
+
+
+def is_unit_diagonal(csr: CSRMatrix) -> bool:
+    """True iff the matrix is lower triangular with an all-ones diagonal."""
+    if not is_lower_triangular(csr, require_diagonal=True):
+        return False
+    diag_vals = csr.values[csr.row_ptr[1:] - 1]
+    return bool(np.all(diag_vals == 1.0))
+
+
+def strict_lower_part(csr: CSRMatrix) -> CSRMatrix:
+    """Drop every element with ``col >= row`` (the paper's "lower-left")."""
+    coo = csr_to_coo(csr)
+    keep = coo.cols < coo.rows
+    return coo_to_csr(
+        COOMatrix(csr.n_rows, csr.n_cols, coo.rows[keep], coo.cols[keep],
+                  coo.values[keep])
+    )
+
+
+def make_unit_lower_triangular(csr: CSRMatrix) -> CSRMatrix:
+    """Apply the paper's dataset preprocessing (Section 5.1).
+
+    Keeps the strictly-lower-triangular pattern of ``csr`` and installs a
+    unit diagonal, producing a nonsingular lower triangular matrix with the
+    same dependency structure as the original sparsity pattern.
+    """
+    if not csr.is_square:
+        raise NotTriangularError(
+            f"cannot triangularize a non-square matrix of shape {csr.shape}"
+        )
+    coo = csr_to_coo(csr)
+    keep = coo.cols < coo.rows
+    rows = np.concatenate([coo.rows[keep], np.arange(csr.n_rows, dtype=np.int64)])
+    cols = np.concatenate([coo.cols[keep], np.arange(csr.n_rows, dtype=np.int64)])
+    vals = np.concatenate([coo.values[keep], np.ones(csr.n_rows)])
+    return coo_to_csr(COOMatrix(csr.n_rows, csr.n_cols, rows, cols, vals))
+
+
+@dataclass(frozen=True)
+class TriangularSystem:
+    """A solvable system ``L x = b`` with known exact solution.
+
+    Attributes
+    ----------
+    L:
+        Unit (or general) lower triangular matrix in CSR format.
+    b:
+        Right-hand side, computed as ``L @ x_true``.
+    x_true:
+        The exact solution used to manufacture ``b``.
+    """
+
+    L: CSRMatrix
+    b: np.ndarray
+    x_true: np.ndarray
+
+    @property
+    def n(self) -> int:
+        return self.L.n_rows
+
+
+def lower_triangular_system(
+    L: CSRMatrix,
+    *,
+    rng: np.random.Generator | None = None,
+    x_true: np.ndarray | None = None,
+) -> TriangularSystem:
+    """Manufacture ``b = L @ x_true`` for a known ``x_true``.
+
+    This is how the experiment harness builds right-hand sides: the solution
+    is known by construction, so correctness checks are exact rather than
+    residual-based.
+    """
+    check_solvable(L)
+    if x_true is None:
+        rng = rng or np.random.default_rng(0)
+        # Values in [0.5, 1.5) keep the solve well conditioned and avoid
+        # cancellation that would mask indexing bugs with small residuals.
+        x_true = rng.uniform(0.5, 1.5, size=L.n_rows)
+    else:
+        x_true = np.asarray(x_true, dtype=np.float64)
+        if x_true.shape != (L.n_rows,):
+            raise ValueError(
+                f"x_true has shape {x_true.shape}, expected ({L.n_rows},)"
+            )
+    b = L.matvec(x_true)
+    return TriangularSystem(L=L, b=b, x_true=x_true)
+
+
+def check_solvable(L: CSRMatrix) -> None:
+    """Raise unless ``L`` is square, lower triangular with each diagonal
+    stored (nonzero) as the last element of its row — the preconditions
+    every solver in :mod:`repro.solvers` relies on."""
+    if not L.is_square:
+        raise NotTriangularError(f"matrix must be square, got shape {L.shape}")
+    if not is_lower_triangular(L, require_diagonal=True):
+        raise NotTriangularError(
+            "matrix must be lower triangular with an explicit diagonal stored "
+            "as the last element of each row"
+        )
+    diag_vals = L.values[L.row_ptr[1:] - 1]
+    if np.any(diag_vals == 0.0):
+        i = int(np.nonzero(diag_vals == 0.0)[0][0])
+        raise SingularMatrixError(f"zero diagonal at row {i}")

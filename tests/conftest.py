@@ -1,0 +1,73 @@
+"""Shared fixtures and matrix builders for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.convert import coo_to_csr
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.triangular import lower_triangular_system
+
+
+def build_csr(entries: dict[tuple[int, int], float], n: int) -> CSRMatrix:
+    """Build a CSR matrix from a {(row, col): value} dict."""
+    rows = np.array([r for r, _ in entries], dtype=np.int64)
+    cols = np.array([c for _, c in entries], dtype=np.int64)
+    vals = np.array(list(entries.values()), dtype=np.float64)
+    return coo_to_csr(COOMatrix(n, n, rows, cols, vals))
+
+
+def fig1_matrix() -> CSRMatrix:
+    """The paper's Figure 1 example: an 8x8 unit lower triangular matrix
+    with four level-sets {0,1}, {2,4}, {3,5}, {6,7}.
+
+    The off-diagonal pattern matches the elements the paper's Figure 2
+    walkthrough names — L(2,1), L(3,1), L(3,2), L(4,0), L(4,1), L(5,2) —
+    completed with two tail rows so every level holds two components.
+    """
+    entries = {
+        (0, 0): 1.0,
+        (1, 1): 1.0,
+        (2, 1): 0.5, (2, 2): 1.0,
+        (3, 1): 0.25, (3, 2): 0.25, (3, 3): 1.0,
+        (4, 0): 0.5, (4, 1): 0.25, (4, 4): 1.0,
+        (5, 2): 0.5, (5, 5): 1.0,
+        (6, 3): 0.5, (6, 6): 1.0,
+        (7, 5): 0.5, (7, 7): 1.0,
+    }
+    return build_csr(entries, 8)
+
+
+def random_unit_lower(
+    n: int, density: float, seed: int = 0
+) -> CSRMatrix:
+    """Random unit-lower-triangular matrix with ~density strict fill."""
+    from repro.sparse.convert import dense_to_csr
+    from repro.sparse.triangular import make_unit_lower_triangular
+
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((n, n)) < density) * rng.uniform(0.1, 1.0, (n, n))
+    return make_unit_lower_triangular(dense_to_csr(dense))
+
+
+@pytest.fixture
+def fig1():
+    return fig1_matrix()
+
+
+@pytest.fixture
+def fig1_system(fig1):
+    return lower_triangular_system(fig1, rng=np.random.default_rng(7))
+
+
+@pytest.fixture
+def small_random():
+    """A 120-row random lower triangular matrix (mid granularity)."""
+    return random_unit_lower(120, 0.05, seed=3)
+
+
+@pytest.fixture
+def small_random_system(small_random):
+    return lower_triangular_system(small_random, rng=np.random.default_rng(11))

@@ -1,0 +1,172 @@
+"""Generator tests: every domain yields solvable, well-shaped matrices."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.features import extract_features
+from repro.analysis.levels import compute_levels
+from repro.datasets import generate, list_generators
+from repro.datasets.base import finalize_pattern
+from repro.datasets.domains import (
+    circuit,
+    combinatorial,
+    linear_programming,
+    optimization_kkt,
+)
+from repro.datasets.graphs import road_network, scale_free_graph, social_graph
+from repro.datasets.synthetic import banded, chain, diagonal, random_lower, stencil2d
+from repro.errors import DatasetError
+from repro.sparse.triangular import check_solvable, is_unit_diagonal
+
+
+class TestRegistry:
+    def test_all_domains_listed(self):
+        domains = list_generators()
+        for expected in ("graph", "circuit", "lp", "optimization",
+                         "combinatorial", "fem", "stencil", "chain",
+                         "diagonal", "random", "social", "road"):
+            assert expected in domains
+
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(DatasetError, match="unknown domain"):
+            generate("nope", 100)
+
+    @pytest.mark.parametrize("domain", sorted(
+        {"graph", "social", "road", "circuit", "lp", "optimization",
+         "combinatorial", "fem", "stencil", "random", "chain", "diagonal"}
+    ))
+    def test_every_domain_solvable_and_unit_lower(self, domain):
+        L = generate(domain, 400, seed=11)
+        check_solvable(L)
+        assert is_unit_diagonal(L)
+
+    @pytest.mark.parametrize("domain", ["circuit", "graph", "lp"])
+    def test_deterministic_given_seed(self, domain):
+        a = generate(domain, 300, seed=42)
+        b = generate(domain, 300, seed=42)
+        assert np.array_equal(a.col_idx, b.col_idx)
+        assert np.allclose(a.values, b.values)
+        c = generate(domain, 300, seed=43)
+        assert not (
+            len(a.col_idx) == len(c.col_idx)
+            and np.array_equal(a.col_idx, c.col_idx)
+        )
+
+
+class TestStructuralSignatures:
+    def test_diagonal_single_level(self):
+        assert compute_levels(diagonal(100)).n_levels == 1
+
+    def test_chain_full_depth(self):
+        assert compute_levels(chain(100)).n_levels == 100
+
+    def test_chain_width(self):
+        L = chain(100, width=3)
+        assert L.row_lengths()[-1] == 4  # 3 deps + diagonal
+
+    def test_banded_alpha_near_bandwidth(self):
+        L = banded(500, bandwidth=20, fill=1.0)
+        assert L.avg_nnz_per_row() > 15
+
+    def test_stencil_level_count(self):
+        L = stencil2d(100)  # 10x10 grid
+        sched = compute_levels(L)
+        assert sched.n_levels == 19  # nx + ny - 1 anti-diagonals
+
+    def test_circuit_is_wide_and_thin(self):
+        f = extract_features(circuit(5000, seed=0))
+        assert f.avg_nnz_per_row < 8
+        assert f.avg_rows_per_level > 50
+
+    def test_lp_is_extremely_wide(self):
+        f = extract_features(linear_programming(20_000, seed=0,
+                                                chain_prob=0.0))
+        assert f.n_levels <= 3
+
+    def test_optimization_block_levels(self):
+        f = extract_features(
+            optimization_kkt(4000, seed=0, block_count=8)
+        )
+        assert f.n_levels <= 12
+
+    def test_graph_hubs_make_wide_levels(self):
+        f = extract_features(scale_free_graph(4000, seed=0))
+        assert f.avg_rows_per_level > 30
+
+    def test_combinatorial_skew_controls_depth(self):
+        deep = extract_features(combinatorial(4000, seed=0, skew=1.0))
+        shallow = extract_features(combinatorial(4000, seed=0, skew=5.0))
+        assert shallow.n_levels < deep.n_levels
+
+    def test_large_graph_uses_vectorized_path(self):
+        # crosses _NETWORKX_LIMIT; must still be solvable and hubby
+        L = scale_free_graph(25_000, seed=0)
+        check_solvable(L)
+        f = extract_features(L)
+        assert f.avg_rows_per_level > 100
+
+    def test_road_network_mid_granularity(self):
+        f = extract_features(road_network(2500, seed=0))
+        assert 3 < f.n_levels < 2500
+
+
+class TestParamValidation:
+    @pytest.mark.parametrize(
+        "fn,kwargs",
+        [
+            (chain, {"width": 0}),
+            (banded, {"bandwidth": 0}),
+            (banded, {"fill": 0.0}),
+            (random_lower, {"avg_nnz_per_row": -1}),
+            (circuit, {"rail_prob": 1.5}),
+            (linear_programming, {"basis_fraction": 0.0}),
+            (linear_programming, {"chain_prob": -0.1}),
+            (optimization_kkt, {"avg_nnz_per_row": 0.0}),
+            (combinatorial, {"skew": 0.5}),
+            (social_graph, {"triangle_prob": 2.0}),
+        ],
+    )
+    def test_bad_params_rejected(self, fn, kwargs):
+        with pytest.raises(DatasetError):
+            fn(500, seed=0, **kwargs)
+
+    def test_zero_rows_rejected(self):
+        with pytest.raises(DatasetError):
+            diagonal(0)
+
+
+class TestFinalizePattern:
+    def test_drops_upper_entries(self):
+        rng = np.random.default_rng(0)
+        rows = np.array([0, 1, 1])
+        cols = np.array([1, 0, 1])  # (0,1) upper, (1,1) diagonal: dropped
+        L = finalize_pattern(2, rows, cols, rng)
+        assert L.nnz == 3  # (1,0) + two unit diagonal entries
+
+    def test_row_magnitudes_bounded(self):
+        rng = np.random.default_rng(0)
+        n = 50
+        rows = np.repeat(np.arange(1, n), 3)
+        cols = (np.random.default_rng(1).random(len(rows))
+                * np.repeat(np.arange(1, n), 3)).astype(np.int64)
+        L = finalize_pattern(n, rows, cols, rng)
+        # off-diagonal row sums stay below 1 => well-conditioned solve
+        for i in range(n):
+            row_cols, row_vals = L.row(i)
+            off = row_vals[row_cols != i]
+            assert np.abs(off).sum() <= 0.91
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(1, 60),
+        n_entries=st.integers(0, 200),
+        seed=st.integers(0, 9_999),
+    )
+    def test_always_solvable_property(self, n, n_entries, seed):
+        rng = np.random.default_rng(seed)
+        rows = rng.integers(0, n, n_entries)
+        cols = rng.integers(0, n, n_entries)
+        L = finalize_pattern(n, rows, cols, rng)
+        check_solvable(L)
+        assert is_unit_diagonal(L)

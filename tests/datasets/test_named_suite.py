@@ -1,0 +1,93 @@
+"""Named stand-ins and suite-builder tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.features import extract_features
+from repro.datasets.named import NAMED_MATRICES, named_matrix
+from repro.datasets.suite import evaluation_suite, full_sweep_suite, _quotas
+from repro.errors import DatasetError
+from repro.sparse.triangular import check_solvable
+
+
+class TestNamedMatrices:
+    def test_all_paper_matrices_present(self):
+        for name in ("nlpkkt160", "wiki-Talk", "cant", "rajat29", "bayer01",
+                     "circuit5M_dc", "lp1", "neos", "atmosmodd"):
+            assert name in NAMED_MATRICES
+
+    @pytest.mark.parametrize("name", sorted(NAMED_MATRICES))
+    def test_buildable_and_solvable(self, name):
+        L, spec = named_matrix(name, scale=0.1)
+        check_solvable(L)
+        assert spec.paper_name == name
+
+    def test_scale_changes_size(self):
+        small, _ = named_matrix("rajat29", scale=0.25)
+        big, _ = named_matrix("rajat29", scale=0.5)
+        assert big.n_rows == 2 * small.n_rows
+
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError, match="unknown named matrix"):
+            named_matrix("nope")
+
+    def test_case_study_structures_thin_and_wide(self):
+        """The Table 6 matrices must be thin-row / wide-level; cant must
+        be the opposite (dense, deep)."""
+        for name in ("rajat29", "bayer01", "circuit5M_dc"):
+            f = extract_features(named_matrix(name, scale=0.25)[0])
+            assert f.avg_nnz_per_row < 8
+            assert f.avg_rows_per_level > 10
+        f_cant = extract_features(named_matrix("cant", scale=0.25)[0])
+        assert f_cant.avg_nnz_per_row > 15
+        assert f_cant.avg_rows_per_level < 2
+
+    def test_alpha_tracks_paper_values(self):
+        """Stand-in α must be within ~25% of the paper's Table 6 α."""
+        for name in ("rajat29", "bayer01", "circuit5M_dc"):
+            L, spec = named_matrix(name, scale=0.5)
+            alpha = L.avg_nnz_per_row()
+            paper_alpha = spec.paper_stats["alpha"]
+            assert abs(alpha - paper_alpha) / paper_alpha < 0.25
+
+
+class TestSuites:
+    def test_quotas_sum(self):
+        q = _quotas(245)
+        assert sum(q.values()) == 245
+
+    def test_quota_domain_mix(self):
+        q = _quotas(245)
+        # graph applications (graph + social) ~ 42%
+        assert 95 <= q["graph"] + q["social"] <= 110
+        assert q["circuit"] == 34  # 13.9%
+
+    def test_evaluation_suite_small(self):
+        suite = evaluation_suite(
+            6, seed=1, min_rows=20_000, max_rows=40_000
+        )
+        assert len(suite) == 6
+        for entry in suite:
+            assert entry.features.granularity > 0.7
+            check_solvable(entry.matrix)
+
+    def test_evaluation_suite_deterministic(self):
+        a = evaluation_suite(4, seed=9, min_rows=20_000, max_rows=30_000)
+        b = evaluation_suite(4, seed=9, min_rows=20_000, max_rows=30_000)
+        assert [e.name for e in a] == [e.name for e in b]
+        assert all(
+            np.array_equal(x.matrix.col_idx, y.matrix.col_idx)
+            for x, y in zip(a, b)
+        )
+
+    def test_full_sweep_spans_granularity(self):
+        suite = full_sweep_suite(11, seed=2, min_rows=5_000, max_rows=10_000)
+        grans = [e.features.granularity for e in suite]
+        assert min(grans) < 0.0  # chains / fem
+        assert max(grans) > 0.5
+
+    def test_invalid_sizes(self):
+        with pytest.raises(DatasetError):
+            evaluation_suite(0)
+        with pytest.raises(DatasetError):
+            full_sweep_suite(0)

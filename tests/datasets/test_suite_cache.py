@@ -1,0 +1,26 @@
+"""Suite caching tests."""
+
+from repro.datasets.suite import cached_evaluation_suite, cached_full_sweep_suite
+
+
+class TestCaching:
+    def test_same_args_return_same_object(self):
+        a = cached_full_sweep_suite(3, seed=123)
+        b = cached_full_sweep_suite(3, seed=123)
+        assert a is b
+        assert len(a) == 3
+
+    def test_different_args_differ(self):
+        a = cached_full_sweep_suite(3, seed=123)
+        b = cached_full_sweep_suite(3, seed=124)
+        assert a is not b
+
+    def test_result_is_tuple(self):
+        a = cached_full_sweep_suite(3, seed=123)
+        assert isinstance(a, tuple)  # discourages in-place mutation
+
+    def test_eval_suite_cached_too(self):
+        a = cached_evaluation_suite(2, seed=77)
+        b = cached_evaluation_suite(2, seed=77)
+        assert a is b
+        assert all(e.features.granularity > 0.7 for e in a)

@@ -1,0 +1,189 @@
+"""Experiment-module integration tests (small scales, tiny suites).
+
+Each paper table/figure module must run end-to-end and reproduce its
+qualitative claim at reduced scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.features import extract_features
+from repro.datasets import generate
+from repro.datasets.suite import SuiteEntry
+from repro.experiments import (
+    ablation,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    table1,
+    table2,
+    table4,
+    table5,
+    table6,
+)
+
+SCALE = 0.25  # named stand-ins at ~500-1250 rows: the smallest size at
+# which the wide-level regime (beta >> resident warps) is visible
+
+
+def _entry(domain, n, seed, **params):
+    L = generate(domain, n, seed, **params)
+    return SuiteEntry(
+        name=f"{domain}-{seed}", domain=domain, matrix=L,
+        features=extract_features(L),
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_eval_suite():
+    """Six wide-level matrices (high-granularity regime at small n)."""
+    return [
+        _entry("circuit", 30_000, 1, rail_prob=0.85),
+        _entry("circuit", 40_000, 2, rail_prob=0.8),
+        _entry("lp", 30_000, 3, basis_fraction=0.01),
+        _entry("graph", 30_000, 4),
+        _entry("combinatorial", 30_000, 5, skew=3.0),
+        _entry("optimization", 30_000, 6, block_count=4),
+    ]
+
+
+@pytest.fixture(scope="module")
+def tiny_sweep_suite(tiny_eval_suite):
+    """Adds low-granularity structures for the sweep experiments."""
+    return tiny_eval_suite + [
+        _entry("fem", 2_000, 7, bandwidth=20),
+        _entry("chain", 2_000, 8),
+        _entry("stencil", 10_000, 9),
+        _entry("random", 20_000, 10, avg_nnz_per_row=3.0),
+    ]
+
+
+class TestTable1:
+    def test_runs_and_matches_claims(self):
+        r = table1.run(scale=SCALE)
+        assert r.experiment_id == "table1"
+        assert r.data["all_correct"]
+        by_key = {
+            (m.matrix_name, m.solver_name): m
+            for m in r.data["measurements"]
+        }
+        # Table 1 claims, per matrix: LevelSet preprocessing dominates;
+        # Capellini needs none.
+        for name in table1.MATRICES:
+            lv = by_key[(name, "LevelSet")].result
+            sf = by_key[(name, "SyncFree")].result
+            cap = by_key[(name, "Capellini")].result
+            assert lv.preprocess.modeled_ms > sf.preprocess.modeled_ms
+            assert cap.preprocess.modeled_ms == 0.0
+
+
+class TestTable2:
+    def test_matches_paper_table(self):
+        r = table2.run()
+        rows = {row[0]: row for row in r.data["rows"]}
+        assert rows["LevelSet"][1] == "high"
+        assert rows["SyncFree"][2] == "CSC"
+        assert rows["Capellini"][1] == "none"
+        assert rows["Capellini"][4] == "thread"
+        assert rows["cuSPARSE"][3] == "unknown" or rows["cuSPARSE"][3] == "yes"
+
+
+class TestFig3:
+    def test_rise_then_decline(self, tiny_sweep_suite):
+        r = fig3.run(suite=tiny_sweep_suite)
+        assert r.data["declines_after_peak"]
+
+
+class TestTable4:
+    def test_capellini_leads_every_platform(self, tiny_eval_suite):
+        r = table4.run(suite=tiny_eval_suite)
+        means = r.data["means"]
+        for platform in ("Pascal", "Volta", "Turing"):
+            assert means["Capellini"][platform] > means["SyncFree"][platform]
+            assert means["Capellini"][platform] > means["cuSPARSE"][platform]
+        for pct in r.data["percent_optimal"].values():
+            assert pct >= 50.0
+
+
+class TestFig4:
+    def test_three_panels(self, tiny_eval_suite):
+        r = fig4.run(suite=tiny_eval_suite, n_bins=4)
+        assert set(r.data["panels"]) == {"Pascal", "Volta", "Turing"}
+        for series in r.data["panels"].values():
+            assert set(series) == {"SyncFree", "cuSPARSE", "Capellini"}
+
+
+class TestFig5:
+    def test_speedup_positive_and_peaked(self, tiny_eval_suite):
+        r = fig5.run(suite=tiny_eval_suite, n_bins=4)
+        assert r.data["peak_speedup"] > 1.0
+        assert np.all(
+            r.data["speedups"][np.isfinite(r.data["speedups"])] > 0
+        )
+
+
+class TestTable5:
+    def test_summaries_structure(self, tiny_eval_suite):
+        r = table5.run(suite=tiny_eval_suite, include_lp1=False)
+        s = r.data["summaries"][("SyncFree", "Pascal")]
+        assert s.maximum >= s.average > 1.0
+
+
+class TestFig6:
+    def test_winner_map_corners(self, tiny_sweep_suite):
+        r = fig6.run(suite=tiny_sweep_suite, alpha_bins=3, beta_bins=3)
+        # the dense/deep corner must not be claimed by Capellini
+        assert r.data["corner_low_beta_high_alpha"] != "Capellini"
+
+
+class TestFig7:
+    def test_bandwidth_ratio_favors_capellini(self, tiny_eval_suite):
+        r = fig7.run(suite=tiny_eval_suite, include_case_study=False)
+        assert r.data["ratio_over_syncfree"] > 1.5
+        assert r.data["ratio_over_cusparse"] > 1.5
+
+
+class TestFig8:
+    def test_instruction_saving_and_stall_ordering(self):
+        r = fig8.run(scale=SCALE)
+        assert r.data["saved_vs_syncfree_pct"] > 30.0
+        assert r.data["stall_ordering_ok"]
+        assert all(m.correct for m in r.data["measurements"])
+
+
+class TestTable6:
+    def test_capellini_wins_case_matrices(self):
+        r = table6.run(scale=SCALE)
+        assert r.data["capellini_wins_all"]
+        assert all(m.correct for m in r.data["measurements"])
+
+
+class TestAblation:
+    def test_writing_first_dominates(self):
+        r = ablation.run(scale=SCALE)
+        assert all(x > 1.0 for x in r.data["perf_ratios"])
+        assert all(x > 0.0 for x in r.data["instruction_savings_pct"])
+        assert all(m.correct for m in r.data["measurements"])
+
+
+class TestAmortization:
+    def test_break_even_math(self):
+        from repro.experiments.amortization import break_even_solves
+        import math
+
+        # A pays 10ms prep but saves 1ms/solve: catches up after 10
+        assert break_even_solves(10.0, 1.0, 0.0, 2.0) == 10.0
+        # A slower per solve and more prep: never
+        assert math.isinf(break_even_solves(10.0, 3.0, 0.0, 2.0))
+        # A dominates outright
+        assert break_even_solves(0.0, 1.0, 0.0, 2.0) == 0.0
+
+    def test_runs(self):
+        from repro.experiments import amortization
+
+        r = amortization.run(scale=SCALE)
+        assert 0.0 <= r.data["never_fraction"] <= 1.0
+        assert all(m.correct for m in r.data["measurements"])

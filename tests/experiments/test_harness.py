@@ -1,0 +1,79 @@
+"""Unit tests for the experiment harness itself."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.features import extract_features
+from repro.datasets import generate
+from repro.datasets.suite import SuiteEntry
+from repro.errors import ExperimentError
+from repro.experiments.harness import (
+    run_case_study,
+    sweep_estimates,
+)
+from repro.gpu.device import PASCAL_GTX1080, SIM_TINY
+from repro.solvers import WritingFirstCapelliniSolver
+
+
+def _entry(domain, n, seed, **params):
+    L = generate(domain, n, seed, **params)
+    return SuiteEntry(name=f"{domain}-{seed}", domain=domain, matrix=L,
+                      features=extract_features(L))
+
+
+@pytest.fixture(scope="module")
+def micro_suite():
+    return [_entry("circuit", 5000, 1), _entry("lp", 5000, 2)]
+
+
+class TestSweepEstimates:
+    def test_shapes_and_axes(self, micro_suite):
+        data = sweep_estimates(
+            micro_suite, {"Pascal": PASCAL_GTX1080},
+            algorithms=("Capellini", "SyncFree"),
+        )
+        assert data.gflops.shape == (2, 2, 1)
+        cap = data.axis("Capellini", "Pascal", "gflops")
+        assert cap.shape == (2,)
+        assert np.all(cap > 0)
+
+    def test_granularity_vector(self, micro_suite):
+        data = sweep_estimates(micro_suite, {"Pascal": PASCAL_GTX1080})
+        np.testing.assert_allclose(
+            data.granularity,
+            [e.features.granularity for e in micro_suite],
+        )
+
+    def test_empty_suite_rejected(self):
+        with pytest.raises(ExperimentError):
+            sweep_estimates([], {"Pascal": PASCAL_GTX1080})
+
+    def test_unknown_axis_name_raises(self, micro_suite):
+        data = sweep_estimates(micro_suite, {"Pascal": PASCAL_GTX1080})
+        with pytest.raises(ValueError):
+            data.axis("NoSuchAlgo", "Pascal", "gflops")
+
+
+class TestRunCaseStudy:
+    def test_verifies_solutions(self):
+        out = run_case_study(
+            ("rajat29",), [WritingFirstCapelliniSolver()],
+            device=SIM_TINY, scale=0.05,
+        )
+        assert len(out) == 1
+        m = out[0]
+        assert m.correct
+        assert m.gflops > 0
+        assert m.instructions > 0
+        assert m.solver_name == "Capellini"
+
+    def test_cartesian_product(self):
+        from repro.solvers import SyncFreeSolver
+
+        out = run_case_study(
+            ("rajat29", "bayer01"),
+            [WritingFirstCapelliniSolver(), SyncFreeSolver()],
+            device=SIM_TINY, scale=0.05,
+        )
+        assert len(out) == 4
+        assert {m.matrix_name for m in out} == {"rajat29", "bayer01"}

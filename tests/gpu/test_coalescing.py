@@ -1,0 +1,84 @@
+"""Coalescing-batch accounting tests (the Figure 7 traffic model)."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.counters import LaneCounters
+from repro.gpu.device import DeviceSpec
+from repro.gpu.kernel import ALU
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.simt import SIMTEngine
+
+
+@pytest.fixture
+def mem():
+    m = GlobalMemory(LaneCounters())
+    m.alloc("a", np.arange(64, dtype=np.float64))  # 8 B elements
+    return m
+
+
+class TestBatchSemantics:
+    def test_same_sector_loads_coalesce(self, mem):
+        mem.begin_access_batch()
+        mem.load("a", 0)
+        mem.load("a", 1)  # same 32 B sector (elements 0-3)
+        mem.load("a", 3)
+        mem.end_access_batch()
+        assert mem.counters.dram_bytes_read == 32  # one sector
+        assert mem.counters.cache_bytes_read == 16  # two rides
+        assert mem.counters.dram_load_events == 1
+
+    def test_distinct_sectors_charge_separately(self, mem):
+        mem.begin_access_batch()
+        mem.load("a", 0)
+        mem.load("a", 4)   # next sector
+        mem.load("a", 32)  # far away
+        mem.end_access_batch()
+        assert mem.counters.dram_bytes_read == 96
+        assert mem.counters.dram_load_events == 3
+
+    def test_batches_do_not_cache_across_steps(self, mem):
+        mem.begin_access_batch()
+        mem.load("a", 0)
+        mem.end_access_batch()
+        mem.begin_access_batch()
+        mem.load("a", 0)  # new step: sector charged again
+        mem.end_access_batch()
+        assert mem.counters.dram_bytes_read == 64
+
+    def test_host_access_outside_batch_is_exact(self, mem):
+        mem.load("a", 0)
+        assert mem.counters.dram_bytes_read == 8  # element, not sector
+
+    def test_atomic_add_counts_read_and_write(self, mem):
+        old = mem.atomic_add("a", 2, 5.0)
+        assert old == 2.0
+        assert mem.array("a")[2] == 7.0
+        assert mem.counters.dram_bytes_read == 8
+        assert mem.counters.dram_bytes_written == 8
+
+
+class TestWarpLevelCoalescing:
+    """The asymmetry the model exists for: consecutive-lane loads (warp-
+    level kernels) cost one sector; scattered loads (thread-level on
+    spread rows) cost one sector each."""
+
+    def _run(self, stride):
+        dev = DeviceSpec(
+            name="Co", sm_count=1, warp_size=4, max_resident_warps=1,
+            issue_width=1, clock_ghz=1.0, dram_latency_cycles=0,
+        )
+        eng = SIMTEngine(dev)
+        eng.memory.alloc("data", np.zeros(1024))
+
+        def kern(ctx):
+            ctx.load("data", ctx.lane_id * stride)
+            yield ALU
+
+        stats = eng.launch(kern, 4)
+        return stats.dram_bytes
+
+    def test_consecutive_lanes_share_sectors(self):
+        coalesced = self._run(stride=1)    # lanes 0..3 -> one sector
+        scattered = self._run(stride=64)   # 512 B apart -> four sectors
+        assert scattered == 4 * coalesced

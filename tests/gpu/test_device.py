@@ -1,0 +1,69 @@
+"""DeviceSpec tests."""
+
+import pytest
+
+from repro.gpu.device import (
+    DeviceSpec,
+    PASCAL_GTX1080,
+    PLATFORMS,
+    SIM_SMALL,
+    SIM_TINY,
+    TURING_RTX2080TI,
+    VOLTA_V100,
+)
+
+
+class TestPresets:
+    def test_paper_platforms_registered(self):
+        assert set(PLATFORMS) == {"Pascal", "Volta", "Turing"}
+        assert PLATFORMS["Pascal"] is PASCAL_GTX1080
+
+    def test_table3_shapes(self):
+        assert PASCAL_GTX1080.sm_count == 20
+        assert VOLTA_V100.sm_count == 80
+        assert TURING_RTX2080TI.sm_count == 68
+        assert TURING_RTX2080TI.max_resident_warps == 32
+
+    def test_warp_size_default_32(self):
+        assert PASCAL_GTX1080.warp_size == 32
+
+    def test_sim_tiny_matches_paper_figure2(self):
+        # "the GPU device can launch two warps at the same time, and each
+        # warp can support three threads"
+        assert SIM_TINY.warp_size == 3
+        assert SIM_TINY.resident_warp_capacity == 2
+
+
+class TestDerived:
+    def test_resident_capacities(self):
+        assert SIM_SMALL.resident_warp_capacity == 4 * 16
+        assert SIM_SMALL.resident_thread_capacity == 4 * 16 * 32
+
+    def test_cycles_to_ms(self):
+        dev = DeviceSpec(name="x", sm_count=1, clock_ghz=2.0)
+        assert dev.cycles_to_ms(2_000_000) == pytest.approx(1.0)
+
+    def test_scaled(self):
+        half = PASCAL_GTX1080.scaled(0.5)
+        assert half.sm_count == 10
+        assert half.warp_size == PASCAL_GTX1080.warp_size
+        assert "x0.5" in half.name
+
+    def test_scaled_floor_one(self):
+        assert SIM_TINY.scaled(0.01).sm_count == 1
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"sm_count": 0},
+            {"sm_count": 1, "warp_size": 0},
+            {"sm_count": 1, "max_resident_warps": 0},
+            {"sm_count": 1, "issue_width": 0},
+            {"sm_count": 1, "clock_ghz": 0.0},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            DeviceSpec(name="bad", **kwargs)

@@ -1,0 +1,97 @@
+"""GlobalMemory traffic accounting and watch tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpu.counters import LaneCounters
+from repro.gpu.memory import GlobalMemory
+
+
+@pytest.fixture
+def mem():
+    return GlobalMemory(LaneCounters())
+
+
+class TestAllocation:
+    def test_alloc_and_array(self, mem):
+        arr = mem.alloc("a", np.arange(4.0))
+        assert mem.array("a") is arr
+
+    def test_double_alloc_rejected(self, mem):
+        mem.alloc("a", np.zeros(2))
+        with pytest.raises(SimulationError, match="already allocated"):
+            mem.alloc("a", np.zeros(2))
+
+    def test_unknown_array(self, mem):
+        with pytest.raises(KeyError):
+            mem.array("nope")
+
+
+class TestTraffic:
+    def test_load_counts_dram_bytes(self, mem):
+        mem.alloc("a", np.arange(4.0))
+        mem.load("a", 1)
+        assert mem.counters.dram_bytes_read == 8
+        assert mem.counters.dram_load_events == 1
+
+    def test_store_counts_write_bytes(self, mem):
+        mem.alloc("a", np.zeros(4))
+        mem.store("a", 0, 3.0)
+        assert mem.counters.dram_bytes_written == 8
+        assert mem.array("a")[0] == 3.0
+
+    def test_flag_first_touch_is_dram_then_cache(self, mem):
+        mem.alloc("f", np.zeros(4, dtype=np.int8), flags=True)
+        mem.load("f", 2)
+        assert mem.counters.dram_bytes_read == 1
+        assert mem.counters.cache_bytes_read == 0
+        mem.load("f", 2)
+        mem.load("f", 2)
+        assert mem.counters.dram_bytes_read == 1
+        assert mem.counters.cache_bytes_read == 2
+        assert mem.counters.flag_polls == 3
+        # spins on cached flags must not trigger latency parking
+        assert mem.counters.dram_load_events == 1
+
+    def test_peek_is_uncounted(self, mem):
+        mem.alloc("a", np.arange(4.0))
+        assert mem.peek("a", 3) == 3.0
+        assert mem.counters.dram_bytes_read == 0
+
+
+class TestWatches:
+    def test_watch_fires_once_on_store(self, mem):
+        mem.alloc("f", np.zeros(2), flags=True)
+        fired = []
+        mem.watch("f", 0, lambda: fired.append(1))
+        mem.store("f", 0, 1)
+        mem.store("f", 0, 2)
+        assert fired == [1]
+
+    def test_watch_other_index_does_not_fire(self, mem):
+        mem.alloc("f", np.zeros(2), flags=True)
+        fired = []
+        mem.watch("f", 0, lambda: fired.append(1))
+        mem.store("f", 1, 1)
+        assert fired == []
+
+    def test_multiple_watchers_all_fire(self, mem):
+        mem.alloc("f", np.zeros(1), flags=True)
+        fired = []
+        mem.watch("f", 0, lambda: fired.append("a"))
+        mem.watch("f", 0, lambda: fired.append("b"))
+        mem.store("f", 0, 1)
+        assert sorted(fired) == ["a", "b"]
+
+    def test_watch_unknown_array_rejected(self, mem):
+        with pytest.raises(SimulationError, match="unknown array"):
+            mem.watch("nope", 0, lambda: None)
+
+    def test_pending_watches_counter(self, mem):
+        mem.alloc("f", np.zeros(2), flags=True)
+        mem.watch("f", 0, lambda: None)
+        mem.watch("f", 1, lambda: None)
+        assert mem.pending_watches == 2
+        mem.store("f", 0, 1)
+        assert mem.pending_watches == 1

@@ -1,0 +1,185 @@
+"""Direct unit tests of the Warp state machine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpu.counters import LaneCounters
+from repro.gpu.kernel import ALU, WARP_SYNC, Poll, SpinWait
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.warp import Warp, WarpState
+
+
+@pytest.fixture
+def mem():
+    m = GlobalMemory(LaneCounters())
+    m.alloc("flag", np.zeros(4, dtype=np.int8), flags=True)
+    m.alloc("data", np.arange(8.0))
+    return m
+
+
+def make_warp(mem, *lane_fns):
+    return Warp(0, [fn() for fn in lane_fns], mem)
+
+
+def alu_lane(n):
+    def gen():
+        for _ in range(n):
+            yield ALU
+    return gen
+
+
+class TestStepBasics:
+    def test_all_lanes_advance_together(self, mem):
+        w = make_warp(mem, alu_lane(2), alu_lane(2))
+        out = w.step()
+        assert out.state is WarpState.RUNNABLE
+        assert out.live_lanes == 2
+
+    def test_warp_retires_when_lanes_exhaust(self, mem):
+        w = make_warp(mem, alu_lane(1), alu_lane(1))
+        w.step()           # the single ALU of each lane
+        out = w.step()     # StopIteration for both -> DONE
+        assert out.state is WarpState.DONE
+        assert w.live_lanes == 0
+
+    def test_uneven_lane_lengths(self, mem):
+        w = make_warp(mem, alu_lane(1), alu_lane(3))
+        states = [w.step().state for _ in range(4)]
+        assert states[-1] is WarpState.DONE
+
+    def test_step_on_non_runnable_raises(self, mem):
+        def spin():
+            yield SpinWait("flag", 0, 1)
+        w = make_warp(mem, spin)
+        out = w.step()
+        assert out.state is WarpState.BLOCKED
+        with pytest.raises(SimulationError, match="stepped while"):
+            w.step()
+
+    def test_unknown_instruction(self, mem):
+        def bad():
+            yield 42
+        w = make_warp(mem, bad)
+        with pytest.raises(SimulationError, match="unknown instruction"):
+            w.step()
+
+
+class TestSpinSemantics:
+    def test_watch_tuple_contents(self, mem):
+        def spin():
+            yield SpinWait("flag", 2, 7)
+        w = make_warp(mem, spin)
+        out = w.step()
+        assert out.watch_lanes == (("flag", 2, 0, 7),)
+
+    def test_resolve_spin_requires_expected_value(self, mem):
+        def spin():
+            yield SpinWait("flag", 0, 2)
+        w = make_warp(mem, spin)
+        w.step()
+        mem.array("flag")[0] = 1
+        assert not w.resolve_spin(0)          # wrong value: stays parked
+        assert w.lane_still_spinning(0)
+        mem.array("flag")[0] = 2
+        assert w.resolve_spin(0)              # unblocked
+        assert w.state is WarpState.RUNNABLE
+
+    def test_multi_lane_spin_unblocks_when_all_resolve(self, mem):
+        def spin_on(idx):
+            def gen():
+                yield SpinWait("flag", idx, 1)
+            return gen
+        w = make_warp(mem, spin_on(0), spin_on(1))
+        out = w.step()
+        assert w.spin_unresolved == 2
+        mem.array("flag")[0] = 1
+        assert not w.resolve_spin(0)          # one of two resolved
+        mem.array("flag")[1] = 1
+        assert w.resolve_spin(1)
+        assert w.state is WarpState.RUNNABLE
+        del out
+
+
+class TestPollSemantics:
+    def test_mixed_poll_and_work_stays_runnable(self, mem):
+        def poller():
+            yield Poll("flag", 0, 1)
+        w = make_warp(mem, poller, alu_lane(3))
+        out = w.step()
+        assert out.state is WarpState.RUNNABLE  # the ALU lane progressed
+
+    def test_all_fail_polls_sleep(self, mem):
+        def poller(idx):
+            def gen():
+                yield Poll("flag", idx, 1)
+            return gen
+        w = make_warp(mem, poller(0), poller(1))
+        out = w.step()
+        assert out.state is WarpState.SLEEPING
+        assert len(out.watch_lanes) == 2
+        assert w.wake_from_sleep()
+        assert w.state is WarpState.RUNNABLE
+
+    def test_any_poll_satisfied(self, mem):
+        def poller():
+            yield Poll("flag", 3, 1)
+        w = make_warp(mem, poller)
+        w.step()
+        assert not w.any_poll_satisfied()
+        mem.array("flag")[3] = 1
+        assert w.any_poll_satisfied()
+
+    def test_satisfied_poll_resumes_next_step(self, mem):
+        done = []
+
+        def poller():
+            yield Poll("flag", 0, 1)
+            done.append(True)
+            yield ALU
+        w = make_warp(mem, poller)
+        w.step()                      # poll fails -> sleeping
+        mem.array("flag")[0] = 1
+        w.wake_from_sleep()
+        w.step()                      # poll succeeds this step
+        w.step()                      # lane advances past the poll
+        assert done == [True]
+
+
+class TestBarrier:
+    def test_sync_waits_for_slow_lane(self, mem):
+        order = []
+
+        def fast():
+            order.append("fast-before")
+            yield WARP_SYNC
+            order.append("fast-after")
+            yield ALU
+
+        def slow():
+            yield ALU
+            yield ALU
+            order.append("slow-before")
+            yield WARP_SYNC
+            order.append("slow-after")
+            yield ALU
+
+        w = make_warp(mem, fast, slow)
+        for _ in range(6):
+            if w.state is WarpState.RUNNABLE:
+                w.step()
+        assert order.index("fast-after") > order.index("slow-before")
+
+    def test_dram_touched_flag(self, mem):
+        def loader(ctx_mem):
+            def gen():
+                ctx_mem.load("data", 0)
+                yield ALU
+            return gen
+        w = make_warp(mem, loader(mem))
+        out = w.step()
+        assert out.dram_touched
+
+    def test_alu_step_not_dram_touched(self, mem):
+        w = make_warp(mem, alu_lane(1))
+        assert not w.step().dram_touched

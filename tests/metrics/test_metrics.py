@@ -1,0 +1,127 @@
+"""Metric helper tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ExperimentError
+from repro.metrics.aggregate import (
+    bin_by_granularity,
+    geometric_mean,
+    percent_where_best,
+)
+from repro.metrics.speedup import speedup, speedup_summary
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(10.0, 2.0) == 5.0
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ExperimentError):
+            speedup(0.0, 1.0)
+        with pytest.raises(ExperimentError):
+            speedup(1.0, -1.0)
+
+    def test_summary(self):
+        s = speedup_summary(
+            ["a", "b", "c"],
+            np.array([10.0, 10.0, 10.0]),
+            np.array([5.0, 1.0, 10.0]),
+        )
+        assert s.average == pytest.approx((2 + 10 + 1) / 3)
+        assert s.maximum == 10.0
+        assert s.argmax_name == "b"
+        assert s.n_matrices == 3
+
+    def test_summary_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            speedup_summary([], np.array([]), np.array([]))
+
+    def test_summary_misaligned_rejected(self):
+        with pytest.raises(ExperimentError):
+            speedup_summary(["a"], np.array([1.0, 2.0]), np.array([1.0]))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.floats(0.01, 100.0), min_size=1, max_size=20),
+        st.lists(st.floats(0.01, 100.0), min_size=1, max_size=20),
+    )
+    def test_summary_invariants_property(self, a, b):
+        n = min(len(a), len(b))
+        a, b = a[:n], b[:n]
+        names = [f"m{i}" for i in range(n)]
+        s = speedup_summary(names, np.array(a), np.array(b))
+        assert s.maximum >= s.average > 0
+        assert s.argmax_name in names
+
+
+class TestAggregate:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ExperimentError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ExperimentError):
+            geometric_mean([])
+
+    def test_percent_where_best(self):
+        cand = np.array([3.0, 1.0, 5.0])
+        other = np.array([2.0, 2.0, 2.0])
+        assert percent_where_best(cand, [other]) == pytest.approx(100 * 2 / 3)
+
+    def test_percent_lower_is_better(self):
+        cand = np.array([1.0, 3.0])
+        other = np.array([2.0, 2.0])
+        assert percent_where_best(
+            cand, [other], higher_is_better=False
+        ) == pytest.approx(50.0)
+
+    def test_percent_no_others(self):
+        assert percent_where_best(np.array([1.0]), []) == 100.0
+
+    def test_percent_misaligned(self):
+        with pytest.raises(ExperimentError):
+            percent_where_best(np.array([1.0]), [np.array([1.0, 2.0])])
+
+
+class TestBinning:
+    def test_bin_means(self):
+        gran = np.array([0.1, 0.1, 0.9])
+        metric = np.array([1.0, 3.0, 10.0])
+        b = bin_by_granularity(gran, metric, lo=0.0, hi=1.0, n_bins=2)
+        assert b.mean[0] == pytest.approx(2.0)
+        assert b.mean[1] == pytest.approx(10.0)
+        assert b.count.tolist() == [2, 1]
+
+    def test_empty_bins_are_nan(self):
+        b = bin_by_granularity(
+            np.array([0.05]), np.array([1.0]), lo=0.0, hi=1.0, n_bins=4
+        )
+        assert np.isnan(b.mean[2])
+
+    def test_out_of_range_values_clamped(self):
+        b = bin_by_granularity(
+            np.array([-5.0, 5.0]), np.array([1.0, 2.0]),
+            lo=0.0, hi=1.0, n_bins=2,
+        )
+        assert b.count.tolist() == [1, 1]
+
+    def test_as_rows(self):
+        b = bin_by_granularity(
+            np.array([0.25]), np.array([1.0]), lo=0.0, hi=1.0, n_bins=2
+        )
+        rows = b.as_rows()
+        assert len(rows) == 2
+        assert rows[0][2] == 1
+
+    def test_invalid_params(self):
+        with pytest.raises(ExperimentError):
+            bin_by_granularity(np.array([0.5]), np.array([1.0]), n_bins=0)
+        with pytest.raises(ExperimentError):
+            bin_by_granularity(
+                np.array([0.5]), np.array([1.0]), lo=1.0, hi=0.0
+            )
+        with pytest.raises(ExperimentError):
+            bin_by_granularity(np.array([0.5, 0.6]), np.array([1.0]))

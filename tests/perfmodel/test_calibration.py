@@ -1,0 +1,62 @@
+"""Calibration constants and preprocessing models."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.perfmodel.calibration import (
+    Calibration,
+    DEFAULT_CALIBRATION,
+    preprocessing_model_ms,
+)
+
+
+class TestCalibration:
+    def test_defaults_positive(self):
+        c = DEFAULT_CALIBRATION
+        assert c.levelset_ms_per_nnz > 0
+        assert c.cusparse_sync_cycles > c.levelset_sync_cycles
+
+    def test_negative_constant_rejected(self):
+        with pytest.raises(SolverError):
+            Calibration(levelset_ms_per_nnz=-1.0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_CALIBRATION.bytes_per_nnz = 1.0  # type: ignore
+
+
+class TestPreprocessingModel:
+    def test_table1_ordering(self):
+        """Level-set >> cuSPARSE analysis > SyncFree > Capellini (= 0),
+        at nlpkkt160-like scale."""
+        n, nnz, levels = 8_300_000, 110_000_000, 2_000
+        lv = preprocessing_model_ms("levelset", n_rows=n, nnz=nnz,
+                                    n_levels=levels)
+        cu = preprocessing_model_ms("cusparse", n_rows=n, nnz=nnz)
+        sf = preprocessing_model_ms("syncfree", n_rows=n, nnz=nnz)
+        cap = preprocessing_model_ms("capellini", n_rows=n, nnz=nnz)
+        assert lv > cu > sf > cap == 0.0
+
+    def test_levelset_anchor_magnitude(self):
+        """nlpkkt160's level-set preprocessing was 310 ms (Table 1)."""
+        ms = preprocessing_model_ms(
+            "levelset", n_rows=8_300_000, nnz=110_000_000, n_levels=2_000
+        )
+        assert 150 < ms < 600
+
+    def test_syncfree_anchor_magnitude(self):
+        """nlpkkt160's SyncFree preprocessing was 8.07 ms (Table 1)."""
+        ms = preprocessing_model_ms(
+            "syncfree", n_rows=8_300_000, nnz=110_000_000
+        )
+        assert 4 < ms < 16
+
+    def test_unknown_model(self):
+        with pytest.raises(SolverError):
+            preprocessing_model_ms("nope", n_rows=1, nnz=1)
+
+    def test_custom_calibration_respected(self):
+        cal = Calibration(syncfree_ms_fixed=100.0)
+        ms = preprocessing_model_ms("syncfree", n_rows=1, nnz=1,
+                                    calibration=cal)
+        assert ms > 100.0

@@ -1,0 +1,39 @@
+"""Solver-test fixtures: a structural zoo every solver must handle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import banded, chain, diagonal, stencil2d
+from repro.sparse.triangular import lower_triangular_system
+
+from tests.conftest import fig1_matrix, random_unit_lower
+
+#: (name, matrix builder) — structures chosen to stress different solver
+#: paths: no deps at all, pure chains (every dep intra-warp), dense rows,
+#: wavefronts, wide/thin randoms, and the paper's own example.
+STRUCTURE_ZOO = [
+    ("fig1", fig1_matrix),
+    ("diagonal", lambda: diagonal(70)),
+    ("chain", lambda: chain(70)),
+    ("wide_chain", lambda: chain(70, width=3)),
+    ("banded", lambda: banded(60, bandwidth=10, fill=0.8, seed=2)),
+    ("stencil", lambda: stencil2d(64)),
+    ("sparse_random", lambda: random_unit_lower(90, 0.03, seed=5)),
+    ("dense_random", lambda: random_unit_lower(60, 0.35, seed=6)),
+    ("single_row", lambda: diagonal(1)),
+]
+
+
+@pytest.fixture(params=STRUCTURE_ZOO, ids=[name for name, _ in STRUCTURE_ZOO])
+def zoo_system(request):
+    name, builder = request.param
+    L = builder()
+    return name, lower_triangular_system(L, rng=np.random.default_rng(13))
+
+
+def assert_solves_exactly(solver, system, device, rtol=1e-9):
+    result = solver.solve(system.L, system.b, device=device)
+    np.testing.assert_allclose(result.x, system.x_true, rtol=rtol, atol=1e-12)
+    return result

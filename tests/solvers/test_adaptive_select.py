@@ -1,0 +1,118 @@
+"""Adaptive fusion (Section 4.4) and granularity-based selection tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.features import extract_features
+from repro.datasets.domains import circuit
+from repro.datasets.synthetic import banded, diagonal
+from repro.gpu.device import SIM_SMALL
+from repro.solvers import AdaptiveCapelliniSolver, select_solver
+from repro.solvers.adaptive import THREAD_MODE, WARP_MODE, plan_row_blocks
+from repro.sparse.coo import COOMatrix
+from repro.sparse.convert import coo_to_csr
+from repro.sparse.triangular import (
+    lower_triangular_system,
+    make_unit_lower_triangular,
+)
+
+from tests.conftest import random_unit_lower
+from tests.solvers.conftest import assert_solves_exactly
+
+
+def mixed_density_matrix(n_thin=64, n_dense=64, seed=0):
+    """First rows thin (1-2 nnz), later rows dense (band of 24)."""
+    rng = np.random.default_rng(seed)
+    n = n_thin + n_dense
+    rows, cols = [], []
+    for i in range(1, n_thin):
+        rows.append(i)
+        cols.append(int(rng.integers(0, i)))
+    for i in range(n_thin, n):
+        for j in range(max(0, i - 24), i):
+            rows.append(i)
+            cols.append(j)
+    coo = COOMatrix(
+        n, n, np.array(rows), np.array(cols),
+        rng.uniform(0.05, 0.2, len(rows)),
+    )
+    return make_unit_lower_triangular(coo_to_csr(coo))
+
+
+class TestPlanner:
+    def test_thin_blocks_get_thread_mode(self):
+        L = diagonal(64)
+        block_mode, warp_mode, warp_row = plan_row_blocks(L, 32, threshold=8.0)
+        assert np.all(block_mode == THREAD_MODE)
+        assert len(warp_mode) == 2  # one warp per 32-row block
+
+    def test_dense_blocks_get_warp_mode(self):
+        L = banded(64, bandwidth=16, fill=1.0)
+        block_mode, warp_mode, warp_row = plan_row_blocks(L, 32, threshold=8.0)
+        assert np.all(block_mode[1:] == WARP_MODE)
+        # a warp-mode block expands to one warp per row
+        assert np.count_nonzero(warp_mode == WARP_MODE) >= 32
+
+    def test_mixed_matrix_mixes_modes(self):
+        L = mixed_density_matrix()
+        block_mode, _, _ = plan_row_blocks(L, 32, threshold=8.0)
+        assert THREAD_MODE in block_mode and WARP_MODE in block_mode
+
+    def test_warp_rows_cover_all_rows_in_order(self):
+        L = mixed_density_matrix()
+        _, warp_mode, warp_row = plan_row_blocks(L, 32, threshold=8.0)
+        covered = []
+        for mode, row in zip(warp_mode, warp_row):
+            if mode == WARP_MODE:
+                covered.append(int(row))
+            else:
+                covered.extend(range(int(row), min(int(row) + 32, L.n_rows)))
+        assert covered == list(range(L.n_rows))
+
+
+class TestAdaptiveSolver:
+    def test_solves_mixed_matrix(self):
+        system = lower_triangular_system(mixed_density_matrix())
+        r = assert_solves_exactly(AdaptiveCapelliniSolver(), system, SIM_SMALL)
+        assert r.extra["thread_mode_blocks"] > 0
+        assert r.extra["warp_mode_blocks"] > 0
+
+    def test_extreme_thresholds_reduce_to_pure_modes(self):
+        system = lower_triangular_system(mixed_density_matrix())
+        all_thread = AdaptiveCapelliniSolver(threshold=1e9).solve(
+            system.L, system.b, device=SIM_SMALL
+        )
+        all_warp = AdaptiveCapelliniSolver(threshold=1e-9).solve(
+            system.L, system.b, device=SIM_SMALL
+        )
+        assert all_thread.extra["warp_mode_blocks"] == 0
+        assert all_warp.extra["thread_mode_blocks"] == 0
+        np.testing.assert_allclose(all_thread.x, system.x_true, rtol=1e-9)
+        np.testing.assert_allclose(all_warp.x, system.x_true, rtol=1e-9)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            AdaptiveCapelliniSolver(threshold=0.0)
+
+
+class TestSelection:
+    def test_high_granularity_selects_capellini(self):
+        # wide-level circuit structure at a size where delta > 0.7
+        L = circuit(120_000, seed=1, rail_prob=0.85)
+        assert select_solver(L).name == "Capellini"
+
+    def test_low_granularity_selects_syncfree(self):
+        L = banded(400, bandwidth=12, fill=0.9)
+        assert select_solver(L).name == "SyncFree"
+
+    def test_accepts_precomputed_features(self):
+        L = banded(400, bandwidth=12, fill=0.9)
+        f = extract_features(L)
+        assert select_solver(f).name == "SyncFree"
+
+    def test_custom_threshold(self):
+        L = random_unit_lower(100, 0.05, seed=0)
+        s_low = select_solver(L, threshold=-10.0)
+        s_high = select_solver(L, threshold=10.0)
+        assert s_low.name == "Capellini"
+        assert s_high.name == "SyncFree"

@@ -1,0 +1,77 @@
+"""Property tests: every parallel solver agrees with Algorithm 1.
+
+Hypothesis generates arbitrary unit-lower-triangular systems; the serial
+reference is the ground truth (itself cross-checked against scipy in
+test_reference).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.gpu.device import DeviceSpec
+from repro.solvers import (
+    AdaptiveCapelliniSolver,
+    LevelSetSolver,
+    SyncFreeSolver,
+    TwoPhaseCapelliniSolver,
+    WritingFirstCapelliniSolver,
+)
+from repro.solvers.reference import serial_sptrsv
+from repro.sparse.triangular import lower_triangular_system
+
+from tests.conftest import random_unit_lower
+
+# a small fast device (warp size 4 keeps intra-warp cases frequent)
+DEV = DeviceSpec(
+    name="PropDev", sm_count=2, warp_size=4, max_resident_warps=4,
+    issue_width=2, clock_ghz=1.0, dram_latency_cycles=8,
+)
+
+SOLVERS = [
+    LevelSetSolver,
+    SyncFreeSolver,
+    TwoPhaseCapelliniSolver,
+    WritingFirstCapelliniSolver,
+    AdaptiveCapelliniSolver,
+]
+
+
+@pytest.mark.parametrize("solver_cls", SOLVERS)
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    n=st.integers(1, 40),
+    density=st.floats(0.0, 0.5),
+    seed=st.integers(0, 99_999),
+)
+def test_agrees_with_serial_reference(solver_cls, n, density, seed):
+    L = random_unit_lower(n, density, seed=seed)
+    system = lower_triangular_system(L, rng=np.random.default_rng(seed))
+    expected = serial_sptrsv(L, system.b)
+    result = solver_cls().solve(L, system.b, device=DEV)
+    np.testing.assert_allclose(result.x, expected, rtol=1e-9, atol=1e-12)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+)
+@given(
+    n=st.integers(1, 30),
+    density=st.floats(0.0, 0.5),
+    seed=st.integers(0, 99_999),
+    threshold=st.floats(0.5, 32.0),
+)
+def test_adaptive_threshold_never_affects_correctness(
+    n, density, seed, threshold
+):
+    L = random_unit_lower(n, density, seed=seed)
+    system = lower_triangular_system(L, rng=np.random.default_rng(seed))
+    result = AdaptiveCapelliniSolver(threshold=threshold).solve(
+        L, system.b, device=DEV
+    )
+    np.testing.assert_allclose(result.x, system.x_true, rtol=1e-9, atol=1e-12)

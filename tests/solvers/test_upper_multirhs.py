@@ -1,0 +1,143 @@
+"""Upper-triangular solves and multi-RHS SpTRSM tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NotTriangularError, SolverError
+from repro.gpu.device import SIM_SMALL
+from repro.solvers import (
+    SerialReferenceSolver,
+    WritingFirstCapelliniSolver,
+    capellini_sptrsm,
+    is_upper_triangular,
+    reverse_matrix,
+    serial_sptrsm,
+    solve_upper,
+)
+from repro.sparse.convert import csr_to_dense, dense_to_csr
+from repro.sparse.triangular import lower_triangular_system
+
+from tests.conftest import random_unit_lower
+
+
+def random_unit_upper(n, density, seed=0):
+    """Unit upper triangular: transpose-pattern of a random lower."""
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((n, n)) < density) * rng.uniform(0.05, 0.3, (n, n))
+    dense = np.triu(dense, 1) + np.eye(n)
+    return dense_to_csr(dense)
+
+
+class TestReverseMatrix:
+    def test_reverse_is_involution(self):
+        L = random_unit_lower(30, 0.15, seed=2)
+        back = reverse_matrix(reverse_matrix(L))
+        assert np.allclose(csr_to_dense(back), csr_to_dense(L))
+
+    def test_upper_becomes_lower(self):
+        U = random_unit_upper(25, 0.2, seed=3)
+        from repro.sparse.triangular import is_lower_triangular
+
+        assert is_upper_triangular(U)
+        assert is_lower_triangular(reverse_matrix(U))
+
+    def test_rejects_non_square(self):
+        m = dense_to_csr(np.ones((2, 3)))
+        with pytest.raises(NotTriangularError):
+            reverse_matrix(m)
+
+
+class TestIsUpperTriangular:
+    def test_true_for_upper(self):
+        assert is_upper_triangular(random_unit_upper(10, 0.3))
+
+    def test_false_for_lower(self):
+        assert not is_upper_triangular(random_unit_lower(10, 0.3))
+
+    def test_missing_diagonal(self):
+        m = dense_to_csr(np.array([[0.0, 1.0], [0.0, 1.0]]))
+        assert not is_upper_triangular(m)
+        assert is_upper_triangular(m, require_diagonal=False)
+
+
+class TestSolveUpper:
+    @pytest.mark.parametrize(
+        "solver_cls", [SerialReferenceSolver, WritingFirstCapelliniSolver]
+    )
+    def test_solves_manufactured_system(self, solver_cls):
+        U = random_unit_upper(60, 0.1, seed=4)
+        x_true = np.random.default_rng(1).uniform(0.5, 1.5, 60)
+        b = csr_to_dense(U) @ x_true
+        x = solve_upper(solver_cls(), U, b, device=SIM_SMALL)
+        np.testing.assert_allclose(x, x_true, rtol=1e-9)
+
+    def test_rejects_lower_input(self):
+        L = random_unit_lower(10, 0.2)
+        with pytest.raises(NotTriangularError):
+            solve_upper(SerialReferenceSolver(), L, np.zeros(10))
+
+    @settings(max_examples=15, deadline=None)
+    @given(n=st.integers(1, 40), density=st.floats(0.0, 0.4),
+           seed=st.integers(0, 9999))
+    def test_matches_scipy_property(self, n, density, seed):
+        import scipy.sparse.linalg as spla
+
+        from repro.sparse.convert import csr_to_scipy
+
+        U = random_unit_upper(n, density, seed=seed)
+        b = np.random.default_rng(seed).normal(size=n)
+        ours = solve_upper(SerialReferenceSolver(), U, b)
+        ref = spla.spsolve_triangular(csr_to_scipy(U), b, lower=False)
+        np.testing.assert_allclose(ours, ref, rtol=1e-9, atol=1e-12)
+
+
+class TestMultiRHS:
+    def test_serial_reference(self):
+        L = random_unit_lower(40, 0.1, seed=5)
+        X_true = np.random.default_rng(2).uniform(0.5, 1.5, (40, 3))
+        B = csr_to_dense(L) @ X_true
+        np.testing.assert_allclose(serial_sptrsm(L, B), X_true, rtol=1e-9)
+
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_capellini_sptrsm(self, k):
+        L = random_unit_lower(80, 0.06, seed=6)
+        X_true = np.random.default_rng(3).uniform(0.5, 1.5, (80, k))
+        B = csr_to_dense(L) @ X_true
+        result = capellini_sptrsm(L, B, device=SIM_SMALL)
+        np.testing.assert_allclose(result.X, X_true, rtol=1e-9)
+        assert result.n_rhs == k
+        assert result.stats.cycles > 0
+
+    def test_amortization_vs_k_single_solves(self):
+        """One k-RHS launch must cost fewer simulated cycles than k
+        single-RHS launches (the dependency work is shared)."""
+        k = 4
+        L = random_unit_lower(120, 0.05, seed=7)
+        X_true = np.random.default_rng(4).uniform(0.5, 1.5, (120, k))
+        B = csr_to_dense(L) @ X_true
+        multi = capellini_sptrsm(L, B, device=SIM_SMALL)
+        solver = WritingFirstCapelliniSolver()
+        single_cycles = sum(
+            solver.solve(L, B[:, r], device=SIM_SMALL).stats.cycles
+            for r in range(k)
+        )
+        assert multi.stats.cycles < single_cycles
+
+    def test_shape_validation(self):
+        L = random_unit_lower(10, 0.2)
+        with pytest.raises(SolverError, match="shape"):
+            capellini_sptrsm(L, np.zeros((5, 2)))
+        with pytest.raises(SolverError, match="at least one"):
+            capellini_sptrsm(L, np.zeros((10, 0)))
+
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.integers(2, 30), k=st.integers(1, 4),
+           seed=st.integers(0, 9999))
+    def test_agrees_with_serial_property(self, n, k, seed):
+        L = random_unit_lower(n, 0.2, seed=seed)
+        B = np.random.default_rng(seed).normal(size=(n, k))
+        result = capellini_sptrsm(L, B, device=SIM_SMALL)
+        np.testing.assert_allclose(
+            result.X, serial_sptrsm(L, B), rtol=1e-9, atol=1e-12
+        )

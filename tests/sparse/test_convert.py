@@ -1,0 +1,122 @@
+"""Conversion tests, including hypothesis round-trip properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sparse.convert import (
+    coo_to_csr,
+    csc_to_csr,
+    csr_to_coo,
+    csr_to_csc,
+    csr_to_dense,
+    csr_to_scipy,
+    dense_to_csr,
+    scipy_to_csr,
+)
+from repro.sparse.coo import COOMatrix
+
+from tests.conftest import fig1_matrix, random_unit_lower
+
+
+@st.composite
+def random_dense(draw):
+    n_rows = draw(st.integers(1, 12))
+    n_cols = draw(st.integers(1, 12))
+    seed = draw(st.integers(0, 2**31 - 1))
+    density = draw(st.floats(0.0, 1.0))
+    rng = np.random.default_rng(seed)
+    d = (rng.random((n_rows, n_cols)) < density) * rng.uniform(
+        -2.0, 2.0, (n_rows, n_cols)
+    )
+    return d
+
+
+class TestCOORoundtrip:
+    def test_coo_to_csr_sorts_and_sums(self):
+        coo = COOMatrix(
+            2, 3,
+            np.array([1, 0, 1, 1]),
+            np.array([2, 1, 0, 2]),
+            np.array([1.0, 5.0, 2.0, 3.0]),
+        )
+        csr = coo_to_csr(coo)
+        assert csr.row_ptr.tolist() == [0, 1, 3]
+        assert csr.col_idx.tolist() == [1, 0, 2]
+        assert csr.values.tolist() == [5.0, 2.0, 4.0]
+
+    def test_csr_to_coo_back(self):
+        m = fig1_matrix()
+        again = coo_to_csr(csr_to_coo(m))
+        assert np.array_equal(again.row_ptr, m.row_ptr)
+        assert np.array_equal(again.col_idx, m.col_idx)
+        assert np.allclose(again.values, m.values)
+
+
+class TestCSCRoundtrip:
+    def test_csr_csc_roundtrip_fig1(self):
+        m = fig1_matrix()
+        back = csc_to_csr(csr_to_csc(m))
+        assert np.array_equal(back.col_idx, m.col_idx)
+        assert np.allclose(back.values, m.values)
+
+    def test_csc_column_content(self):
+        m = fig1_matrix()
+        csc = csr_to_csc(m)
+        rows, vals = csc.column(1)
+        # column 1 holds L(1,1), L(2,1), L(3,1), L(4,1)
+        assert rows.tolist() == [1, 2, 3, 4]
+
+    def test_rectangular(self):
+        d = np.array([[1.0, 0.0, 2.0], [0.0, 3.0, 0.0]])
+        m = dense_to_csr(d)
+        back = csr_to_dense(csc_to_csr(csr_to_csc(m)))
+        assert np.allclose(back, d)
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_dense())
+    def test_roundtrip_property(self, dense):
+        m = dense_to_csr(dense)
+        back = csc_to_csr(csr_to_csc(m))
+        assert np.allclose(csr_to_dense(back), dense)
+
+
+class TestDenseBridge:
+    def test_dense_to_csr_drops_zeros(self):
+        d = np.array([[0.0, 1.0], [0.0, 0.0]])
+        m = dense_to_csr(d)
+        assert m.nnz == 1
+
+    def test_dense_to_csr_tolerance(self):
+        d = np.array([[1e-12, 1.0]])
+        assert dense_to_csr(d, tol=1e-9).nnz == 1
+
+    def test_dense_requires_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            dense_to_csr(np.zeros(3))
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_dense())
+    def test_dense_roundtrip_property(self, dense):
+        assert np.allclose(csr_to_dense(dense_to_csr(dense)), dense)
+
+
+class TestScipyBridge:
+    def test_to_scipy_and_back(self):
+        m = random_unit_lower(40, 0.1, seed=5)
+        again = scipy_to_csr(csr_to_scipy(m))
+        assert np.array_equal(again.col_idx, m.col_idx)
+        assert np.allclose(again.values, m.values)
+
+    def test_scipy_matvec_agrees(self):
+        m = random_unit_lower(40, 0.1, seed=5)
+        x = np.random.default_rng(0).normal(size=40)
+        assert np.allclose(m.matvec(x), csr_to_scipy(m) @ x)
+
+    def test_scipy_coo_input(self):
+        import scipy.sparse as sp
+
+        s = sp.coo_matrix(np.array([[0.0, 2.0], [3.0, 0.0]]))
+        m = scipy_to_csr(s)
+        assert m.nnz == 2
+        assert csr_to_dense(m).tolist() == [[0.0, 2.0], [3.0, 0.0]]

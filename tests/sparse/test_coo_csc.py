@@ -1,0 +1,97 @@
+"""Unit tests for the COO and CSC containers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SparseFormatError
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csc import CSCMatrix
+
+
+class TestCOO:
+    def test_basic(self):
+        m = COOMatrix(2, 3, np.array([0, 1]), np.array([2, 0]),
+                      np.array([1.0, 2.0]))
+        assert m.shape == (2, 3)
+        assert m.nnz == 2
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(SparseFormatError, match="identical shapes"):
+            COOMatrix(2, 2, np.array([0]), np.array([0, 1]),
+                      np.array([1.0, 2.0]))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(SparseFormatError, match="row index"):
+            COOMatrix(1, 1, np.array([1]), np.array([0]), np.array([1.0]))
+        with pytest.raises(SparseFormatError, match="column index"):
+            COOMatrix(1, 1, np.array([0]), np.array([1]), np.array([1.0]))
+
+    def test_two_dimensional_arrays_rejected(self):
+        with pytest.raises(SparseFormatError, match="one-dimensional"):
+            COOMatrix(
+                2, 2, np.zeros((1, 1), dtype=int), np.zeros((1, 1), dtype=int),
+                np.ones((1, 1)),
+            )
+
+    def test_deduplicated_sums_values(self):
+        m = COOMatrix(
+            2, 2,
+            np.array([0, 0, 1]),
+            np.array([1, 1, 0]),
+            np.array([1.0, 2.5, 4.0]),
+        )
+        d = m.deduplicated()
+        assert d.nnz == 2
+        entries = {(int(r), int(c)): v for r, c, v in
+                   zip(d.rows, d.cols, d.values)}
+        assert entries[(0, 1)] == pytest.approx(3.5)
+        assert entries[(1, 0)] == pytest.approx(4.0)
+
+    def test_deduplicated_empty(self):
+        m = COOMatrix(3, 3, np.array([], dtype=int), np.array([], dtype=int),
+                      np.array([]))
+        assert m.deduplicated().nnz == 0
+
+
+class TestCSC:
+    def make(self) -> CSCMatrix:
+        # [[1, 0], [2, 3]] column-major
+        return CSCMatrix(
+            2, 2,
+            np.array([0, 2, 3]),
+            np.array([0, 1, 1]),
+            np.array([1.0, 2.0, 3.0]),
+        )
+
+    def test_basic(self):
+        m = self.make()
+        assert m.nnz == 3
+        assert m.shape == (2, 2)
+        assert m.col_lengths().tolist() == [2, 1]
+
+    def test_column_view(self):
+        rows, vals = self.make().column(0)
+        assert rows.tolist() == [0, 1]
+        assert vals.tolist() == [1.0, 2.0]
+
+    def test_column_out_of_range(self):
+        with pytest.raises(IndexError):
+            self.make().column(2)
+
+    def test_col_ptr_length_check(self):
+        with pytest.raises(SparseFormatError, match="col_ptr"):
+            CSCMatrix(2, 2, np.array([0, 3]), np.array([0, 1, 1]),
+                      np.array([1.0, 2.0, 3.0]))
+
+    def test_col_ptr_start_check(self):
+        with pytest.raises(SparseFormatError, match="col_ptr\\[0\\]"):
+            CSCMatrix(1, 1, np.array([1, 1]), np.array([]), np.array([]))
+
+    def test_rows_strictly_increasing_per_column(self):
+        with pytest.raises(SparseFormatError, match="strictly increasing"):
+            CSCMatrix(2, 1, np.array([0, 2]), np.array([1, 0]),
+                      np.array([1.0, 2.0]))
+
+    def test_row_index_out_of_range(self):
+        with pytest.raises(SparseFormatError, match="row index"):
+            CSCMatrix(1, 1, np.array([0, 1]), np.array([3]), np.array([1.0]))

@@ -1,0 +1,180 @@
+"""Unit tests for the CSR container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SparseFormatError
+from repro.sparse.csr import CSRMatrix
+
+from tests.conftest import build_csr, fig1_matrix
+
+
+def simple_csr() -> CSRMatrix:
+    # [[1, 0], [2, 3]]
+    return CSRMatrix(
+        2, 2,
+        np.array([0, 1, 3]),
+        np.array([0, 0, 1]),
+        np.array([1.0, 2.0, 3.0]),
+    )
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        m = simple_csr()
+        assert m.shape == (2, 2)
+        assert m.nnz == 3
+        assert m.is_square
+
+    def test_from_arrays_infers_shape(self):
+        m = CSRMatrix.from_arrays(
+            np.array([0, 1, 3]), np.array([0, 0, 1]), np.array([1.0, 2.0, 3.0])
+        )
+        assert m.shape == (2, 2)
+
+    def test_from_arrays_explicit_cols(self):
+        m = CSRMatrix.from_arrays(
+            np.array([0, 1]), np.array([0]), np.array([1.0]), n_cols=5
+        )
+        assert m.shape == (1, 5)
+
+    def test_arrays_are_contiguous_int64_float64(self):
+        m = simple_csr()
+        assert m.row_ptr.dtype == np.int64
+        assert m.col_idx.dtype == np.int64
+        assert m.values.dtype == np.float64
+        assert m.row_ptr.flags.c_contiguous
+
+    def test_empty_matrix(self):
+        m = CSRMatrix(0, 0, np.array([0]), np.array([]), np.array([]))
+        assert m.nnz == 0
+        assert m.shape == (0, 0)
+
+    def test_rows_without_entries_allowed(self):
+        m = CSRMatrix(
+            3, 3, np.array([0, 0, 1, 1]), np.array([0]), np.array([2.0])
+        )
+        assert m.row_lengths().tolist() == [0, 1, 0]
+
+
+class TestValidation:
+    def test_negative_dims_rejected(self):
+        with pytest.raises(SparseFormatError, match="non-negative"):
+            CSRMatrix(-1, 2, np.array([0]), np.array([]), np.array([]))
+
+    def test_wrong_row_ptr_length(self):
+        with pytest.raises(SparseFormatError, match="row_ptr"):
+            CSRMatrix(2, 2, np.array([0, 1]), np.array([0]), np.array([1.0]))
+
+    def test_row_ptr_must_start_at_zero(self):
+        with pytest.raises(SparseFormatError, match="row_ptr\\[0\\]"):
+            CSRMatrix(1, 1, np.array([1, 1]), np.array([]), np.array([]))
+
+    def test_row_ptr_must_be_nondecreasing(self):
+        with pytest.raises(SparseFormatError, match="non-decreasing"):
+            CSRMatrix(
+                2, 2, np.array([0, 2, 1]), np.array([0]), np.array([1.0])
+            )
+
+    def test_col_idx_length_mismatch(self):
+        with pytest.raises(SparseFormatError, match="col_idx"):
+            CSRMatrix(
+                1, 2, np.array([0, 2]), np.array([0]), np.array([1.0, 2.0])
+            )
+
+    def test_values_length_mismatch(self):
+        with pytest.raises(SparseFormatError, match="values"):
+            CSRMatrix(
+                1, 2, np.array([0, 2]), np.array([0, 1]), np.array([1.0])
+            )
+
+    def test_column_out_of_range(self):
+        with pytest.raises(SparseFormatError, match="out of range"):
+            CSRMatrix(1, 2, np.array([0, 1]), np.array([2]), np.array([1.0]))
+
+    def test_negative_column_rejected(self):
+        with pytest.raises(SparseFormatError, match="out of range"):
+            CSRMatrix(1, 2, np.array([0, 1]), np.array([-1]), np.array([1.0]))
+
+    def test_unsorted_columns_in_row_rejected(self):
+        with pytest.raises(SparseFormatError, match="strictly increasing"):
+            CSRMatrix(
+                1, 3, np.array([0, 2]), np.array([1, 0]),
+                np.array([1.0, 2.0]),
+            )
+
+    def test_duplicate_columns_in_row_rejected(self):
+        with pytest.raises(SparseFormatError, match="strictly increasing"):
+            CSRMatrix(
+                1, 3, np.array([0, 2]), np.array([1, 1]),
+                np.array([1.0, 2.0]),
+            )
+
+    def test_decreasing_across_row_boundary_is_fine(self):
+        m = CSRMatrix(
+            2, 3, np.array([0, 1, 2]), np.array([2, 0]),
+            np.array([1.0, 2.0]),
+        )
+        assert m.nnz == 2
+
+
+class TestAccessors:
+    def test_row_view(self):
+        m = simple_csr()
+        cols, vals = m.row(1)
+        assert cols.tolist() == [0, 1]
+        assert vals.tolist() == [2.0, 3.0]
+
+    def test_row_out_of_range(self):
+        with pytest.raises(IndexError):
+            simple_csr().row(2)
+        with pytest.raises(IndexError):
+            simple_csr().row(-1)
+
+    def test_row_lengths(self):
+        assert simple_csr().row_lengths().tolist() == [1, 2]
+
+    def test_avg_nnz_per_row(self):
+        assert simple_csr().avg_nnz_per_row() == pytest.approx(1.5)
+
+    def test_avg_nnz_empty(self):
+        m = CSRMatrix(0, 0, np.array([0]), np.array([]), np.array([]))
+        assert m.avg_nnz_per_row() == 0.0
+
+    def test_diagonal(self):
+        d = simple_csr().diagonal()
+        assert d.tolist() == [1.0, 3.0]
+
+    def test_diagonal_with_missing_entries(self):
+        m = build_csr({(0, 0): 2.0, (1, 0): 1.0}, 2)
+        assert m.diagonal().tolist() == [2.0, 0.0]
+
+    def test_with_values_same_pattern(self):
+        m = simple_csr()
+        m2 = m.with_values(np.array([10.0, 20.0, 30.0]))
+        assert m2.values.tolist() == [10.0, 20.0, 30.0]
+        assert np.array_equal(m2.col_idx, m.col_idx)
+
+    def test_with_values_wrong_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            simple_csr().with_values(np.array([1.0]))
+
+
+class TestMatvec:
+    def test_matvec_matches_dense(self):
+        m = fig1_matrix()
+        from repro.sparse.convert import csr_to_dense
+
+        x = np.arange(1.0, 9.0)
+        assert np.allclose(m.matvec(x), csr_to_dense(m) @ x)
+
+    def test_matvec_shape_check(self):
+        with pytest.raises(ValueError, match="shape"):
+            simple_csr().matvec(np.zeros(3))
+
+    def test_matvec_with_empty_rows(self):
+        m = CSRMatrix(
+            3, 3, np.array([0, 0, 1, 1]), np.array([2]), np.array([4.0])
+        )
+        out = m.matvec(np.array([1.0, 1.0, 2.0]))
+        assert out.tolist() == [0.0, 8.0, 0.0]

@@ -1,0 +1,138 @@
+"""Matrix Market I/O tests."""
+
+import gzip
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import SparseFormatError
+from repro.sparse.convert import csr_to_dense
+from repro.sparse.io_mm import read_matrix_market, write_matrix_market
+
+from tests.conftest import fig1_matrix, random_unit_lower
+
+
+class TestRoundtrip:
+    def test_stream_roundtrip(self):
+        m = fig1_matrix()
+        buf = io.StringIO()
+        write_matrix_market(m, buf)
+        buf.seek(0)
+        back = read_matrix_market(buf)
+        assert np.array_equal(back.col_idx, m.col_idx)
+        assert np.allclose(back.values, m.values)
+
+    def test_file_roundtrip(self, tmp_path):
+        m = random_unit_lower(50, 0.1, seed=9)
+        path = tmp_path / "m.mtx"
+        write_matrix_market(m, path)
+        back = read_matrix_market(path)
+        assert np.allclose(csr_to_dense(back), csr_to_dense(m))
+
+    def test_gzip_read(self, tmp_path):
+        m = fig1_matrix()
+        buf = io.StringIO()
+        write_matrix_market(m, buf)
+        path = tmp_path / "m.mtx.gz"
+        with gzip.open(path, "wt") as fh:
+            fh.write(buf.getvalue())
+        back = read_matrix_market(path)
+        assert back.nnz == m.nnz
+
+    def test_comment_written(self):
+        buf = io.StringIO()
+        write_matrix_market(fig1_matrix(), buf, comment="hello world")
+        assert "% hello world" in buf.getvalue()
+
+
+class TestFlavours:
+    def test_pattern_file(self):
+        text = (
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 2 2\n"
+            "1 1\n"
+            "2 1\n"
+        )
+        m = read_matrix_market(io.StringIO(text))
+        assert m.values.tolist() == [1.0, 1.0]
+
+    def test_integer_file(self):
+        text = (
+            "%%MatrixMarket matrix coordinate integer general\n"
+            "1 1 1\n"
+            "1 1 7\n"
+        )
+        m = read_matrix_market(io.StringIO(text))
+        assert m.values.tolist() == [7.0]
+
+    def test_symmetric_expansion(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "2 2 2\n"
+            "1 1 1.0\n"
+            "2 1 5.0\n"
+        )
+        m = read_matrix_market(io.StringIO(text))
+        dense = csr_to_dense(m)
+        assert dense[0, 1] == 5.0 and dense[1, 0] == 5.0
+
+    def test_skew_symmetric_expansion(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+            "2 2 1\n"
+            "2 1 3.0\n"
+        )
+        dense = csr_to_dense(read_matrix_market(io.StringIO(text)))
+        assert dense[1, 0] == 3.0 and dense[0, 1] == -3.0
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n"
+            "\n"
+            "1 1 1\n"
+            "% another\n"
+            "1 1 2.5\n"
+        )
+        m = read_matrix_market(io.StringIO(text))
+        assert m.values.tolist() == [2.5]
+
+
+class TestErrors:
+    def test_missing_header(self):
+        with pytest.raises(SparseFormatError, match="header"):
+            read_matrix_market(io.StringIO("1 1 0\n"))
+
+    def test_unsupported_format(self):
+        text = "%%MatrixMarket matrix array real general\n"
+        with pytest.raises(SparseFormatError, match="coordinate"):
+            read_matrix_market(io.StringIO(text))
+
+    def test_unsupported_field(self):
+        text = "%%MatrixMarket matrix coordinate complex general\n1 1 1\n"
+        with pytest.raises(SparseFormatError, match="field"):
+            read_matrix_market(io.StringIO(text))
+
+    def test_unsupported_symmetry(self):
+        text = "%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n"
+        with pytest.raises(SparseFormatError, match="symmetry"):
+            read_matrix_market(io.StringIO(text))
+
+    def test_wrong_entry_count(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n"
+        with pytest.raises(SparseFormatError, match="expected 2 entries"):
+            read_matrix_market(io.StringIO(text))
+
+    def test_too_many_entries(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 1\n1 1 1\n2 2 1\n"
+        )
+        with pytest.raises(SparseFormatError, match="more entries"):
+            read_matrix_market(io.StringIO(text))
+
+    def test_malformed_size_line(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2\n"
+        with pytest.raises(SparseFormatError, match="size line"):
+            read_matrix_market(io.StringIO(text))

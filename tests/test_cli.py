@@ -1,0 +1,101 @@
+"""CLI tests (argument parsing + command behaviour)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import EXPERIMENT_IDS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_ids_cover_all_paper_artifacts(self):
+        for required in ("table1", "table2", "table4", "table5", "table6",
+                         "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+                         "ablation"):
+            assert required in EXPERIMENT_IDS
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.domain == "circuit"
+        assert args.solver == "auto"
+
+
+class TestCommands:
+    def test_solve_named_solver(self, capsys):
+        rc = main(["solve", "--domain", "circuit", "--n-rows", "300",
+                   "--solver", "Capellini"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Capellini" in out
+        assert "max error" in out
+
+    def test_solve_auto_selection(self, capsys):
+        rc = main(["solve", "--domain", "fem", "--n-rows", "200",
+                   "--solver", "auto"])
+        assert rc == 0
+        assert "SyncFree" in capsys.readouterr().out
+
+    def test_analyze_generated(self, capsys):
+        rc = main(["analyze", "--domain", "lp", "--n-rows", "5000"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "delta" in out and "recommended solver" in out
+
+    def test_generate_then_analyze_file(self, tmp_path, capsys):
+        path = str(tmp_path / "m.mtx")
+        rc = main(["generate", "--domain", "circuit", "--n-rows", "400",
+                   "--out", path])
+        assert rc == 0
+        rc = main(["analyze", "--matrix", path])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "n=400" in out
+
+    def test_experiments_list(self, capsys):
+        rc = main(["experiments", "--list"])
+        assert rc == 0
+        assert "table4" in capsys.readouterr().out
+
+    def test_experiments_unknown_id(self, capsys):
+        rc = main(["experiments", "nope"])
+        assert rc == 2
+
+    def test_experiments_table2(self, capsys):
+        rc = main(["experiments", "table2"])
+        assert rc == 0
+        assert "Table 2" in capsys.readouterr().out
+
+
+class TestJsonExport:
+    def test_experiments_json_written(self, tmp_path, capsys):
+        rc = main(["experiments", "table2", "--json", str(tmp_path)])
+        assert rc == 0
+        import json
+
+        payload = json.loads((tmp_path / "table2.json").read_text())
+        assert payload["experiment_id"] == "table2"
+        assert "rows" in payload["data"]
+
+    def test_to_json_dict_handles_numpy(self):
+        import json
+
+        import numpy as np
+
+        from repro.experiments.harness import ExperimentResult
+
+        r = ExperimentResult(
+            experiment_id="x",
+            title="t",
+            text="body",
+            data={
+                "arr": np.arange(3),
+                "scalar": np.float64(1.5),
+                "nan": float("nan"),
+                "nested": {"obj": object()},
+            },
+        )
+        payload = json.dumps(r.to_json_dict())
+        assert '"arr": [0, 1, 2]' in payload

@@ -1,0 +1,39 @@
+"""Smoke tests: every shipped example must run end-to-end.
+
+``reproduce_paper.py`` is excluded (it is the benchmark suite in
+miniature and takes minutes); the benches cover its content.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "deadlock_demo.py",
+    "trace_timelines.py",
+    "graph_application.py",
+    "iterative_solver.py",
+    "ilu_preconditioner.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, capsys, monkeypatch):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"example {script} missing"
+    monkeypatch.setattr(sys, "argv", [str(path)])
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_examples_directory_complete():
+    """README promises at least these examples."""
+    present = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    for required in FAST_EXAMPLES + ["reproduce_paper.py"]:
+        assert required in present
