@@ -1,0 +1,79 @@
+"""Bench: host-time overhead of the dynamic sanitizers.
+
+Not a paper artifact — tracks the cost of running a simulated solve with
+`repro.analysis.sanitize.Sanitizer` attached versus bare, per solver
+family.  The sanitizer is pay-for-use (one attribute test on the memory
+hot path when absent), so the interesting number is the *enabled*
+multiplier: every counted lane access takes an extra observer call plus
+protocol bookkeeping.  The recorded ``sanitizer_overhead_x`` in
+``extra_info`` is what `docs/analysis.md` quotes.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.sanitize import Sanitizer
+from repro.datasets.domains import circuit
+from repro.gpu.device import SIM_SMALL
+from repro.solvers import (
+    SyncFreeSolver,
+    TwoPhaseCapelliniSolver,
+    WritingFirstCapelliniSolver,
+    _sim,
+)
+from repro.sparse.triangular import lower_triangular_system
+
+SOLVERS = [
+    WritingFirstCapelliniSolver,
+    TwoPhaseCapelliniSolver,
+    SyncFreeSolver,
+]
+
+
+@pytest.fixture(scope="module")
+def system():
+    return lower_triangular_system(
+        circuit(800, seed=11, avg_nnz_per_row=3.5, rail_prob=0.85)
+    )
+
+
+def _timed_solve(solver, system, sanitizer=None):
+    t0 = time.perf_counter()
+    if sanitizer is None:
+        result = solver.solve(system.L, system.b, device=SIM_SMALL)
+    else:
+        with _sim.sanitizing(sanitizer):
+            result = solver.solve(system.L, system.b, device=SIM_SMALL)
+    return time.perf_counter() - t0, result
+
+
+@pytest.mark.parametrize("solver_cls", SOLVERS, ids=lambda c: c.name)
+def test_sanitizer_overhead(benchmark, system, solver_cls):
+    solver = solver_cls()
+
+    # bare run first (also warms caches so the ratio is not startup noise)
+    bare_s, bare_result = _timed_solve(solver, system)
+    np.testing.assert_allclose(bare_result.x, system.x_true, rtol=1e-9)
+
+    sanitizer = Sanitizer(mode="raise")
+
+    def sanitized_solve():
+        return _timed_solve(solver, system, sanitizer)[1]
+
+    result = benchmark.pedantic(sanitized_solve, rounds=1, iterations=1,
+                                warmup_rounds=0)
+    np.testing.assert_allclose(result.x, system.x_true, rtol=1e-9)
+    assert sanitizer.hazards == []
+
+    sanitized_s = benchmark.stats.stats.mean
+    benchmark.extra_info["bare_host_s"] = round(bare_s, 4)
+    benchmark.extra_info["sanitized_host_s"] = round(sanitized_s, 4)
+    if bare_s > 0:
+        benchmark.extra_info["sanitizer_overhead_x"] = round(
+            sanitized_s / bare_s, 2
+        )
+    # the simulated device time must be identical: sanitizers observe,
+    # they never change the schedule
+    assert result.exec_ms == bare_result.exec_ms

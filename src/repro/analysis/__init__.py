@@ -4,6 +4,18 @@ This package implements the concepts of Section 2.1 of the paper:
 components, dependencies, the dependency DAG, and level-sets — plus the
 paper's own contribution on the analysis side, the *parallel granularity*
 indicator of Section 3.2 (Equation 1).
+
+It also hosts the kernel hazard analyzer (see ``docs/analysis.md``):
+
+* :mod:`repro.analysis.schedule` — static deadlock/schedule verifier
+  (classifies row dependencies against the warp mapping and proves or
+  refutes deadlock-freedom per solver family, with zero simulated cycles);
+* :mod:`repro.analysis.sanitize` — opt-in dynamic sanitizers observing
+  every simulated memory access (memory-order, race, uninitialized-read,
+  double-publish);
+* :mod:`repro.analysis.lint` — AST lint for kernel sources
+  (fence-before-flag, divergent blocking spins, load ordering);
+* :mod:`repro.analysis.hazards` — the shared hazard taxonomy.
 """
 
 from repro.analysis.levels import LevelSchedule, compute_levels
@@ -20,6 +32,18 @@ from repro.analysis.reorder import (
     reorder_by_levels,
     reorder_reverse_cuthill_mckee,
 )
+from repro.analysis.hazards import Hazard
+from repro.analysis.schedule import (
+    EdgeClassification,
+    SchedulePolicy,
+    ScheduleReport,
+    classify_edges,
+    render_verdict_table,
+    resolve_policy,
+    verify_all,
+    verify_schedule,
+)
+from repro.analysis.sanitize import DEFAULT_PROTOCOLS, PublishProtocol, Sanitizer
 
 __all__ = [
     "LevelSchedule",
@@ -36,4 +60,16 @@ __all__ = [
     "permute_symmetric",
     "reorder_by_levels",
     "reorder_reverse_cuthill_mckee",
+    "Hazard",
+    "EdgeClassification",
+    "SchedulePolicy",
+    "ScheduleReport",
+    "classify_edges",
+    "render_verdict_table",
+    "resolve_policy",
+    "verify_all",
+    "verify_schedule",
+    "DEFAULT_PROTOCOLS",
+    "PublishProtocol",
+    "Sanitizer",
 ]

@@ -1,0 +1,104 @@
+"""Hazard taxonomy shared by the static verifier and dynamic sanitizers.
+
+A *hazard* is a way a synchronization-free SpTRSV kernel can go wrong
+that ordinary numerical testing does not see until it deadlocks or
+silently corrupts a component.  The taxonomy names every failure mode
+this repository's analysis layers can detect (see ``docs/analysis.md``):
+
+Static (schedule-level, found without running the simulator)
+    * ``intra-warp-blocking-spin`` — a blocking busy-wait whose producer
+      is a lane of the same lock-step warp (the paper's Challenge 1).
+    * ``admission-order`` — a dependency pointing at a warp admitted
+      *later* in grid order than its consumer, which bounded residency
+      can turn into a scheduling deadlock.
+    * ``phase-bound-exceeded`` — an intra-warp dependency chain deeper
+      than the Two-Phase ``WARP_SIZE`` outer-loop bound (Algorithm 4).
+
+Dynamic (observed by the sanitizers during a simulated launch)
+    * ``memory-order`` — a flag store not preceded by the matching value
+      store plus a ``threadfence`` from the same lane.
+    * ``race`` — a load of ``x[j]`` by a consumer whose last observed
+      ``get_value[j]`` was not the published value.
+    * ``uninitialized-read`` — a load of a solution component no lane
+      ever stored.
+    * ``double-publish`` — a component's flag raised more than once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Hazard",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "INTRA_WARP_BLOCKING_SPIN",
+    "ADMISSION_ORDER",
+    "PHASE_BOUND_EXCEEDED",
+    "MEMORY_ORDER",
+    "RACE",
+    "UNINITIALIZED_READ",
+    "DOUBLE_PUBLISH",
+    "STATIC_KINDS",
+    "DYNAMIC_KINDS",
+]
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+# -- static kinds ------------------------------------------------------
+INTRA_WARP_BLOCKING_SPIN = "intra-warp-blocking-spin"
+ADMISSION_ORDER = "admission-order"
+PHASE_BOUND_EXCEEDED = "phase-bound-exceeded"
+
+# -- dynamic kinds -----------------------------------------------------
+MEMORY_ORDER = "memory-order"
+RACE = "race"
+UNINITIALIZED_READ = "uninitialized-read"
+DOUBLE_PUBLISH = "double-publish"
+
+STATIC_KINDS = frozenset(
+    {INTRA_WARP_BLOCKING_SPIN, ADMISSION_ORDER, PHASE_BOUND_EXCEEDED}
+)
+DYNAMIC_KINDS = frozenset(
+    {MEMORY_ORDER, RACE, UNINITIALIZED_READ, DOUBLE_PUBLISH}
+)
+
+
+@dataclass(frozen=True)
+class Hazard:
+    """One detected hazard, static or dynamic.
+
+    Static hazards carry matrix-level provenance (``index`` is a row,
+    ``warp``/``lane`` the scheduled position of the consumer); dynamic
+    hazards carry execution provenance (the lane and cycle at which the
+    sanitizer observed the violation, taken from the live engine and its
+    tracer).  Fields that do not apply are ``None``.
+    """
+
+    kind: str
+    message: str
+    severity: str = SEVERITY_ERROR
+    array: str | None = None
+    index: int | None = None
+    warp: int | None = None
+    lane: int | None = None
+    cycle: int | None = None
+
+    def format(self) -> str:
+        """Render ``[kind] message (array[idx], warp w lane l, cycle c)``."""
+        where = []
+        if self.array is not None:
+            loc = self.array if self.index is None else f"{self.array}[{self.index}]"
+            where.append(loc)
+        if self.warp is not None:
+            lane = "" if self.lane is None else f" lane {self.lane}"
+            where.append(f"warp {self.warp}{lane}")
+        if self.cycle is not None:
+            where.append(f"cycle {self.cycle}")
+        suffix = f" ({', '.join(where)})" if where else ""
+        return f"[{self.kind}] {self.message}{suffix}"
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == SEVERITY_ERROR

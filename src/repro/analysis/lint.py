@@ -1,0 +1,516 @@
+"""AST-based lint for simulated-GPU kernel generators.
+
+The kernels under :mod:`repro.solvers` share one idiom for sync-free
+publication, and this linter enforces it *lexically*, before any test
+runs.  A *kernel* is any generator function taking a ``ctx``
+(:class:`~repro.gpu.kernel.ThreadCtx`) parameter.  Three rules:
+
+``KL001`` — fence-before-flag-store.
+    Every ``ctx.store(GET_VALUE, ...)`` (or any flag-array store) must be
+    lexically dominated by a ``ctx.threadfence()`` that itself follows
+    the matching value store: value store → fence → flag store, in
+    source order.
+
+``KL002`` — no blocking spin in a divergent intra-warp context.
+    A ``yield SpinWait(...)`` is only clean when the kernel provably
+    waits on *other* warps: either the row is warp-uniform (derived from
+    ``ctx.warp_id`` and untainted by ``ctx.lane_id`` /
+    ``ctx.global_id`` — warp-level kernels), or the spin is lexically
+    preceded, in its innermost loop, by a cross-warp guard — a
+    conditional ``break``/``continue``/``return`` comparing against a
+    variable whose name mentions ``warp`` (the ``warp_begin`` idiom of
+    Algorithm 4 phase 1).  Anything else is the paper's Challenge-1
+    deadlock shape.
+
+``KL003`` — flag-load-before-x-load.
+    In a kernel that uses the flag protocol, every ``ctx.load(X, idx)``
+    must be lexically preceded by a flag observation (``SpinWait`` /
+    ``Poll`` / ``ctx.load(GET_VALUE, ...)``) on an index with the same
+    root variable.
+
+Deliberate violations (the Challenge-1 demo kernel) carry a pragma on
+the offending line or the enclosing ``def``::
+
+    yield SpinWait(...)  # kernel-lint: allow=KL002 -- deliberate deadlock demo
+
+Run standalone (CI does)::
+
+    python -m repro.analysis.lint src/repro/solvers
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = [
+    "LintFinding",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "solver_package_paths",
+    "main",
+]
+
+#: Names recognized as flag (synchronization) arrays in store/load/wait
+#: calls — matched against ``_sim.GET_VALUE`` attributes, bare constants,
+#: and string literals alike.
+FLAG_NAMES = frozenset({"GET_VALUE", "get_value", "COUNTER", "counter"})
+#: Names recognized as guarded value arrays.
+VALUE_NAMES = frozenset({"X", "x", "LEFT_SUM", "left_sum"})
+
+_PRAGMA = "kernel-lint:"
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _array_token(node: ast.expr) -> str | None:
+    """The array a kernel call names: ``_sim.GET_VALUE`` / ``X`` / ``"x"``."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _is_ctx_call(node: ast.expr, method: str) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == method
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id == "ctx"
+    )
+
+
+def _wait_call(node: ast.expr) -> ast.Call | None:
+    """``SpinWait(...)`` / ``Poll(...)`` constructor calls."""
+    if isinstance(node, ast.Call):
+        fn = node.func
+        name = fn.id if isinstance(fn, ast.Name) else (
+            fn.attr if isinstance(fn, ast.Attribute) else None
+        )
+        if name in ("SpinWait", "Poll"):
+            return node
+    return None
+
+
+def _root_name(node: ast.expr) -> str | None:
+    """First variable name inside an index expression (``col * k + r`` →
+    ``col``), used to match a value load to its guarding flag wait."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            return sub.id
+    return None
+
+
+def _names_in(node: ast.expr) -> set[str]:
+    return {sub.id for sub in ast.walk(node) if isinstance(sub, ast.Name)}
+
+
+def _ctx_attrs_in(node: ast.expr) -> set[str]:
+    return {
+        sub.attr
+        for sub in ast.walk(node)
+        if isinstance(sub, ast.Attribute)
+        and isinstance(sub.value, ast.Name)
+        and sub.value.id == "ctx"
+    }
+
+
+def _pragma_allows(source_lines: list[str], lineno: int, rule: str) -> bool:
+    """True if line ``lineno`` (1-based) carries an allow pragma for rule."""
+    if not 1 <= lineno <= len(source_lines):
+        return False
+    line = source_lines[lineno - 1]
+    if _PRAGMA not in line:
+        return False
+    directive = line.split(_PRAGMA, 1)[1]
+    if "allow" not in directive:
+        return False
+    allowed = directive.split("allow", 1)[1].lstrip("=( ")
+    rules = allowed.split("--")[0].replace(",", " ").split()
+    cleaned = {r.strip(") ").upper() for r in rules}
+    return rule.upper() in cleaned or "ALL" in cleaned
+
+
+# ---------------------------------------------------------------------------
+# kernel discovery and statement walking
+# ---------------------------------------------------------------------------
+
+
+def _is_kernel(fn: ast.FunctionDef) -> bool:
+    """A generator function with a ``ctx`` parameter is a kernel."""
+    args = fn.args
+    names = [a.arg for a in args.args + args.posonlyargs + args.kwonlyargs]
+    if "ctx" not in names:
+        return False
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+    return False
+
+
+def _kernels(tree: ast.Module) -> Iterator[ast.FunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and _is_kernel(node):
+            yield node
+
+
+@dataclass(frozen=True)
+class _Stmt:
+    """One statement with its lexical path (chain of enclosing blocks)."""
+
+    node: ast.stmt
+    path: tuple[tuple[ast.stmt, str], ...]  # (enclosing stmt, block field)
+
+
+def _walk_stmts(
+    body: list[ast.stmt],
+    path: tuple[tuple[ast.stmt, str], ...] = (),
+) -> Iterator[_Stmt]:
+    """Statements in source order, annotated with their block path."""
+    for stmt in body:
+        yield _Stmt(stmt, path)
+        for fieldname in ("body", "orelse", "finalbody"):
+            sub = getattr(stmt, fieldname, None)
+            if sub and not isinstance(stmt, ast.FunctionDef):
+                yield from _walk_stmts(sub, path + ((stmt, fieldname),))
+
+
+def _visible_before(
+    stmts: list[_Stmt], target: _Stmt
+) -> list[ast.stmt]:
+    """Statements lexically visible at ``target``: statements on the path
+    from the function root to ``target`` that precede it, excluding
+    sibling branches (an ``if`` arm never sees the other arm)."""
+    target_blocks = {(id(b), f) for b, f in target.path}
+    out = []
+    for s in stmts:
+        if s.node is target.node:
+            break
+        # visible iff every enclosing block of s also encloses the target
+        # (matched as (statement, field) pairs: the `body` of an `if` does
+        # not see statements from its `orelse`, and vice versa)
+        if all((id(b), f) in target_blocks for b, f in s.path):
+            if s.node.lineno <= target.node.lineno:
+                out.append(s.node)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# taint: warp-uniform vs lane-varying values
+# ---------------------------------------------------------------------------
+
+_LANE_SOURCES = frozenset({"lane_id", "global_id"})
+_WARP_SOURCES = frozenset({"warp_id"})
+
+
+def _taint(visible: list[ast.stmt]) -> tuple[set[str], set[str]]:
+    """(warp_tainted, lane_tainted) variable names over visible assigns."""
+    warp: set[str] = set()
+    lane: set[str] = set()
+    for stmt in visible:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AugAssign):
+            targets, value = [stmt.target], stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None:
+            continue
+        attrs = _ctx_attrs_in(value)
+        names = _names_in(value)
+        is_warp = bool(attrs & _WARP_SOURCES) or bool(names & warp)
+        is_lane = bool(attrs & _LANE_SOURCES) or bool(names & lane)
+        for t in targets:
+            if isinstance(t, ast.Name):
+                if is_warp:
+                    warp.add(t.id)
+                if is_lane:
+                    lane.add(t.id)
+                if not is_warp and not is_lane:
+                    warp.discard(t.id)
+                    lane.discard(t.id)
+    return warp, lane
+
+
+def _has_warp_uniform_row(visible: list[ast.stmt]) -> bool:
+    """True if a row-pointer load indexes a warp-uniform, lane-invariant
+    variable — the warp-owns-this-row signature of warp-level kernels."""
+    warp, lane = _taint(visible)
+    for stmt in visible:
+        for node in ast.walk(stmt):
+            if not _is_ctx_call(node, "load") or not node.args:
+                continue
+            token = _array_token(node.args[0]) or ""
+            if not token.lower().endswith("ptr"):
+                continue
+            if len(node.args) < 2:
+                continue
+            idx_names = _names_in(node.args[1])
+            if idx_names and idx_names <= warp and not (idx_names & lane):
+                return True
+            # direct ctx.load(ROW_PTR, ctx.warp_id)
+            if _ctx_attrs_in(node.args[1]) & _WARP_SOURCES:
+                return True
+    return False
+
+
+def _has_cross_warp_guard(target: _Stmt) -> bool:
+    """A lexically earlier ``if ...warp...: break/continue/return`` in the
+    innermost loop (or any enclosing block) guards the spin cross-warp."""
+    for block, fieldname in reversed(target.path):
+        for sibling in getattr(block, fieldname):
+            if sibling.lineno >= target.node.lineno:
+                break
+            if not isinstance(sibling, ast.If):
+                continue
+            exits = any(
+                isinstance(s, (ast.Break, ast.Continue, ast.Return))
+                for s in sibling.body
+            )
+            if not exits:
+                continue
+            if any("warp" in name.lower() for name in _names_in(sibling.test)):
+                return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# rules
+# ---------------------------------------------------------------------------
+
+
+def _own_exprs(stmt: ast.stmt) -> Iterator[ast.expr]:
+    """Expression nodes attached to ``stmt`` itself, not to statements
+    nested inside its blocks (those are visited as their own ``_Stmt``)."""
+    for _field, value in ast.iter_fields(stmt):
+        if isinstance(value, ast.expr):
+            yield from ast.walk(value)
+        elif isinstance(value, list):
+            for item in value:
+                if isinstance(item, ast.expr):
+                    yield from ast.walk(item)
+
+
+def _check_kernel(
+    fn: ast.FunctionDef, path: str, source_lines: list[str]
+) -> list[LintFinding]:
+    findings: list[LintFinding] = []
+    stmts = list(_walk_stmts(fn.body))
+
+    uses_flags = any(
+        _array_token(node) in FLAG_NAMES
+        for s in stmts
+        for node in _own_exprs(s.node)
+        if isinstance(node, (ast.Attribute, ast.Name, ast.Constant))
+    )
+
+    def allowed(lineno: int, rule: str) -> bool:
+        return _pragma_allows(source_lines, lineno, rule) or _pragma_allows(
+            source_lines, fn.lineno, rule
+        )
+
+    # ---- KL001: value store -> fence -> flag store, in source order ----
+    events: list[tuple[int, str]] = []  # (lineno, kind)
+    for s in stmts:
+        for node in _own_exprs(s.node):
+            if _is_ctx_call(node, "threadfence"):
+                events.append((node.lineno, "fence"))
+            elif _is_ctx_call(node, "store") and node.args:
+                token = _array_token(node.args[0])
+                if token in FLAG_NAMES:
+                    events.append((node.lineno, "flag"))
+                elif token in VALUE_NAMES:
+                    events.append((node.lineno, "value"))
+            elif _is_ctx_call(node, "atomic_add") and node.args:
+                token = _array_token(node.args[0])
+                if token in FLAG_NAMES:
+                    events.append((node.lineno, "flag"))
+                elif token in VALUE_NAMES:
+                    events.append((node.lineno, "value"))
+    events.sort()
+    for lineno, kind in events:
+        if kind != "flag" or allowed(lineno, "KL001"):
+            continue
+        last_value = max(
+            (ln for ln, k in events if k == "value" and ln < lineno), default=None
+        )
+        last_fence = max(
+            (ln for ln, k in events if k == "fence" and ln < lineno), default=None
+        )
+        if last_fence is None:
+            findings.append(LintFinding(
+                path, lineno, "KL001",
+                "flag store is not dominated by a ctx.threadfence()",
+            ))
+        elif last_value is None:
+            findings.append(LintFinding(
+                path, lineno, "KL001",
+                "flag store has no preceding value store to publish",
+            ))
+        elif last_fence < last_value:
+            findings.append(LintFinding(
+                path, lineno, "KL001",
+                "threadfence precedes the value store: the fence must "
+                "separate the value store from the flag store",
+            ))
+
+    # ---- KL002: blocking spins must be provably cross-warp -------------
+    for s in stmts:
+        for expr in _own_exprs(s.node):
+            if not isinstance(expr, ast.Yield) or expr.value is None:
+                continue
+            wait = _wait_call(expr.value)
+            if wait is None or not isinstance(wait.func, ast.Name):
+                continue
+            if wait.func.id != "SpinWait":
+                continue
+            lineno = expr.lineno
+            if allowed(lineno, "KL002"):
+                continue
+            visible = _visible_before(stmts, s)
+            if _has_warp_uniform_row(visible):
+                continue  # warp-level kernel: every wait is cross-warp
+            if _has_cross_warp_guard(s):
+                continue  # Algorithm 4 phase-1 idiom
+            findings.append(LintFinding(
+                path, lineno, "KL002",
+                "blocking SpinWait in a lane-divergent context without a "
+                "cross-warp guard: an intra-warp producer deadlocks the "
+                "lock-step warp (Challenge 1); poll instead, or break on "
+                "a warp-boundary test first",
+            ))
+
+    # ---- KL003: value loads must follow a flag observation -------------
+    if uses_flags:
+        flag_roots_by_line: list[tuple[int, str | None]] = []
+        for s in stmts:
+            for node in _own_exprs(s.node):
+                wait = _wait_call(node)
+                if wait is not None and wait.args and (
+                    _array_token(wait.args[0]) in FLAG_NAMES
+                ):
+                    flag_roots_by_line.append(
+                        (node.lineno, _root_name(wait.args[1]))
+                        if len(wait.args) > 1
+                        else (node.lineno, None)
+                    )
+                elif _is_ctx_call(node, "load") and node.args and (
+                    _array_token(node.args[0]) in FLAG_NAMES
+                ):
+                    idx = node.args[1] if len(node.args) > 1 else None
+                    flag_roots_by_line.append(
+                        (node.lineno, _root_name(idx) if idx is not None else None)
+                    )
+        for s in stmts:
+            for node in _own_exprs(s.node):
+                if not _is_ctx_call(node, "load") or len(node.args) < 2:
+                    continue
+                if _array_token(node.args[0]) not in VALUE_NAMES:
+                    continue
+                lineno = node.lineno
+                if allowed(lineno, "KL003"):
+                    continue
+                # strided layouts index the value as e.g. ``col * k + r``
+                # while the flag wait is on ``col``: the load is guarded
+                # when the wait's root variable appears anywhere in the
+                # value load's index expression
+                idx_names = _names_in(node.args[1])
+                guarded = any(
+                    ln <= lineno
+                    and (r is None or not idx_names or r in idx_names)
+                    for ln, r in flag_roots_by_line
+                )
+                if not guarded:
+                    root = _root_name(node.args[1])
+                    findings.append(LintFinding(
+                        path, lineno, "KL003",
+                        f"load of a guarded value indexed by {root!r} is not "
+                        "preceded by a flag wait/load on the same index: "
+                        "consumers must observe the flag before the value",
+                    ))
+
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+
+
+def lint_source(source: str, path: str = "<string>") -> list[LintFinding]:
+    tree = ast.parse(source)
+    lines = source.splitlines()
+    findings: list[LintFinding] = []
+    for fn in _kernels(tree):
+        findings.extend(_check_kernel(fn, path, lines))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def lint_file(path: str | Path) -> list[LintFinding]:
+    p = Path(path)
+    return lint_source(p.read_text(), str(p))
+
+
+def lint_paths(paths: Iterable[str | Path]) -> list[LintFinding]:
+    findings: list[LintFinding] = []
+    for path in paths:
+        p = Path(path)
+        if p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                findings.extend(lint_file(f))
+        else:
+            findings.extend(lint_file(p))
+    return findings
+
+
+def solver_package_paths() -> list[Path]:
+    """The ``repro.solvers`` source files (the default lint target)."""
+    import repro.solvers as pkg
+
+    return sorted(Path(pkg.__file__).parent.glob("*.py"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else list(argv)
+    targets: list[str | Path] = list(args) or list(solver_package_paths())
+    findings = lint_paths(targets)
+    for f in findings:
+        print(f.format())
+    n_files = sum(
+        len(list(Path(t).rglob('*.py'))) if Path(t).is_dir() else 1
+        for t in targets
+    )
+    if findings:
+        print(f"kernel lint: {len(findings)} finding(s) in {n_files} file(s)")
+        return 1
+    print(f"kernel lint: clean ({n_files} file(s))")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

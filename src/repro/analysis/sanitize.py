@@ -1,0 +1,407 @@
+"""Dynamic sanitizers for simulated sync-free kernels.
+
+A :class:`Sanitizer` is an opt-in observer wired into
+:class:`~repro.gpu.memory.GlobalMemory` and driven by
+:class:`~repro.gpu.simt.SIMTEngine` /
+:class:`~repro.gpu.warp.Warp`: every counted lane access (load, store,
+atomic, fence, spin resolution) is reported with the issuing warp, lane
+and cycle.  Against that stream the sanitizer checks the
+publication protocol every synchronization-free SpTRSV kernel in this
+repository relies on:
+
+* **memory-order** — a store to a flag array location must be preceded,
+  on the same lane, by the matching value store and a ``threadfence``
+  *between* the two (the value-store → fence → flag-store discipline of
+  Algorithm 3 line 21 / Algorithm 5 line 15);
+* **race** — a lane may load a published component ``x[j]`` only after
+  observing ``get_value[j]`` at its published value (or having produced
+  ``x[j]`` itself);
+* **uninitialized-read** — a guarded component must actually have been
+  stored by someone before it is consumed;
+* **double-publish** — a component's flag must be raised exactly once.
+
+Which arrays participate, and which checks apply, is configured by
+:class:`PublishProtocol` records; the default set covers the standard
+``get_value``/``x`` unit-flag protocol of :mod:`repro.solvers._sim`
+(including the strided multi-RHS layout) and the fence-ordering half of
+the SyncFree-CSC ``counter``/``left_sum`` protocol, whose counters are
+legitimately stored many times and legitimately read at zero.
+
+Violations become :class:`~repro.analysis.hazards.Hazard` records with
+lane/cycle provenance; in ``raise`` mode (the default) the first
+error-severity hazard raises :class:`~repro.errors.HazardError`
+immediately, with the tail of the warp's tracer timeline attached when a
+tracer is active.  Overhead is pay-for-use: with no sanitizer attached
+the engine and memory hot paths only test one attribute
+(``benchmarks/bench_sanitizer_overhead.py`` tracks the *enabled* cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.hazards import (
+    DOUBLE_PUBLISH,
+    MEMORY_ORDER,
+    RACE,
+    UNINITIALIZED_READ,
+    Hazard,
+)
+from repro.errors import HazardError
+
+__all__ = ["PublishProtocol", "Sanitizer", "DEFAULT_PROTOCOLS"]
+
+
+@dataclass(frozen=True)
+class PublishProtocol:
+    """One flag-array/value-array publication pairing to check.
+
+    ``published`` is the flag value that signals availability.  When the
+    value array is a strided block (multi-RHS: ``x`` holds ``k`` values
+    per row), the stride is inferred from the allocated array lengths and
+    value index ``i`` maps to flag row ``i // stride``.
+    """
+
+    flag_array: str
+    value_array: str
+    published: float = 1
+    check_order: bool = True
+    check_race: bool = True
+    check_uninit: bool = True
+    check_double_publish: bool = True
+
+
+#: The standard unit-flag protocol plus the CSC counter protocol (order
+#: check only: counters increment once per dependency and rows with
+#: in-degree zero legitimately read ``left_sum`` unwritten).
+DEFAULT_PROTOCOLS: tuple[PublishProtocol, ...] = (
+    PublishProtocol(flag_array="get_value", value_array="x"),
+    PublishProtocol(
+        flag_array="counter",
+        value_array="left_sum",
+        check_race=False,
+        check_uninit=False,
+        check_double_publish=False,
+    ),
+)
+
+
+class _ProtocolState:
+    """Mutable per-memory state of one active protocol."""
+
+    __slots__ = (
+        "proto",
+        "stride",
+        "value_len",
+        "flag_len",
+        "value_stores",      # lane -> {value idx -> op seq}
+        "last_fence",        # lane -> op seq of the lane's last fence
+        "last_value_store",  # lane -> op seq of the lane's last value store
+        "observed",          # lane -> {flag idx -> last observed value}
+        "stored_rows",       # flag rows whose value has been stored (any lane)
+        "publish_count",     # flag idx -> number of published-value stores
+    )
+
+    def __init__(self, proto: PublishProtocol) -> None:
+        self.proto = proto
+        self.stride = 1
+        self.value_len = 0
+        self.flag_len = 0
+        self.value_stores: dict = {}
+        self.last_fence: dict = {}
+        self.last_value_store: dict = {}
+        self.observed: dict = {}
+        self.stored_rows: set = set()
+        self.publish_count: dict = {}
+
+    def activate(self, value_len: int, flag_len: int) -> bool:
+        self.value_len = value_len
+        self.flag_len = flag_len
+        if flag_len <= 0 or value_len % flag_len:
+            return False
+        self.stride = value_len // flag_len
+        return True
+
+
+class Sanitizer:
+    """Observer implementing the dynamic hazard checks (see module doc).
+
+    Parameters
+    ----------
+    protocols:
+        The publication pairings to check; arrays absent from a launch
+        deactivate their protocol silently.
+    mode:
+        ``"raise"`` aborts the launch on the first error-severity hazard
+        (:class:`~repro.errors.HazardError`); ``"record"`` accumulates
+        hazards in :attr:`hazards` for post-run inspection.
+    """
+
+    def __init__(
+        self,
+        *,
+        protocols: tuple[PublishProtocol, ...] = DEFAULT_PROTOCOLS,
+        mode: str = "raise",
+    ) -> None:
+        if mode not in ("raise", "record"):
+            raise ValueError(f"mode must be 'raise' or 'record', got {mode!r}")
+        self.mode = mode
+        self.protocols = tuple(protocols)
+        self.hazards: list[Hazard] = []
+        #: set by the engine each cycle while a launch runs
+        self.cycle = 0
+        #: set by :meth:`set_lane` before each lane's actions
+        self.warp_id: int | None = None
+        self.lane_id: int | None = None
+        #: tracer used for provenance tails (set by the engine factory)
+        self.tracer = None
+        self._mem = None
+        self._by_flag: dict[str, _ProtocolState] = {}
+        self._by_value: dict[str, _ProtocolState] = {}
+        self._op_seq = 0
+        self._in_atomic = False
+
+    # ------------------------------------------------------------------
+    # lifecycle (engine side)
+    # ------------------------------------------------------------------
+    def bind(self, memory) -> None:
+        """Attach to one :class:`GlobalMemory`; resets per-memory state.
+
+        Called by the engine at launch; repeated launches against the
+        same memory (the level-set solver) keep their state, a fresh
+        engine starts clean.
+        """
+        if memory is self._mem:
+            return
+        self._mem = memory
+        self._by_flag = {}
+        self._by_value = {}
+        self._op_seq = 0
+
+    def on_alloc(self, name: str, array, *, flags: bool) -> None:
+        del flags
+        for proto in self.protocols:
+            if name == proto.flag_array:
+                state = _ProtocolState(proto)
+                mem_arrays = self._mem._arrays if self._mem is not None else {}
+                value = mem_arrays.get(proto.value_array)
+                if value is not None and state.activate(len(value), len(array)):
+                    self._by_flag[proto.flag_array] = state
+                    self._by_value[proto.value_array] = state
+
+    # ------------------------------------------------------------------
+    # access stream (memory / warp side)
+    # ------------------------------------------------------------------
+    def set_lane(self, warp_id: int, lane_id: int) -> None:
+        self.warp_id = warp_id
+        self.lane_id = lane_id
+
+    def clear_lane(self) -> None:
+        self.warp_id = None
+        self.lane_id = None
+
+    @property
+    def _lane_key(self) -> tuple[int, int] | None:
+        if self.warp_id is None:
+            return None  # host-side access: not a lane, not checked
+        return (self.warp_id, self.lane_id)
+
+    def on_load(self, name: str, idx: int, value) -> None:
+        lane = self._lane_key
+        if lane is None:
+            return
+        state = self._by_flag.get(name)
+        if state is not None:
+            state.observed.setdefault(lane, {})[idx] = value
+            return
+        state = self._by_value.get(name)
+        if state is not None:
+            self._check_value_load(state, lane, name, idx)
+
+    def on_store(self, name: str, idx: int, value, *, atomic: bool = False) -> None:
+        lane = self._lane_key
+        if lane is None:
+            return
+        self._op_seq += 1
+        seq = self._op_seq
+        state = self._by_value.get(name)
+        if state is not None:
+            state.value_stores.setdefault(lane, {})[idx] = seq
+            state.last_value_store[lane] = seq
+            state.stored_rows.add(idx // state.stride)
+        state = self._by_flag.get(name)
+        if state is not None:
+            self._check_flag_store(state, lane, name, idx, value, atomic, seq)
+            # a flag store is also this lane's freshest observation (memory
+            # reports the post-store cell value, so atomics are covered)
+            state.observed.setdefault(lane, {})[idx] = value
+
+    def on_fence(self) -> None:
+        lane = self._lane_key
+        if lane is None:
+            return
+        self._op_seq += 1
+        for state in self._by_flag.values():
+            state.last_fence[lane] = self._op_seq
+
+    def on_atomic(self, name: str, idx: int, value) -> None:
+        self.on_store(name, idx, value, atomic=True)
+
+    def on_sync_observed(
+        self, warp_id: int, lane_id: int, name: str, idx: int, value
+    ) -> None:
+        """A parked SpinWait resolved: record the observation for the lane.
+
+        Spin wake-ups validate their predicate through an uncounted
+        ``peek`` (the load already happened when the lane first spun), so
+        the warp reports the satisfied observation here instead.
+        """
+        state = self._by_flag.get(name)
+        if state is not None:
+            state.observed.setdefault((warp_id, lane_id), {})[idx] = value
+
+    # ------------------------------------------------------------------
+    # checks
+    # ------------------------------------------------------------------
+    def _check_value_load(
+        self, state: _ProtocolState, lane, name: str, idx: int
+    ) -> None:
+        proto = state.proto
+        row = idx // state.stride
+        lane_stores = state.value_stores.get(lane)
+        if lane_stores and idx in lane_stores:
+            return  # producer re-reading its own component
+        if proto.check_race:
+            seen = state.observed.get(lane, {}).get(row)
+            if seen != proto.published:
+                seen_desc = "never observed" if seen is None else f"last saw {seen!r}"
+                self._report(
+                    Hazard(
+                        kind=RACE,
+                        message=(
+                            f"load of {name}[{idx}] before observing "
+                            f"{proto.flag_array}[{row}] == {proto.published} "
+                            f"({seen_desc}): the consumer races the producer's "
+                            "publish"
+                        ),
+                        array=name,
+                        index=idx,
+                        warp=lane[0],
+                        lane=lane[1],
+                        cycle=self.cycle,
+                    )
+                )
+                return
+        if proto.check_uninit and row not in state.stored_rows:
+            self._report(
+                Hazard(
+                    kind=UNINITIALIZED_READ,
+                    message=(
+                        f"load of {name}[{idx}] but no lane ever stored it: "
+                        f"the flag {proto.flag_array}[{row}] was raised "
+                        "without its value"
+                    ),
+                    array=name,
+                    index=idx,
+                    warp=lane[0],
+                    lane=lane[1],
+                    cycle=self.cycle,
+                )
+            )
+
+    def _check_flag_store(
+        self,
+        state: _ProtocolState,
+        lane,
+        name: str,
+        idx: int,
+        value,
+        atomic: bool,
+        seq: int,
+    ) -> None:
+        proto = state.proto
+        if proto.check_order:
+            fence = state.last_fence.get(lane, 0)
+            lane_stores = state.value_stores.get(lane, {})
+            # the matching value store: exact row when present, else the
+            # lane's latest value store (strided layouts publish several
+            # value elements under one flag)
+            matches = [
+                s for i, s in lane_stores.items() if i // state.stride == idx
+            ]
+            value_seq = max(matches) if matches else 0
+            if value_seq == 0:
+                self._report(
+                    Hazard(
+                        kind=MEMORY_ORDER,
+                        message=(
+                            f"store to {name}[{idx}] but this lane never "
+                            f"stored the matching {proto.value_array} "
+                            "component: flag published without its value"
+                        ),
+                        array=name,
+                        index=idx,
+                        warp=lane[0],
+                        lane=lane[1],
+                        cycle=self.cycle,
+                    )
+                )
+            elif not (value_seq < fence < seq):
+                self._report(
+                    Hazard(
+                        kind=MEMORY_ORDER,
+                        message=(
+                            f"store to {name}[{idx}] without a threadfence "
+                            f"between the {proto.value_array} store and the "
+                            "flag store: consumers may observe the flag "
+                            "before the value under a weak memory model"
+                        ),
+                        array=name,
+                        index=idx,
+                        warp=lane[0],
+                        lane=lane[1],
+                        cycle=self.cycle,
+                    )
+                )
+        if proto.check_double_publish and not atomic and value == proto.published:
+            count = state.publish_count.get(idx, 0) + 1
+            state.publish_count[idx] = count
+            if count > 1:
+                self._report(
+                    Hazard(
+                        kind=DOUBLE_PUBLISH,
+                        message=(
+                            f"{name}[{idx}] published {count} times: a "
+                            "component's flag must be raised exactly once"
+                        ),
+                        array=name,
+                        index=idx,
+                        warp=lane[0],
+                        lane=lane[1],
+                        cycle=self.cycle,
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    def _report(self, hazard: Hazard) -> None:
+        self.hazards.append(hazard)
+        if self.tracer is not None and hazard.warp is not None:
+            self.tracer.record(self.cycle, hazard.warp, "hazard")
+        if self.mode == "raise" and hazard.is_error:
+            tail = ()
+            if self.tracer is not None and hazard.warp is not None:
+                tail = self.tracer.tail(hazard.warp)
+            raise HazardError(hazard, trace_tail=tail)
+
+    def assert_clean(self) -> None:
+        """Raise :class:`HazardError` if any hazard was recorded."""
+        for hazard in self.hazards:
+            if hazard.is_error:
+                raise HazardError(hazard)
+
+    def summary(self) -> dict[str, int]:
+        """Hazard counts by kind."""
+        out: dict[str, int] = {}
+        for h in self.hazards:
+            out[h.kind] = out.get(h.kind, 0) + 1
+        return out

@@ -1,0 +1,585 @@
+"""Static schedule verifier: prove or refute deadlock-freedom per solver.
+
+Every solver family in this repository pairs a *row-to-execution-unit
+mapping* (one thread per row, one warp per row, per-level launches...)
+with a *wait mechanism* (blocking busy-wait, productive poll, bounded
+two-phase polling, inter-level barrier).  Whether that pair can deadlock
+on a given matrix is a property of the dependency graph alone — it does
+not require running the simulator.  This module decides it statically:
+
+1. build the row-dependency edge set from the CSR arrays;
+2. classify every edge against the solver's mapping — *cross-warp*
+   (producer scheduled in a different warp) versus *intra-warp*, and by
+   direction: an intra-warp edge is **backward** when the consumer waits
+   on a row owned by an earlier lane of its own warp (the natural-order
+   case, and the paper's Challenge 1 killer), **forward** when the
+   producer sits on a later lane (only possible under permuted
+   schedules).  Cross-warp edges are likewise split by grid admission
+   order;
+3. apply the solver family's progress argument to the classification,
+   emitting :class:`~repro.analysis.hazards.Hazard` records where the
+   argument fails and a certification note where it holds.
+
+The verifier reproduces, ahead of time, exactly the behaviour the
+simulator discovers the hard way: the naive thread-level kernel's
+:class:`~repro.errors.DeadlockError` on any matrix with intra-warp
+backward dependencies, and the safety of Two-Phase / Writing-First
+Capellini (``tests/analysis/test_schedule_verifier.py`` property-tests
+the agreement).  It also reports the level depth and the Eq. 1
+granularity indicator, so one static pass yields everything ``repro
+analyze`` needs for its verdict table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.granularity import parallel_granularity_from_stats
+from repro.analysis.hazards import (
+    ADMISSION_ORDER,
+    INTRA_WARP_BLOCKING_SPIN,
+    PHASE_BOUND_EXCEEDED,
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    Hazard,
+)
+from repro.analysis.levels import compute_levels
+from repro.errors import SolverError
+from repro.gpu.device import SIM_SMALL, DeviceSpec
+from repro.sparse.csr import CSRMatrix
+
+__all__ = [
+    "SchedulePolicy",
+    "EdgeClassification",
+    "ScheduleReport",
+    "SOLVER_POLICIES",
+    "resolve_policy",
+    "classify_edges",
+    "max_intra_warp_chain",
+    "verify_schedule",
+    "verify_all",
+    "render_verdict_table",
+]
+
+# ---------------------------------------------------------------------------
+# policies
+# ---------------------------------------------------------------------------
+
+#: Wait mechanisms (the solver's means of consuming a dependency).
+WAIT_BLOCKING_SPIN = "blocking-spin"
+WAIT_POLL = "poll"
+WAIT_TWO_PHASE = "two-phase"
+WAIT_BARRIER = "barrier"
+WAIT_NONE = "none"
+
+
+@dataclass(frozen=True)
+class SchedulePolicy:
+    """The scheduling facts the verifier needs about one solver family.
+
+    ``granularity`` is the row-to-unit mapping: ``"thread"`` maps row
+    ``i`` to lane ``i % warp_size`` of warp ``i // warp_size``;
+    ``"warp"`` gives row ``i`` a whole warp to itself; ``"level"`` runs
+    one launch per level-set; ``"host"`` never touches the device.
+    ``"thread/warp"`` is the adaptive fusion (each aligned row block
+    chooses thread or warp mode, polls in thread mode).
+    """
+
+    key: str
+    solver_name: str
+    granularity: str  # "thread" | "warp" | "level" | "host" | "thread/warp"
+    wait: str
+    description: str
+
+
+SOLVER_POLICIES: dict[str, SchedulePolicy] = {
+    p.key: p
+    for p in (
+        SchedulePolicy(
+            key="naive-thread",
+            solver_name="NaiveThread",
+            granularity="thread",
+            wait=WAIT_BLOCKING_SPIN,
+            description="one thread per row, blocking busy-wait on every "
+            "off-diagonal flag (Section 3.3, Challenge 1)",
+        ),
+        SchedulePolicy(
+            key="capellini",
+            solver_name="Capellini",
+            granularity="thread",
+            wait=WAIT_POLL,
+            description="Writing-First (Algorithm 5): productive polls only, "
+            "threads publish the moment they reach the diagonal",
+        ),
+        SchedulePolicy(
+            key="capellini-two-phase",
+            solver_name="Capellini-TwoPhase",
+            granularity="thread",
+            wait=WAIT_TWO_PHASE,
+            description="Two-Phase (Algorithm 4): blocking spin on cross-warp "
+            "elements, bounded WARP_SIZE poll loop on intra-warp ones",
+        ),
+        SchedulePolicy(
+            key="syncfree",
+            solver_name="SyncFree",
+            granularity="warp",
+            wait=WAIT_BLOCKING_SPIN,
+            description="one warp per row (Algorithm 3): every dependency is "
+            "cross-warp by construction",
+        ),
+        SchedulePolicy(
+            key="syncfree-csc",
+            solver_name="SyncFree-CSC",
+            granularity="warp",
+            wait=WAIT_BLOCKING_SPIN,
+            description="one warp per column, in-degree counters and atomic "
+            "scatter (Liu et al. Euro-Par 2016)",
+        ),
+        SchedulePolicy(
+            key="adaptive",
+            solver_name="Adaptive",
+            granularity="thread/warp",
+            wait=WAIT_TWO_PHASE,
+            description="Section 4.4 fusion: thread-mode blocks use polls, "
+            "warp-mode rows own a whole warp",
+        ),
+        SchedulePolicy(
+            key="levelset",
+            solver_name="LevelSet",
+            granularity="level",
+            wait=WAIT_BARRIER,
+            description="one launch per level-set (Algorithm 2): the barrier "
+            "schedule admits no unresolved dependency",
+        ),
+        SchedulePolicy(
+            key="serial",
+            solver_name="Serial",
+            granularity="host",
+            wait=WAIT_NONE,
+            description="host forward sweep (Algorithm 1)",
+        ),
+    )
+}
+
+#: Alternative spellings accepted by :func:`resolve_policy` (CLI names,
+#: solver class display names, loose punctuation).
+_POLICY_ALIASES = {
+    "naivethread": "naive-thread",
+    "naive": "naive-thread",
+    "writingfirst": "capellini",
+    "writing-first": "capellini",
+    "capellinitwophase": "capellini-two-phase",
+    "two-phase": "capellini-two-phase",
+    "twophase": "capellini-two-phase",
+    "syncfreecsc": "syncfree-csc",
+    "level-set": "levelset",
+}
+
+
+def resolve_policy(solver: str) -> SchedulePolicy:
+    """Look up a policy by key, solver display name, or loose alias."""
+    raw = solver.strip()
+    norm = raw.lower()
+    if norm in SOLVER_POLICIES:
+        return SOLVER_POLICIES[norm]
+    squashed = norm.replace("_", "-")
+    if squashed in SOLVER_POLICIES:
+        return SOLVER_POLICIES[squashed]
+    alias = _POLICY_ALIASES.get(squashed.replace("-", "")) or _POLICY_ALIASES.get(
+        squashed
+    )
+    if alias:
+        return SOLVER_POLICIES[alias]
+    for policy in SOLVER_POLICIES.values():
+        if policy.solver_name.lower() == norm:
+            return policy
+    raise SolverError(
+        f"no schedule policy for solver {solver!r}; known: "
+        f"{', '.join(sorted(SOLVER_POLICIES))}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# edge classification
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EdgeClassification:
+    """Dependency edges split by scheduled placement (thread mapping).
+
+    ``intra_warp_backward`` counts edges whose producer row is owned by
+    an *earlier* lane of the consumer's own warp — the only kind a
+    natural-order lower-triangular schedule produces, and the kind that
+    stops a lock-step warp dead under a blocking busy-wait.
+    ``intra_warp_forward`` (producer on a later lane) and
+    ``cross_warp_backward`` (producer warp admitted after the consumer's)
+    only arise under permuted schedules, passed via ``order``.
+    """
+
+    n_edges: int
+    cross_warp_forward: int
+    cross_warp_backward: int
+    intra_warp_backward: int
+    intra_warp_forward: int
+    #: deepest chain of dependency edges confined to a single warp
+    max_intra_warp_chain: int
+    #: largest producer-after-consumer admission gap, in warps (0 if none)
+    max_backward_warp_gap: int
+    #: an example intra-warp edge ``(producer_row, consumer_row)`` or None
+    sample_intra_warp_edge: tuple[int, int] | None = None
+
+    @property
+    def intra_warp(self) -> int:
+        return self.intra_warp_backward + self.intra_warp_forward
+
+    @property
+    def cross_warp(self) -> int:
+        return self.cross_warp_forward + self.cross_warp_backward
+
+
+def _positions(n: int, order: np.ndarray | None) -> np.ndarray:
+    """``pos[row]`` = grid position of the thread assigned to ``row``."""
+    if order is None:
+        return np.arange(n, dtype=np.int64)
+    order = np.asarray(order, dtype=np.int64)
+    if order.shape != (n,) or not np.array_equal(np.sort(order), np.arange(n)):
+        raise ValueError("order must be a permutation of range(n_rows)")
+    pos = np.empty(n, dtype=np.int64)
+    pos[order] = np.arange(n, dtype=np.int64)
+    return pos
+
+
+def classify_edges(
+    L: CSRMatrix,
+    warp_size: int,
+    *,
+    order: np.ndarray | None = None,
+) -> EdgeClassification:
+    """Classify every dependency edge under the thread-level mapping.
+
+    ``order`` optionally permutes the schedule: thread at grid position
+    ``t`` handles row ``order[t]`` (``None`` = natural row order, the
+    mapping every thread-level kernel in this repository uses).
+    """
+    if warp_size <= 0:
+        raise ValueError(f"warp_size must be positive, got {warp_size}")
+    n = L.n_rows
+    rows = np.repeat(np.arange(n, dtype=np.int64), L.row_lengths())
+    strict = L.col_idx < rows
+    src = L.col_idx[strict]  # producer rows
+    dst = rows[strict]       # consumer rows
+    pos = _positions(n, order)
+    psrc, pdst = pos[src], pos[dst]
+    wsrc, wdst = psrc // warp_size, pdst // warp_size
+    lsrc, ldst = psrc % warp_size, pdst % warp_size
+
+    intra = wsrc == wdst
+    intra_backward = intra & (lsrc < ldst)
+    intra_forward = intra & (lsrc > ldst)
+    cross_forward = wsrc < wdst
+    cross_backward = wsrc > wdst
+
+    sample = None
+    hit = np.nonzero(intra)[0]
+    if hit.size:
+        k = int(hit[0])
+        sample = (int(src[k]), int(dst[k]))
+
+    gap = int((wsrc - wdst)[cross_backward].max()) if cross_backward.any() else 0
+    return EdgeClassification(
+        n_edges=int(strict.sum()),
+        cross_warp_forward=int(cross_forward.sum()),
+        cross_warp_backward=int(cross_backward.sum()),
+        intra_warp_backward=int(intra_backward.sum()),
+        intra_warp_forward=int(intra_forward.sum()),
+        max_intra_warp_chain=max_intra_warp_chain(L, warp_size, order=order),
+        max_backward_warp_gap=gap,
+        sample_intra_warp_edge=sample,
+    )
+
+
+def max_intra_warp_chain(
+    L: CSRMatrix,
+    warp_size: int,
+    *,
+    order: np.ndarray | None = None,
+) -> int:
+    """Longest dependency chain confined to one warp (edge count).
+
+    This is the quantity Algorithm 4's ``WARP_SIZE``-iteration outer
+    loop must dominate: pass ``k`` of Two-Phase resolves the ``k``-th
+    link of each warp's unresolved chain, so the bound is sound exactly
+    when this depth is at most ``warp_size``.  Natural row order keeps
+    it at most ``warp_size - 1`` by construction; the verifier still
+    measures it so permuted schedules are checked, not assumed.
+    """
+    n = L.n_rows
+    pos = _positions(n, order)
+    row_ptr, col_idx = L.row_ptr, L.col_idx
+    depth = np.zeros(n, dtype=np.int64)
+    best = 0
+    for i in range(n):
+        cols = col_idx[row_ptr[i]: row_ptr[i + 1]]
+        deps = cols[cols < i]
+        if deps.size == 0:
+            continue
+        same = deps[pos[deps] // warp_size == pos[i] // warp_size]
+        if same.size:
+            depth[i] = int(depth[same].max()) + 1
+            if depth[i] > best:
+                best = int(depth[i])
+    return best
+
+
+# ---------------------------------------------------------------------------
+# verification
+# ---------------------------------------------------------------------------
+
+VERDICT_SAFE = "SAFE"
+VERDICT_DEADLOCK = "DEADLOCK"
+VERDICT_AT_RISK = "AT-RISK"
+
+
+@dataclass(frozen=True)
+class ScheduleReport:
+    """Static verdict for one (matrix, solver family, device) triple."""
+
+    policy: SchedulePolicy
+    warp_size: int
+    edges: EdgeClassification
+    hazards: tuple[Hazard, ...]
+    certified: bool
+    n_levels: int
+    critical_path_len: int
+    avg_rows_per_level: float
+    granularity: float
+    notes: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def verdict(self) -> str:
+        if any(h.is_error for h in self.hazards):
+            return VERDICT_DEADLOCK
+        if self.hazards:
+            return VERDICT_AT_RISK
+        return VERDICT_SAFE
+
+    def summary(self) -> str:
+        return (
+            f"{self.policy.solver_name}: {self.verdict} "
+            f"({len(self.hazards)} hazard(s); "
+            f"edges x-warp={self.edges.cross_warp} "
+            f"intra-warp={self.edges.intra_warp}; "
+            f"levels={self.n_levels}, granularity={self.granularity:.3f})"
+        )
+
+
+def verify_schedule(
+    L: CSRMatrix,
+    solver: str | SchedulePolicy = "capellini",
+    *,
+    device: DeviceSpec = SIM_SMALL,
+    order: np.ndarray | None = None,
+) -> ScheduleReport:
+    """Statically verify one solver family's schedule on ``L``.
+
+    Runs zero simulator cycles: the verdict is derived from the CSR
+    dependency structure, the device's warp size / residency, and the
+    solver family's progress argument.
+    """
+    policy = solver if isinstance(solver, SchedulePolicy) else resolve_policy(solver)
+    ws = device.warp_size
+    edges = classify_edges(L, ws, order=order)
+    schedule = compute_levels(L)
+    hazards: list[Hazard] = []
+    notes: list[str] = []
+
+    if policy.granularity == "host":
+        notes.append("host execution: no device schedule to verify")
+    elif policy.granularity == "level":
+        notes.append(
+            f"barrier schedule: {schedule.n_levels} level launches, every "
+            "dependency resolved by a completed earlier launch"
+        )
+    elif policy.granularity == "warp":
+        _verify_warp_level(L, device, hazards, notes)
+    else:  # "thread" or "thread/warp"
+        _verify_thread_level(policy, edges, device, hazards, notes)
+
+    granularity = parallel_granularity_from_stats(
+        schedule.avg_rows_per_level(), L.avg_nnz_per_row()
+    ) if L.n_rows else 0.0
+
+    return ScheduleReport(
+        policy=policy,
+        warp_size=ws,
+        edges=edges,
+        hazards=tuple(hazards),
+        certified=not hazards,
+        n_levels=schedule.n_levels,
+        critical_path_len=max(schedule.n_levels - 1, 0),
+        avg_rows_per_level=schedule.avg_rows_per_level(),
+        granularity=granularity,
+        notes=tuple(notes),
+    )
+
+
+def _verify_warp_level(
+    L: CSRMatrix,
+    device: DeviceSpec,
+    hazards: list[Hazard],
+    notes: list[str],
+) -> None:
+    """One warp per row/column: the blocking spin is provably safe.
+
+    Under the warp-per-row mapping the producer of every strict edge
+    ``j -> i`` (``j < i``) is warp ``j``, a *different, earlier* warp, so
+    (a) no spin can capture its own producer and (b) grid-order
+    admission places every producer no later than its consumer.  Both
+    halves of the forward-progress argument hold for any lower
+    triangular matrix — warp-level kernels are certified unconditionally.
+    """
+    del L, device
+    notes.append(
+        "warp-per-row mapping: every dependency is cross-warp and points "
+        "at an earlier grid index; blocking spin safe under grid-order "
+        "admission"
+    )
+
+
+def _verify_thread_level(
+    policy: SchedulePolicy,
+    edges: EdgeClassification,
+    device: DeviceSpec,
+    hazards: list[Hazard],
+    notes: list[str],
+) -> None:
+    ws = device.warp_size
+    capacity = device.resident_warp_capacity
+
+    # -- admission order: polls and spins alike need producers admitted --
+    if edges.cross_warp_backward:
+        gap = edges.max_backward_warp_gap
+        definite = gap >= capacity or policy.wait == WAIT_BLOCKING_SPIN
+        hazards.append(
+            Hazard(
+                kind=ADMISSION_ORDER,
+                severity=SEVERITY_ERROR if definite else SEVERITY_WARNING,
+                message=(
+                    f"{edges.cross_warp_backward} dependency edge(s) point at "
+                    f"warps admitted later in grid order (max gap {gap} warps, "
+                    f"device residency {capacity}); consumers can exhaust "
+                    "residency before their producers are admitted"
+                ),
+            )
+        )
+
+    if policy.wait == WAIT_BLOCKING_SPIN:
+        if edges.intra_warp:
+            src, dst = edges.sample_intra_warp_edge
+            hazards.append(
+                Hazard(
+                    kind=INTRA_WARP_BLOCKING_SPIN,
+                    message=(
+                        f"{edges.intra_warp} intra-warp dependency edge(s) "
+                        f"({edges.intra_warp_backward} backward) under a "
+                        "blocking busy-wait: the spinning lane stops the "
+                        "lock-step warp that owns its producer, e.g. row "
+                        f"{dst} waits on row {src} in the same warp "
+                        "(paper Section 3.3, Challenge 1)"
+                    ),
+                    index=dst,
+                    warp=dst // ws,
+                    lane=dst % ws,
+                )
+            )
+        else:
+            notes.append(
+                "no intra-warp dependencies at this warp size: the blocking "
+                "spin only ever waits on other warps"
+            )
+    elif policy.wait == WAIT_TWO_PHASE:
+        chain = edges.max_intra_warp_chain
+        if edges.intra_warp_forward:
+            hazards.append(
+                Hazard(
+                    kind=PHASE_BOUND_EXCEEDED,
+                    message=(
+                        f"{edges.intra_warp_forward} intra-warp edge(s) point "
+                        "at later lanes; the Two-Phase pass argument assumes "
+                        "lane order follows row order"
+                    ),
+                )
+            )
+        if chain > ws:
+            hazards.append(
+                Hazard(
+                    kind=PHASE_BOUND_EXCEEDED,
+                    message=(
+                        f"intra-warp dependency chain depth {chain} exceeds "
+                        f"the WARP_SIZE={ws} outer-loop bound of Algorithm 4: "
+                        "a pass can end without resolving a new component"
+                    ),
+                )
+            )
+        else:
+            notes.append(
+                f"intra-warp chain depth {chain} <= WARP_SIZE={ws}: the "
+                "bounded phase-2 poll loop of Algorithm 4 resolves at least "
+                "one component per pass; phase-1 spins are cross-warp by "
+                "construction"
+            )
+    elif policy.wait == WAIT_POLL:
+        notes.append(
+            "productive polls only: a failed poll never blocks the warp, so "
+            "the minimal unsolved row's thread always advances (Writing-First "
+            "progress argument, Section 4.3)"
+        )
+        if edges.intra_warp:
+            notes.append(
+                f"{edges.intra_warp} intra-warp edge(s) are resolved by "
+                "repolling within the warp — correct, at extra poll traffic"
+            )
+
+
+def verify_all(
+    L: CSRMatrix,
+    *,
+    device: DeviceSpec = SIM_SMALL,
+    solvers: tuple[str, ...] | None = None,
+    order: np.ndarray | None = None,
+) -> list[ScheduleReport]:
+    """Verify every registered solver family (or the given subset)."""
+    keys = solvers if solvers is not None else tuple(SOLVER_POLICIES)
+    return [
+        verify_schedule(L, key, device=device, order=order) for key in keys
+    ]
+
+
+def render_verdict_table(
+    reports: list[ScheduleReport], *, title: str = ""
+) -> str:
+    """Fixed-width per-solver verdict table for the CLI."""
+    header = (
+        f"{'solver':<20} {'verdict':<9} {'wait':<13} "
+        f"{'x-warp':>8} {'iw-back':>8} {'iw-fwd':>7} {'chain':>6} "
+        f"{'levels':>7} {'granularity':>12}"
+    )
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in reports:
+        lines.append(
+            f"{r.policy.solver_name:<20} {r.verdict:<9} {r.policy.wait:<13} "
+            f"{r.edges.cross_warp:>8} {r.edges.intra_warp_backward:>8} "
+            f"{r.edges.intra_warp_forward:>7} {r.edges.max_intra_warp_chain:>6} "
+            f"{r.n_levels:>7} {r.granularity:>12.3f}"
+        )
+    for r in reports:
+        for h in r.hazards:
+            lines.append(f"  {r.policy.solver_name}: {h.format()}")
+    return "\n".join(lines)

@@ -6,6 +6,8 @@ Usage::
     repro-sptrsv experiments table4 fig5 --n-matrices 36
     repro-sptrsv solve --domain circuit --n-rows 2000 --solver Capellini
     repro-sptrsv analyze --matrix path/to/file.mtx
+    repro-sptrsv analyze --solver naive-thread --domain circuit
+    repro-sptrsv analyze --lint
     repro-sptrsv generate --domain lp --n-rows 5000 --out lp.mtx
 """
 
@@ -86,12 +88,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--device", default="SimSmall",
                          choices=["SimSmall", "SimTiny"])
 
-    p_an = sub.add_parser("analyze", help="level/granularity analysis")
-    group = p_an.add_mutually_exclusive_group(required=True)
+    p_an = sub.add_parser(
+        "analyze",
+        help="level/granularity analysis, static schedule verification "
+        "and kernel lint",
+    )
+    group = p_an.add_mutually_exclusive_group(required=False)
     group.add_argument("--matrix", help="Matrix Market file to analyze")
-    group.add_argument("--domain", help="generate a matrix of this domain")
+    group.add_argument("--domain", default=None,
+                       help="generate a matrix of this domain "
+                       "(default: circuit)")
     p_an.add_argument("--n-rows", type=int, default=10000)
     p_an.add_argument("--seed", type=int, default=0)
+    p_an.add_argument("--solver", default=None, metavar="NAME",
+                      help="statically verify deadlock-freedom of NAME "
+                      "(e.g. naive-thread, capellini, syncfree) on the "
+                      "matrix; 'all' checks every solver family")
+    p_an.add_argument("--lint", action="store_true",
+                      help="run the kernel lint over repro.solvers "
+                      "(no matrix needed)")
 
     p_gen = sub.add_parser("generate", help="write a synthetic matrix to .mtx")
     p_gen.add_argument("--domain", required=True)
@@ -182,18 +197,53 @@ def _cmd_analyze(args) -> int:
     from repro.datasets import generate
     from repro.sparse import read_matrix_market, make_unit_lower_triangular
 
+    rc = 0
+    if args.lint:
+        from repro.analysis.lint import lint_paths, solver_package_paths
+
+        findings = lint_paths(solver_package_paths())
+        for finding in findings:
+            print(finding.format())
+        print(
+            f"kernel lint: {len(findings)} finding(s)"
+            if findings
+            else "kernel lint: clean"
+        )
+        rc = 1 if findings else 0
+        if args.matrix is None and args.domain is None and args.solver is None:
+            return rc
+
     if args.matrix:
         L = make_unit_lower_triangular(read_matrix_market(args.matrix))
         name = args.matrix
     else:
-        L = generate(args.domain, args.n_rows, args.seed)
-        name = args.domain
+        domain = args.domain or "circuit"
+        L = generate(domain, args.n_rows, args.seed)
+        name = domain
     f = extract_features(L)
     print(f"{name}: {f.summary()}")
+
+    if args.solver:
+        from repro.analysis.schedule import (
+            render_verdict_table,
+            verify_all,
+            verify_schedule,
+        )
+
+        if args.solver.lower() == "all":
+            reports = verify_all(L)
+        else:
+            reports = [verify_schedule(L, args.solver)]
+        print()
+        print(render_verdict_table(reports, title=f"schedule verification — {name}"))
+        if any(r.verdict != "SAFE" for r in reports):
+            rc = max(rc, 1)
+        return rc
+
     from repro.solvers import select_solver
 
     print(f"recommended solver: {select_solver(f).name}")
-    return 0
+    return rc
 
 
 def _cmd_generate(args) -> int:

@@ -15,6 +15,7 @@ __all__ = [
     "SimulationError",
     "DeadlockError",
     "LaunchConfigError",
+    "HazardError",
     "SolverError",
     "ExperimentError",
     "DatasetError",
@@ -60,6 +61,23 @@ class DeadlockError(SimulationError):
 
 class LaunchConfigError(SimulationError):
     """A kernel launch was configured with impossible parameters."""
+
+
+class HazardError(SimulationError):
+    """A dynamic sanitizer observed a synchronization hazard.
+
+    Raised by :class:`repro.analysis.sanitize.Sanitizer` in ``raise``
+    mode the moment a kernel violates the sync-free publication protocol
+    (flag store without a fenced value store, racy ``x`` load, double
+    publish, ...).  Carries the offending :class:`repro.analysis.hazards.
+    Hazard` — which records the lane, warp, cycle and array location —
+    plus the tail of the warp's tracer timeline when a tracer was active.
+    """
+
+    def __init__(self, hazard, *, trace_tail: tuple = ()):
+        super().__init__(hazard.format())
+        self.hazard = hazard
+        self.trace_tail = trace_tail
 
 
 class SolverError(ReproError):

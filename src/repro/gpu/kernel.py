@@ -170,6 +170,8 @@ class ThreadCtx:
 
         The simulator's memory is sequentially consistent, so the fence
         only needs to be *recorded*; tests assert each kernel fences
-        between publishing a component value and raising its flag.
+        between publishing a component value and raising its flag, and
+        the opt-in memory-order sanitizer checks the ordering per lane
+        (see :mod:`repro.analysis.sanitize`).
         """
-        self._mem.counters.fences += 1
+        self._mem.fence()

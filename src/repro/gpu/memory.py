@@ -44,6 +44,10 @@ class GlobalMemory:
         # coalescing batch: distinct (array, sector) pairs touched during
         # the current warp step; None outside a batch (host-style access)
         self._batch: set[tuple[str, int]] | None = None
+        #: optional access observer (a :class:`repro.analysis.sanitize.
+        #: Sanitizer`); every counted lane access is reported to it.
+        #: ``None`` keeps the hot paths at one attribute test.
+        self.observer = None
 
     # ------------------------------------------------------------------
     # coalescing batches (driven by Warp.step)
@@ -80,6 +84,8 @@ class GlobalMemory:
         if flags:
             self._flag_arrays.add(name)
             self._touched[name] = np.zeros(len(array), dtype=bool)
+        if self.observer is not None:
+            self.observer.on_alloc(name, array, flags=flags)
         return array
 
     def array(self, name: str) -> np.ndarray:
@@ -112,12 +118,22 @@ class GlobalMemory:
                 self._batch.add(sector)
                 self.counters.dram_bytes_read += self.SECTOR_BYTES
                 self.counters.dram_load_events += 1
-        return arr[idx]
+        value = arr[idx]
+        if self.observer is not None:
+            self.observer.on_load(name, idx, value)
+        return value
 
     def store(self, name: str, idx: int, value) -> None:
+        self._store(name, idx, value, atomic=False)
+
+    def _store(self, name: str, idx: int, value, *, atomic: bool) -> None:
         arr = self._arrays[name]
         arr[idx] = value
         self.counters.dram_bytes_written += arr.itemsize
+        if self.observer is not None:
+            # observe before wake-ups fire, so a raising sanitizer stops
+            # the hazardous publish from unblocking consumers
+            self.observer.on_store(name, idx, arr[idx], atomic=atomic)
         key = (name, int(idx))
         watchers = self._watchers.pop(key, None)
         if watchers:
@@ -138,8 +154,16 @@ class GlobalMemory:
         arr = self._arrays[name]
         old = arr[idx]
         self.counters.dram_bytes_read += arr.itemsize
-        self.store(name, idx, old + value)
+        self._store(name, idx, old + value, atomic=True)
         return old
+
+    def fence(self) -> None:
+        """Record a ``threadfence`` (memory is sequentially consistent, so
+        the fence has no reordering to prevent — but the sanitizers check
+        kernels issue it where real hardware would need it)."""
+        self.counters.fences += 1
+        if self.observer is not None:
+            self.observer.on_fence()
 
     def peek(self, name: str, idx: int):
         """Uncounted load — used by the engine to evaluate spin predicates."""

@@ -73,6 +73,26 @@ class SIMTEngine:
         self.memory = GlobalMemory(self.counters)
         #: optional :class:`repro.gpu.trace.Tracer`; zero overhead if None
         self.tracer = None
+        self._sanitizer = None
+
+    @property
+    def sanitizer(self):
+        """Optional :class:`repro.analysis.sanitize.Sanitizer`.
+
+        Assigning one binds it to this engine's memory immediately, so
+        allocations performed *before* :meth:`launch` (solvers upload
+        their arrays first) are already observed.
+        """
+        return self._sanitizer
+
+    @sanitizer.setter
+    def sanitizer(self, s) -> None:
+        self._sanitizer = s
+        if s is None:
+            self.memory.observer = None
+        else:
+            s.bind(self.memory)
+            self.memory.observer = s
 
     # ------------------------------------------------------------------
     def launch(
@@ -109,6 +129,9 @@ class SIMTEngine:
         # mutable cells shared with watch callbacks
         state = _LaunchState()
         tracer = self.tracer
+        sanitizer = self._sanitizer
+        if sanitizer is not None and sanitizer.tracer is None:
+            sanitizer.tracer = tracer
 
         def make_warp(warp_id: int, sm: _SM) -> Warp:
             lanes = []
@@ -170,6 +193,8 @@ class SIMTEngine:
                     f"({done_warps}/{total_warps} warps retired) — livelock?"
                 )
             state.cycle = cycle
+            if sanitizer is not None:
+                sanitizer.cycle = cycle
             # release warps whose DRAM latency has elapsed
             while timed and timed[0][0] <= cycle:
                 _, _, tw, tsm = heapq.heappop(timed)

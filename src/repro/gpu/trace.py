@@ -33,12 +33,14 @@ SLEEP = "sleep"      # all-lanes-failed Poll
 MEM = "mem"          # parked on DRAM latency
 WAKE = "wake"
 DONE = "done"
+HAZARD = "hazard"    # sanitizer-reported hazard (repro.analysis.sanitize)
 
 _SYMBOLS = {
     ISSUE: "#",
     BLOCK: "s",
     SLEEP: "z",
     MEM: "m",
+    HAZARD: "!",
 }
 
 
@@ -79,6 +81,21 @@ class Tracer:
             counts[ev.kind] += 1
         return dict(counts)
 
+    def tail(self, warp_id: int | None = None, n: int = 8) -> tuple[TraceEvent, ...]:
+        """The last ``n`` events, optionally restricted to one warp.
+
+        Hazard reports attach this as provenance: the events leading up
+        to the offending access show *how* the warp got there."""
+        if warp_id is None:
+            return tuple(self.events[-n:])
+        picked: list[TraceEvent] = []
+        for ev in reversed(self.events):
+            if ev.warp_id == warp_id:
+                picked.append(ev)
+                if len(picked) == n:
+                    break
+        return tuple(reversed(picked))
+
 
 def render_timeline(
     tracer: Tracer,
@@ -100,7 +117,7 @@ def render_timeline(
 
     lines = [
         f"warp timeline — {end} cycles, {bucket} cycles/column "
-        f"(#=issue s=spin z=sleep m=mem .=done)"
+        f"(#=issue s=spin z=sleep m=mem !=hazard .=done)"
     ]
     shown = sorted(per_warp)[:max_warps]
     for warp_id in shown:
@@ -114,6 +131,7 @@ def render_timeline(
         for b in range(width):
             b_end = (b + 1) * bucket
             issued_here = False
+            hazard_here = False
             while idx < len(events) and events[idx].cycle < b_end:
                 ev = events[idx]
                 idx += 1
@@ -123,13 +141,17 @@ def render_timeline(
                 elif ev.kind == ISSUE:
                     issued_here = True
                     state = None
+                elif ev.kind == HAZARD:
+                    hazard_here = True
                 elif ev.kind in (BLOCK, SLEEP, MEM):
                     state = ev.kind
                 elif ev.kind == WAKE:
                     state = None
                 elif ev.kind == DONE:
                     done_at = ev.cycle
-            if done_at is not None and done_at < b_end - bucket:
+            if hazard_here:
+                row[b] = "!"
+            elif done_at is not None and done_at < b_end - bucket:
                 row[b] = "."
             elif issued_here:
                 row[b] = "#"

@@ -110,6 +110,7 @@ class Warp:
                 f"warp {self.warp_id} stepped while {self.state.value}"
             )
         mem = self.mem
+        observer = mem.observer
         mem.begin_access_batch()  # coalesce this step's loads per sector
         dram_events_before = mem.counters.dram_load_events
         lane_state = self._lane_state
@@ -126,6 +127,9 @@ class Warp:
             if st is _LaneState.DONE:
                 continue
             live += 1
+            if observer is not None:
+                # attribute this lane's memory accesses for hazard reports
+                observer.set_lane(self.warp_id, i)
             if st is _LaneState.SYNCING:
                 n_syncing += 1
                 continue
@@ -179,6 +183,8 @@ class Warp:
                 continue
             raise SimulationError(f"kernel yielded unknown instruction {instr!r}")
 
+        if observer is not None:
+            observer.clear_lane()
         mem.end_access_batch()
         live_after = live - retired
         if n_syncing and n_syncing == live_after:
@@ -218,6 +224,13 @@ class Warp:
             return self.state is WarpState.RUNNABLE
         if self.mem.peek(req.name, req.idx) != req.expected:
             return False
+        observer = self.mem.observer
+        if observer is not None:
+            # the wake path validates via uncounted peek; tell the race
+            # detector this lane has now observed the flag value
+            observer.on_sync_observed(
+                self.warp_id, lane, req.name, req.idx, req.expected
+            )
         self._lane_state[lane] = _LaneState.READY
         self._pending[lane] = None
         self.spin_unresolved -= 1

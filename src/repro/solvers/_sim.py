@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
 from contextvars import ContextVar
 
@@ -12,7 +13,13 @@ from repro.gpu.device import DeviceSpec
 from repro.gpu.simt import SIMTEngine
 from repro.sparse.csr import CSRMatrix
 
-__all__ = ["make_engine", "alloc_system", "assert_all_solved", "tracing"]
+__all__ = [
+    "make_engine",
+    "alloc_system",
+    "assert_all_solved",
+    "tracing",
+    "sanitizing",
+]
 
 #: Tracer picked up by every engine created while a `tracing` block is
 #: active (lets callers trace a solve without touching solver APIs).
@@ -35,6 +42,44 @@ def tracing(tracer):
     finally:
         _ACTIVE_TRACER.reset(token)
 
+
+#: Sanitizer picked up by every engine created while a `sanitizing` block
+#: is active (see :mod:`repro.analysis.sanitize`).
+_ACTIVE_SANITIZER: ContextVar = ContextVar("repro_active_sanitizer", default=None)
+
+
+@contextmanager
+def sanitizing(sanitizer=None):
+    """Attach a dynamic sanitizer to every engine built inside the block.
+
+    >>> from repro.analysis.sanitize import Sanitizer
+    >>> san = Sanitizer(mode="record")
+    >>> with sanitizing(san):
+    ...     solver.solve(L, b, device=SIM_TINY)    # doctest: +SKIP
+    >>> san.summary()                              # doctest: +SKIP
+    {}
+    """
+    if sanitizer is None:
+        from repro.analysis.sanitize import Sanitizer
+
+        sanitizer = Sanitizer()
+    token = _ACTIVE_SANITIZER.set(sanitizer)
+    try:
+        yield sanitizer
+    finally:
+        _ACTIVE_SANITIZER.reset(token)
+
+
+def _env_sanitizer():
+    """Fresh sanitizer when ``REPRO_SANITIZE=1`` is exported (opt-in CI
+    hardening: the whole solver suite runs under the dynamic checks)."""
+    if os.environ.get("REPRO_SANITIZE", "") not in ("", "0"):
+        from repro.analysis.sanitize import Sanitizer
+
+        return Sanitizer()
+    return None
+
+
 #: Memory array names shared by every SpTRSV kernel in this package.
 ROW_PTR = "row_ptr"
 COL_IDX = "col_idx"
@@ -51,6 +96,17 @@ def make_engine(device: DeviceSpec, *, max_cycles: int | None = None) -> SIMTEng
     else:
         engine = SIMTEngine(device, max_cycles=max_cycles)
     engine.tracer = _ACTIVE_TRACER.get()
+    sanitizer = _ACTIVE_SANITIZER.get()
+    if sanitizer is None:
+        sanitizer = _env_sanitizer()
+    if sanitizer is not None:
+        if engine.tracer is None:
+            # hazard reports carry a timeline tail; give them one
+            from repro.gpu.trace import Tracer
+
+            engine.tracer = Tracer()
+        sanitizer.tracer = engine.tracer
+        engine.sanitizer = sanitizer
     return engine
 
 

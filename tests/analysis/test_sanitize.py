@@ -1,0 +1,339 @@
+"""Dynamic sanitizers: seeded protocol violations must be caught, clean
+kernels must stay silent, and hazards must carry provenance."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sanitize import DEFAULT_PROTOCOLS, PublishProtocol, Sanitizer
+from repro.datasets.synthetic import chain
+from repro.errors import HazardError
+from repro.gpu.device import SIM_SMALL, SIM_TINY
+from repro.gpu.kernel import ALU, Poll
+from repro.gpu.simt import SIMTEngine
+from repro.gpu.trace import Tracer
+from repro.solvers import _sim
+from repro.sparse.triangular import lower_triangular_system
+
+
+def _engine(n=4, mode="raise", tracer=None):
+    eng = SIMTEngine(SIM_TINY)
+    eng.tracer = tracer
+    san = Sanitizer(mode=mode)
+    eng.sanitizer = san
+    eng.memory.alloc("x", np.zeros(n))
+    eng.memory.alloc("get_value", np.zeros(n, dtype=np.int8), flags=True)
+    return eng, san
+
+
+def good_kernel(ctx):
+    """The canonical publish protocol: value -> fence -> flag."""
+    i = ctx.global_id
+    ctx.store("x", i, float(i))
+    yield ALU
+    ctx.threadfence()
+    yield ALU
+    ctx.store("get_value", i, 1)
+    yield ALU
+
+
+class TestMemoryOrder:
+    def test_missing_fence_is_flagged(self):
+        def kernel(ctx):
+            i = ctx.global_id
+            ctx.store("x", i, 1.0)
+            yield ALU
+            ctx.store("get_value", i, 1)  # no threadfence
+            yield ALU
+
+        eng, _ = _engine()
+        with pytest.raises(HazardError) as exc:
+            eng.launch(kernel, 3)
+        assert exc.value.hazard.kind == "memory-order"
+        assert "threadfence" in str(exc.value)
+
+    def test_flag_without_value_is_flagged(self):
+        def kernel(ctx):
+            i = ctx.global_id
+            ctx.threadfence()
+            yield ALU
+            ctx.store("get_value", i, 1)  # never stored x[i]
+            yield ALU
+
+        eng, _ = _engine()
+        with pytest.raises(HazardError) as exc:
+            eng.launch(kernel, 3)
+        assert exc.value.hazard.kind == "memory-order"
+
+    def test_fence_before_value_is_flagged(self):
+        def kernel(ctx):
+            i = ctx.global_id
+            ctx.threadfence()   # fence precedes the value store
+            yield ALU
+            ctx.store("x", i, 1.0)
+            yield ALU
+            ctx.store("get_value", i, 1)
+            yield ALU
+
+        eng, _ = _engine()
+        with pytest.raises(HazardError) as exc:
+            eng.launch(kernel, 3)
+        assert exc.value.hazard.kind == "memory-order"
+
+    def test_clean_kernel_passes(self):
+        eng, san = _engine()
+        eng.launch(good_kernel, 3)
+        assert san.hazards == []
+        san.assert_clean()
+
+
+class TestRace:
+    def test_unguarded_consumer_load_is_flagged(self):
+        def kernel(ctx):
+            i = ctx.global_id
+            if i == 0:
+                ctx.store("x", 0, 1.0)
+                yield ALU
+                ctx.threadfence()
+                ctx.store("get_value", 0, 1)
+                yield ALU
+            else:
+                ctx.load("x", 0)  # never observed get_value[0]
+                yield ALU
+
+        eng, _ = _engine(n=2)
+        with pytest.raises(HazardError) as exc:
+            eng.launch(kernel, 2)
+        h = exc.value.hazard
+        assert h.kind == "race"
+        assert (h.warp, h.lane) == (0, 1)
+        assert h.cycle is not None
+
+    def test_poll_guarded_load_passes(self):
+        def kernel(ctx):
+            i = ctx.global_id
+            if i == 0:
+                ctx.store("x", 0, 7.0)
+                yield ALU
+                ctx.threadfence()
+                ctx.store("get_value", 0, 1)
+                yield ALU
+            else:
+                yield Poll("get_value", 0, 1)
+                assert ctx.load("x", 0) == 7.0
+                yield ALU
+
+        eng, san = _engine(n=2)
+        eng.launch(kernel, 2)
+        assert san.hazards == []
+
+    def test_producer_may_reread_its_own_component(self):
+        def kernel(ctx):
+            i = ctx.global_id
+            ctx.store("x", i, 2.0)
+            yield ALU
+            ctx.load("x", i)  # own store: no flag needed
+            yield ALU
+            ctx.threadfence()
+            ctx.store("get_value", i, 1)
+            yield ALU
+
+        eng, san = _engine()
+        eng.launch(kernel, 3)
+        assert san.hazards == []
+
+
+class TestUninitializedRead:
+    def test_flag_raised_without_value(self):
+        def producer_consumer(ctx):
+            i = ctx.global_id
+            if i == 0:
+                ctx.threadfence()
+                ctx.store("get_value", 0, 1)  # flag without any x store
+                yield ALU
+            else:
+                yield Poll("get_value", 0, 1)
+                ctx.load("x", 0)
+                yield ALU
+
+        eng, san = _engine(n=2, mode="record")
+        eng.launch(producer_consumer, 2)
+        kinds = san.summary()
+        assert "uninitialized-read" in kinds
+
+
+class TestDoublePublish:
+    def test_second_publish_is_flagged(self):
+        def kernel(ctx):
+            i = ctx.global_id
+            ctx.store("x", i, 1.0)
+            yield ALU
+            ctx.threadfence()
+            ctx.store("get_value", i, 1)
+            yield ALU
+            ctx.store("get_value", i, 1)  # published twice
+            yield ALU
+
+        eng, _ = _engine()
+        with pytest.raises(HazardError) as exc:
+            eng.launch(kernel, 2)
+        assert exc.value.hazard.kind == "double-publish"
+
+
+class TestProvenance:
+    def test_hazard_carries_trace_tail(self):
+        def kernel(ctx):
+            i = ctx.global_id
+            ctx.store("x", i, 1.0)
+            yield ALU
+            ctx.store("get_value", i, 1)
+            yield ALU
+
+        tracer = Tracer()
+        eng, _ = _engine(tracer=tracer)
+        with pytest.raises(HazardError) as exc:
+            eng.launch(kernel, 2)
+        assert exc.value.trace_tail  # events leading up to the hazard
+        assert all(ev.warp_id == exc.value.hazard.warp
+                   for ev in exc.value.trace_tail)
+        # the hazard is also on the tracer timeline
+        assert tracer.summary().get("hazard", 0) >= 1
+
+    def test_record_mode_accumulates(self):
+        def kernel(ctx):
+            i = ctx.global_id
+            ctx.store("x", i, 1.0)
+            yield ALU
+            ctx.store("get_value", i, 1)
+            yield ALU
+
+        eng, san = _engine(mode="record")
+        eng.launch(kernel, 3)
+        assert san.summary() == {"memory-order": 3}
+        with pytest.raises(HazardError):
+            san.assert_clean()
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Sanitizer(mode="explode")
+
+
+class TestProtocols:
+    def test_host_accesses_are_not_checked(self):
+        eng, san = _engine()
+        # host-side (no lane context) reads and writes are free
+        eng.memory.store("x", 0, 5.0)
+        eng.memory.load("x", 0)
+        assert san.hazards == []
+
+    def test_absent_arrays_deactivate_protocol(self):
+        eng = SIMTEngine(SIM_TINY)
+        san = Sanitizer()
+        eng.sanitizer = san
+        eng.memory.alloc("unrelated", np.zeros(4))
+
+        def kernel(ctx):
+            ctx.store("unrelated", ctx.global_id, 1.0)
+            yield ALU
+
+        eng.launch(kernel, 3)
+        assert san.hazards == []
+
+    def test_strided_multirhs_layout(self):
+        # x holds k=2 values per row under one flag: stride inference
+        eng = SIMTEngine(SIM_TINY)
+        san = Sanitizer()
+        eng.sanitizer = san
+        eng.memory.alloc("x", np.zeros(6))
+        eng.memory.alloc("get_value", np.zeros(3, dtype=np.int8), flags=True)
+
+        def kernel(ctx):
+            i = ctx.global_id
+            ctx.store("x", 2 * i, 1.0)
+            ctx.store("x", 2 * i + 1, 2.0)
+            yield ALU
+            ctx.threadfence()
+            ctx.store("get_value", i, 1)
+            yield ALU
+
+        eng.launch(kernel, 3)
+        assert san.hazards == []
+
+    def test_custom_protocol_tuple(self):
+        protos = (PublishProtocol(flag_array="done", value_array="out"),)
+        eng = SIMTEngine(SIM_TINY)
+        san = Sanitizer(protocols=protos)
+        eng.sanitizer = san
+        eng.memory.alloc("out", np.zeros(3))
+        eng.memory.alloc("done", np.zeros(3, dtype=np.int8), flags=True)
+
+        def kernel(ctx):
+            i = ctx.global_id
+            ctx.store("out", i, 1.0)
+            yield ALU
+            ctx.store("done", i, 1)  # missing fence
+            yield ALU
+
+        with pytest.raises(HazardError):
+            eng.launch(kernel, 3)
+
+    def test_default_protocols_cover_counter(self):
+        assert {p.flag_array for p in DEFAULT_PROTOCOLS} == {
+            "get_value", "counter",
+        }
+
+
+class TestSolverIntegration:
+    """The real kernels run clean under the sanitizer (the CI job runs
+    the whole suite this way with REPRO_SANITIZE=1)."""
+
+    def test_sanitizing_contextmanager(self):
+        from repro.solvers import WritingFirstCapelliniSolver
+
+        system = lower_triangular_system(chain(64))
+        with _sim.sanitizing() as san:
+            result = WritingFirstCapelliniSolver().solve(
+                system.L, system.b, device=SIM_SMALL
+            )
+        np.testing.assert_allclose(result.x, system.x_true, rtol=1e-9)
+        assert san.hazards == []
+
+    def test_env_var_attaches_sanitizer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        engine = _sim.make_engine(SIM_SMALL)
+        assert engine.sanitizer is not None
+        assert engine.memory.observer is engine.sanitizer
+        # a tracer is auto-attached so hazards have provenance
+        assert engine.tracer is not None
+
+    def test_env_var_off_keeps_hot_path_bare(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        engine = _sim.make_engine(SIM_SMALL)
+        assert engine.sanitizer is None
+        assert engine.memory.observer is None
+
+    def test_spin_wakeup_counts_as_observation(self):
+        # cross-warp blocking spin: consumer warp wakes via the uncounted
+        # peek path and must still be allowed to read x afterwards
+        from repro.gpu.kernel import SpinWait
+
+        def kernel(ctx):
+            i = ctx.global_id
+            if i >= 4:
+                return
+            if i == 3:  # lane 0 of warp 1 at SIM_TINY's ws=3
+                yield SpinWait("get_value", 0, 1)
+                ctx.load("x", 0)
+                yield ALU
+                return
+            if i == 0:
+                for _ in range(6):  # let the consumer park first
+                    yield ALU
+                ctx.store("x", 0, 1.0)
+                yield ALU
+                ctx.threadfence()
+                ctx.store("get_value", 0, 1)
+                yield ALU
+
+        eng, san = _engine(n=6)
+        eng.launch(kernel, 6)
+        assert san.hazards == []

@@ -1,0 +1,203 @@
+"""Static schedule verifier: the verdicts the simulator would discover,
+derived without running it."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.schedule import (
+    SOLVER_POLICIES,
+    classify_edges,
+    max_intra_warp_chain,
+    render_verdict_table,
+    resolve_policy,
+    verify_all,
+    verify_schedule,
+)
+from repro.datasets.synthetic import chain, diagonal
+from repro.errors import DeadlockError, SolverError
+from repro.gpu.device import SIM_SMALL, SIM_TINY
+from repro.solvers.naive_thread import (
+    NaiveThreadSolver,
+    has_intra_warp_dependency,
+)
+from repro.sparse.triangular import lower_triangular_system
+
+from tests.conftest import build_csr, fig1_matrix, random_unit_lower
+
+
+class TestEdgeClassification:
+    def test_chain_is_all_intra_warp_backward(self):
+        # chain(64): row i depends on row i-1; at ws=32 only the two
+        # warp-boundary edges (32 -> 31) cross warps
+        e = classify_edges(chain(64), warp_size=32)
+        assert e.n_edges == 63
+        assert e.intra_warp_backward == 62
+        assert e.intra_warp_forward == 0
+        assert e.cross_warp_forward == 1
+        assert e.cross_warp_backward == 0
+        assert e.sample_intra_warp_edge == (0, 1)
+
+    def test_diagonal_has_no_edges(self):
+        e = classify_edges(diagonal(64), warp_size=32)
+        assert e.n_edges == 0
+        assert e.intra_warp == 0 and e.cross_warp == 0
+        assert e.sample_intra_warp_edge is None
+
+    def test_warp_size_moves_the_boundary(self):
+        # row 32 -> row 0: cross-warp at ws=32, intra-warp at ws=64
+        L = build_csr({(0, 0): 1.0, **{(i, i): 1.0 for i in range(1, 33)},
+                       (32, 0): 0.5}, 33)
+        assert classify_edges(L, 32).intra_warp == 0
+        assert classify_edges(L, 64).intra_warp_backward == 1
+
+    def test_agrees_with_solver_predicate(self):
+        for seed in range(8):
+            L = random_unit_lower(48, 0.05, seed=seed)
+            e = classify_edges(L, 32)
+            assert (e.intra_warp > 0) == has_intra_warp_dependency(L, 32)
+
+    def test_permuted_order_creates_backward_edges(self):
+        # reversed schedule: every producer lands *after* its consumer
+        L = chain(8)
+        order = np.arange(8)[::-1]
+        e = classify_edges(L, warp_size=4, order=order)
+        assert e.intra_warp_forward > 0 or e.cross_warp_backward > 0
+        assert e.intra_warp_backward == 0 and e.cross_warp_forward == 0
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            classify_edges(chain(8), 4, order=np.zeros(8, dtype=int))
+
+    def test_chain_depth(self):
+        assert max_intra_warp_chain(chain(64), 32) == 31
+        assert max_intra_warp_chain(diagonal(64), 32) == 0
+        # warp of the whole matrix: the full chain is intra-warp
+        assert max_intra_warp_chain(chain(16), 32) == 15
+
+
+class TestPolicyResolution:
+    @pytest.mark.parametrize("alias,key", [
+        ("naive-thread", "naive-thread"),
+        ("NaiveThread", "naive-thread"),
+        ("naive_thread", "naive-thread"),
+        ("capellini", "capellini"),
+        ("Capellini-TwoPhase", "capellini-two-phase"),
+        ("two-phase", "capellini-two-phase"),
+        ("writing-first", "capellini"),
+        ("SyncFree", "syncfree"),
+        ("syncfree-csc", "syncfree-csc"),
+        ("LevelSet", "levelset"),
+    ])
+    def test_aliases(self, alias, key):
+        assert resolve_policy(alias).key == key
+
+    def test_unknown_solver_raises(self):
+        with pytest.raises(SolverError, match="no schedule policy"):
+            resolve_policy("not-a-solver")
+
+
+class TestVerdicts:
+    def test_naive_thread_deadlocks_on_chain(self):
+        r = verify_schedule(chain(64), "naive-thread")
+        assert r.verdict == "DEADLOCK"
+        assert not r.certified
+        assert any(h.kind == "intra-warp-blocking-spin" for h in r.hazards)
+
+    def test_naive_thread_safe_without_intra_warp_deps(self):
+        assert verify_schedule(diagonal(64), "naive-thread").verdict == "SAFE"
+
+    def test_fig1_matches_runtime_at_tiny_warp(self):
+        # the paper's Figure 1 example deadlocks at warp size 3 — the
+        # verifier predicts what test_naive_thread.py observes at runtime
+        L = fig1_matrix()
+        assert verify_schedule(L, "naive-thread", device=SIM_TINY).verdict \
+            == "DEADLOCK"
+        assert verify_schedule(L, "capellini", device=SIM_TINY).verdict \
+            == "SAFE"
+
+    @pytest.mark.parametrize("solver", [
+        "capellini", "capellini-two-phase", "syncfree", "syncfree-csc",
+        "adaptive", "levelset", "serial",
+    ])
+    def test_synchronization_free_families_certified(self, solver):
+        # the suite of structures every solver test must pass
+        for L in (chain(64), diagonal(64), fig1_matrix(),
+                  random_unit_lower(60, 0.1, seed=1)):
+            r = verify_schedule(L, solver)
+            assert r.verdict == "SAFE", (solver, r.hazards)
+            assert r.certified
+
+    def test_two_phase_bound_checked_not_assumed(self):
+        # a reversed schedule breaks the Two-Phase lane-order assumption
+        L = chain(8)
+        order = np.arange(8)[::-1]
+        r = verify_schedule(L, "capellini-two-phase", device=SIM_TINY,
+                            order=order)
+        assert r.verdict != "SAFE"
+        assert any(h.kind in ("phase-bound-exceeded", "admission-order")
+                   for h in r.hazards)
+
+    def test_report_carries_level_stats(self):
+        r = verify_schedule(chain(64), "capellini")
+        assert r.n_levels == 64
+        assert r.critical_path_len == 63
+        assert r.avg_rows_per_level == 1.0
+        assert np.isfinite(r.granularity)
+
+    def test_zero_simulator_cycles(self, monkeypatch):
+        """The tentpole claim: verification never steps the simulator."""
+        from repro.gpu import simt
+
+        def boom(*a, **k):  # pragma: no cover - should never run
+            raise AssertionError("verifier must not launch the simulator")
+
+        monkeypatch.setattr(simt.SIMTEngine, "launch", boom)
+        monkeypatch.setattr(simt.SIMTEngine, "__init__", boom)
+        reports = verify_all(chain(64))
+        assert len(reports) == len(SOLVER_POLICIES)
+
+
+class TestStaticDynamicAgreement:
+    """Property: the static verdict agrees with what the simulator does."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_naive_thread_agreement(self, seed):
+        L = random_unit_lower(48, 0.05, seed=seed)
+        system = lower_triangular_system(L)
+        report = verify_schedule(L, "naive-thread")
+        if report.verdict == "DEADLOCK":
+            with pytest.raises(DeadlockError):
+                NaiveThreadSolver().solve(system.L, system.b,
+                                          device=SIM_SMALL)
+        else:
+            result = NaiveThreadSolver().solve(system.L, system.b,
+                                               device=SIM_SMALL)
+            np.testing.assert_allclose(result.x, system.x_true, rtol=1e-9)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_certified_solvers_run_clean(self, seed):
+        from repro.solvers import (
+            SyncFreeSolver,
+            TwoPhaseCapelliniSolver,
+            WritingFirstCapelliniSolver,
+        )
+
+        L = random_unit_lower(48, 0.08, seed=seed)
+        system = lower_triangular_system(L)
+        for key, cls in (("capellini", WritingFirstCapelliniSolver),
+                         ("capellini-two-phase", TwoPhaseCapelliniSolver),
+                         ("syncfree", SyncFreeSolver)):
+            assert verify_schedule(L, key).certified
+            result = cls().solve(system.L, system.b, device=SIM_SMALL)
+            np.testing.assert_allclose(result.x, system.x_true, rtol=1e-9)
+
+
+class TestRendering:
+    def test_table_lists_every_policy(self):
+        text = render_verdict_table(verify_all(chain(64)), title="chain")
+        assert text.startswith("chain")
+        for policy in SOLVER_POLICIES.values():
+            assert policy.solver_name in text
+        assert "DEADLOCK" in text and "SAFE" in text
+        # hazard detail lines follow the table
+        assert "Challenge 1" in text

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -24,6 +26,22 @@ STRUCTURE_ZOO = [
     ("dense_random", lambda: random_unit_lower(60, 0.35, seed=6)),
     ("single_row", lambda: diagonal(1)),
 ]
+
+
+@pytest.fixture(autouse=True)
+def _sanitize_if_requested():
+    """Opt-in hardening: ``REPRO_SANITIZE=1`` runs the whole solver suite
+    under the dynamic sanitizers (one CI job does).  Any protocol
+    violation raises :class:`repro.errors.HazardError` mid-solve."""
+    if os.environ.get("REPRO_SANITIZE", "") in ("", "0"):
+        yield
+        return
+    from repro.analysis.sanitize import Sanitizer
+    from repro.solvers import _sim
+
+    with _sim.sanitizing(Sanitizer(mode="raise")) as sanitizer:
+        yield
+    sanitizer.assert_clean()
 
 
 @pytest.fixture(params=STRUCTURE_ZOO, ids=[name for name, _ in STRUCTURE_ZOO])

@@ -54,6 +54,51 @@ class TestCommands:
         assert rc == 0
         assert "n=400" in out
 
+    def test_analyze_solver_naive_thread_reports_deadlock(self, capsys):
+        # the acceptance scenario: intra-warp backward dependencies make
+        # the naive thread kernel statically DEADLOCK, no simulation run
+        rc = main(["analyze", "--solver", "naive-thread",
+                   "--domain", "circuit", "--n-rows", "400"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "DEADLOCK" in out
+        assert "intra-warp-blocking-spin" in out
+
+    def test_analyze_solver_capellini_is_safe(self, capsys):
+        rc = main(["analyze", "--solver", "capellini",
+                   "--domain", "circuit", "--n-rows", "400"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "SAFE" in out and "DEADLOCK" not in out
+
+    def test_analyze_solver_all_renders_full_table(self, capsys):
+        rc = main(["analyze", "--solver", "all",
+                   "--domain", "circuit", "--n-rows", "400"])
+        out = capsys.readouterr().out
+        assert rc == 1  # the table includes the naive kernel's DEADLOCK
+        for name in ("NaiveThread", "Capellini", "SyncFree", "LevelSet"):
+            assert name in out
+
+    def test_analyze_solver_on_matrix_file(self, tmp_path, capsys):
+        path = str(tmp_path / "m.mtx")
+        assert main(["generate", "--domain", "circuit", "--n-rows", "300",
+                     "--out", path]) == 0
+        rc = main(["analyze", "--matrix", path, "--solver", "capellini"])
+        assert rc == 0
+        assert "SAFE" in capsys.readouterr().out
+
+    def test_analyze_lint_clean(self, capsys):
+        rc = main(["analyze", "--lint"])
+        assert rc == 0
+        assert "kernel lint: clean" in capsys.readouterr().out
+
+    def test_analyze_default_domain(self, capsys):
+        # --domain is optional now; the default matrix still analyzes
+        rc = main(["analyze", "--n-rows", "300"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "circuit" in out and "recommended solver" in out
+
     def test_experiments_list(self, capsys):
         rc = main(["experiments", "--list"])
         assert rc == 0
