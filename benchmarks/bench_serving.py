@@ -1,0 +1,99 @@
+"""Bench: serving-layer request coalescing (the SpTRSM amortization,
+applied across concurrent requests).
+
+``N`` concurrent single-RHS requests against one registered matrix are
+coalesced by the :class:`~repro.serve.engine.SolveEngine` into batched
+``capellini_sptrsm`` launches, so the dependency machinery (flags,
+polls, level structure) is paid once per batch instead of once per
+request.  The benchmark compares the engine's total *simulated* cycles
+against ``N`` independent Writing-First solves and reports the cache
+hit-rate and batch-width telemetry alongside.
+
+Smoke-sized by default; scale with ``REPRO_BENCH_SERVE_ROWS`` /
+``REPRO_BENCH_SERVE_REQUESTS``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.datasets import generate
+from repro.gpu.device import SIM_SMALL
+from repro.serve import SolveEngine
+from repro.solvers import WritingFirstCapelliniSolver
+from repro.sparse import lower_triangular_system
+
+N_ROWS = int(os.environ.get("REPRO_BENCH_SERVE_ROWS", "600"))
+N_REQUESTS = int(os.environ.get("REPRO_BENCH_SERVE_REQUESTS", "12"))
+
+
+def _serving_session():
+    L = generate("circuit", N_ROWS, 0)
+    system = lower_triangular_system(L)
+
+    async def serve():
+        engine = SolveEngine(device=SIM_SMALL, max_batch=N_REQUESTS)
+        engine.register(system.L, name="bench")
+        responses = await asyncio.gather(
+            *[engine.solve("bench", system.b) for _ in range(N_REQUESTS)]
+        )
+        snapshot = engine.snapshot()
+        await engine.close()
+        return responses, snapshot
+
+    responses, snapshot = asyncio.run(serve())
+    for resp in responses:
+        np.testing.assert_allclose(resp.x, system.x_true, rtol=1e-9)
+
+    solver = WritingFirstCapelliniSolver()
+    independent_cycles = sum(
+        solver.solve(system.L, system.b, device=SIM_SMALL).stats.cycles
+        for _ in range(N_REQUESTS)
+    )
+    return system, responses, snapshot, independent_cycles
+
+
+def test_serving_coalescing(benchmark, output_dir):
+    system, responses, snapshot, independent_cycles = run_once(
+        benchmark, _serving_session
+    )
+    batched_cycles = snapshot["sim"]["cycles"]
+    width = snapshot["batches"]["width"]
+    cache = snapshot["cache"]
+    hit_rate = cache["hit_rate"]
+
+    lines = [
+        "serving coalescing benchmark",
+        f"matrix: circuit n={system.L.n_rows} nnz={system.L.nnz}",
+        f"requests: {N_REQUESTS} concurrent single-RHS",
+        f"batches: {snapshot['batches']['total']} "
+        f"(width mean {width['mean']:.1f}, max {width['max']:.0f})",
+        f"simulated cycles, coalesced  : {batched_cycles}",
+        f"simulated cycles, independent: {independent_cycles}",
+        f"cycle ratio (coalesced/independent): "
+        f"{batched_cycles / independent_cycles:.3f}",
+        f"cache hit rate: "
+        f"{'n/a' if hit_rate is None else f'{hit_rate:.1%}'} "
+        f"({cache['hits']} hits, {cache['misses']} misses)",
+        f"fallbacks: {snapshot['fallbacks']['solves']}",
+    ]
+    report = "\n".join(lines)
+    print()
+    print(report)
+    (output_dir / "serving.txt").write_text(report + "\n")
+
+    # the point of the exercise: one batched launch per coalesced group
+    # must beat N independent launches on total simulated cycles
+    assert batched_cycles < independent_cycles
+    # telemetry must actually show coalescing happened
+    assert width["max"] >= 2
+    assert snapshot["batches"]["total"] < N_REQUESTS
+
+    benchmark.extra_info["coalesced_cycles"] = batched_cycles
+    benchmark.extra_info["independent_cycles"] = independent_cycles
+    benchmark.extra_info["batch_width_mean"] = width["mean"]
+    benchmark.extra_info["cache_hit_rate"] = hit_rate

@@ -6,9 +6,10 @@ Usage::
     repro-sptrsv experiments table4 fig5 --n-matrices 36
     repro-sptrsv solve --domain circuit --n-rows 2000 --solver Capellini
     repro-sptrsv analyze --matrix path/to/file.mtx
-    repro-sptrsv analyze --solver naive-thread --domain circuit
+    repro-sptrsv analyze --solver naive-thread --domain circuit --json
     repro-sptrsv analyze --lint
     repro-sptrsv generate --domain lp --n-rows 5000 --out lp.mtx
+    repro-sptrsv serve-stats --domain circuit --n-rows 800 --requests 16
 """
 
 from __future__ import annotations
@@ -107,6 +108,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("--lint", action="store_true",
                       help="run the kernel lint over repro.solvers "
                       "(no matrix needed)")
+    p_an.add_argument("--json", action="store_true",
+                      help="emit the analysis as one JSON document on "
+                      "stdout (machine-readable verdicts for CI and the "
+                      "serve engine)")
+
+    p_srv = sub.add_parser(
+        "serve-stats",
+        help="run a synthetic serving session through repro.serve and "
+        "print the telemetry snapshot",
+    )
+    p_srv.add_argument("--domain", default="circuit")
+    p_srv.add_argument("--n-rows", type=int, default=800)
+    p_srv.add_argument("--seed", type=int, default=0)
+    p_srv.add_argument("--requests", type=int, default=16,
+                       help="concurrent single-RHS requests to fire")
+    p_srv.add_argument("--rhs", type=int, default=4,
+                       help="right-hand sides of the one multi-RHS request "
+                       "(0 to skip)")
+    p_srv.add_argument("--max-batch", type=int, default=32)
+    p_srv.add_argument("--device", default="SimSmall",
+                       choices=["SimSmall", "SimTiny"])
+    p_srv.add_argument("--json", action="store_true",
+                       help="print the raw snapshot as JSON")
 
     p_gen = sub.add_parser("generate", help="write a synthetic matrix to .mtx")
     p_gen.add_argument("--domain", required=True)
@@ -124,6 +148,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_solve(args)
     if args.command == "analyze":
         return _cmd_analyze(args)
+    if args.command == "serve-stats":
+        return _cmd_serve_stats(args)
     if args.command == "generate":
         return _cmd_generate(args)
     raise AssertionError("unreachable")  # pragma: no cover
@@ -192,25 +218,85 @@ def _cmd_solve(args) -> int:
     return 0 if err < 1e-8 else 1
 
 
+def _features_json(f) -> dict:
+    return {
+        "n_rows": f.n_rows,
+        "nnz": f.nnz,
+        "avg_nnz_per_row": f.avg_nnz_per_row,
+        "max_nnz_per_row": f.max_nnz_per_row,
+        "n_levels": f.n_levels,
+        "avg_rows_per_level": f.avg_rows_per_level,
+        "max_level_width": f.max_level_width,
+        "granularity": f.granularity,
+        "critical_path_length": f.critical_path_length,
+    }
+
+
+def _report_json(r) -> dict:
+    return {
+        "solver": r.policy.solver_name,
+        "policy": r.policy.key,
+        "wait": r.policy.wait,
+        "verdict": r.verdict,
+        "certified": r.certified,
+        "hazards": [
+            {
+                "kind": h.kind,
+                "severity": h.severity,
+                "message": h.message,
+            }
+            for h in r.hazards
+        ],
+        "notes": list(r.notes),
+        "edges": {
+            "total": r.edges.n_edges,
+            "cross_warp": r.edges.cross_warp,
+            "intra_warp_backward": r.edges.intra_warp_backward,
+            "intra_warp_forward": r.edges.intra_warp_forward,
+            "max_intra_warp_chain": r.edges.max_intra_warp_chain,
+        },
+        "n_levels": r.n_levels,
+        "granularity": r.granularity,
+    }
+
+
 def _cmd_analyze(args) -> int:
+    import json
+
     from repro.analysis import extract_features
     from repro.datasets import generate
     from repro.sparse import read_matrix_market, make_unit_lower_triangular
 
     rc = 0
+    doc: dict = {}
+    emit = (lambda *a, **k: None) if args.json else print
     if args.lint:
         from repro.analysis.lint import lint_paths, solver_package_paths
 
         findings = lint_paths(solver_package_paths())
         for finding in findings:
-            print(finding.format())
-        print(
+            emit(finding.format())
+        emit(
             f"kernel lint: {len(findings)} finding(s)"
             if findings
             else "kernel lint: clean"
         )
+        doc["lint"] = {
+            "count": len(findings),
+            "findings": [
+                {
+                    "path": f.path,
+                    "line": f.line,
+                    "rule": f.rule,
+                    "message": f.message,
+                }
+                for f in findings
+            ],
+        }
         rc = 1 if findings else 0
         if args.matrix is None and args.domain is None and args.solver is None:
+            if args.json:
+                print(json.dumps(doc, indent=2))
             return rc
 
     if args.matrix:
@@ -221,7 +307,9 @@ def _cmd_analyze(args) -> int:
         L = generate(domain, args.n_rows, args.seed)
         name = domain
     f = extract_features(L)
-    print(f"{name}: {f.summary()}")
+    emit(f"{name}: {f.summary()}")
+    doc["matrix"] = name
+    doc["features"] = _features_json(f)
 
     if args.solver:
         from repro.analysis.schedule import (
@@ -234,16 +322,100 @@ def _cmd_analyze(args) -> int:
             reports = verify_all(L)
         else:
             reports = [verify_schedule(L, args.solver)]
-        print()
-        print(render_verdict_table(reports, title=f"schedule verification — {name}"))
+        emit()
+        emit(render_verdict_table(reports, title=f"schedule verification — {name}"))
+        doc["reports"] = [_report_json(r) for r in reports]
         if any(r.verdict != "SAFE" for r in reports):
             rc = max(rc, 1)
+        if args.json:
+            print(json.dumps(doc, indent=2))
         return rc
 
     from repro.solvers import select_solver
 
-    print(f"recommended solver: {select_solver(f).name}")
+    recommended = select_solver(f).name
+    emit(f"recommended solver: {recommended}")
+    doc["recommended_solver"] = recommended
+    if args.json:
+        print(json.dumps(doc, indent=2))
     return rc
+
+
+def _cmd_serve_stats(args) -> int:
+    """Drive a short serving session and print its telemetry snapshot.
+
+    Registers one synthetic matrix with the serve layer, fires
+    ``--requests`` concurrent single-RHS solves (they coalesce into
+    batched SpTRSM launches) plus one ``--rhs``-wide multi-RHS solve,
+    verifies every answer against the manufactured solution, and prints
+    the engine snapshot — the same dict the programmatic
+    ``SolveEngine.snapshot()`` API returns.
+    """
+    import asyncio
+    import json
+
+    from repro.datasets import generate
+    from repro.gpu.device import SIM_SMALL, SIM_TINY
+    from repro.serve import SolveEngine
+    from repro.sparse import lower_triangular_system
+
+    device = SIM_SMALL if args.device == "SimSmall" else SIM_TINY
+    L = generate(args.domain, args.n_rows, args.seed)
+    system = lower_triangular_system(L)
+
+    async def session() -> tuple[dict, float]:
+        engine = SolveEngine(device=device, max_batch=args.max_batch)
+        engine.register(system.L, name="cli-demo")
+        responses = await asyncio.gather(
+            *[engine.solve("cli-demo", system.b)
+              for _ in range(max(args.requests, 0))]
+        )
+        err = max(
+            (float(np.max(np.abs(r.x - system.x_true))) for r in responses),
+            default=0.0,
+        )
+        if args.rhs > 0:
+            B = np.column_stack(
+                [(r + 1.0) * system.b for r in range(args.rhs)]
+            )
+            multi = await engine.solve_multi("cli-demo", B)
+            X_true = np.column_stack(
+                [(r + 1.0) * system.x_true for r in range(args.rhs)]
+            )
+            err = max(err, float(np.max(np.abs(multi.x - X_true))))
+        snap = engine.snapshot()
+        await engine.close()
+        return snap, err
+
+    snap, err = asyncio.run(session())
+    if args.json:
+        print(json.dumps({
+            "matrix": {"domain": args.domain, "n_rows": L.n_rows,
+                       "nnz": L.nnz},
+            "snapshot": snap,
+            "max_error": err,
+        }, indent=2))
+    else:
+        req, width = snap["requests"], snap["batches"]["width"]
+        lat, cache = snap["latency_ms"], snap["cache"]
+        hit_rate = cache["hit_rate"]
+        print(f"matrix        : {args.domain}, n={L.n_rows}, nnz={L.nnz}")
+        print(f"requests      : {req['total']} total, "
+              f"{req['completed']} completed, {req['failed']} failed, "
+              f"{req['timed_out']} timed out, {req['rejected']} rejected")
+        print(f"batches       : {snap['batches']['total']} "
+              f"(width mean {width['mean']:.1f}, max {width['max']:.0f})")
+        print(f"latency (host): p50 {lat['p50']:.2f} ms, "
+              f"p95 {lat['p95']:.2f} ms")
+        print(f"sim cost      : {snap['sim']['cycles']} cycles, "
+              f"{snap['sim']['exec_ms']:.4f} ms")
+        print(f"cache         : {cache['entries']} entr(y/ies), "
+              f"hit rate {'n/a' if hit_rate is None else f'{hit_rate:.1%}'}, "
+              f"{cache['evictions']} eviction(s)")
+        print(f"fallbacks     : {snap['fallbacks']['solves']} solve(s), "
+              f"{snap['fallbacks']['kernel_failures']} kernel failure(s)")
+        print(f"max error     : {err:.3e}")
+    return 0 if err < 1e-8 else 1
 
 
 def _cmd_generate(args) -> int:

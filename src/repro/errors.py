@@ -19,6 +19,10 @@ __all__ = [
     "SolverError",
     "ExperimentError",
     "DatasetError",
+    "ServeError",
+    "UnknownMatrixError",
+    "QueueFullError",
+    "RequestTimeoutError",
 ]
 
 
@@ -90,3 +94,26 @@ class ExperimentError(ReproError):
 
 class DatasetError(ReproError):
     """A synthetic dataset generator was given invalid parameters."""
+
+
+class ServeError(ReproError):
+    """Base class for failures in the serving layer (:mod:`repro.serve`)."""
+
+
+class UnknownMatrixError(ServeError):
+    """A solve request referenced a matrix the registry does not hold
+    (never registered, or evicted by the LRU memory budget)."""
+
+
+class QueueFullError(ServeError):
+    """The engine's bounded request queue is full (backpressure).
+
+    Callers should shed load or retry later; the engine never buffers
+    unboundedly."""
+
+
+class RequestTimeoutError(ServeError):
+    """A solve request did not complete within its deadline.
+
+    The underlying executor work is not interrupted (threads cannot be
+    cancelled); the result is discarded when it arrives."""

@@ -7,6 +7,7 @@ from repro.metrics.aggregate import (
     geometric_mean,
     percent_where_best,
 )
+from repro.metrics.telemetry import Counter, Gauge, Histogram
 
 __all__ = [
     "SpeedupSummary",
@@ -16,4 +17,7 @@ __all__ = [
     "bin_by_granularity",
     "geometric_mean",
     "percent_where_best",
+    "Counter",
+    "Gauge",
+    "Histogram",
 ]

@@ -1,0 +1,151 @@
+"""Thread-safe telemetry primitives (counters, gauges, histograms).
+
+The serving layer (:mod:`repro.serve`) publishes its runtime signals —
+request latency, queue depth, batch width, cache hit-rate, fallback
+counts — through these primitives so benchmarks, tests and the CLI all
+read one snapshot format.  They are deliberately tiny: a production
+deployment would swap them for a real metrics client, but the *shape*
+of the instrumentation (what is counted, gauged and distributed) is the
+part worth reproducing.
+
+All primitives are safe to update from any thread: the engine's solve
+work runs in a thread pool while its batching front runs on the event
+loop, so every counter here may be hit from both sides concurrently.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Union
+
+__all__ = ["Counter", "Gauge", "Histogram"]
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a Gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> Number:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that moves both ways, remembering its high-water mark."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value: Number = 0
+        self._peak: Number = 0
+
+    def set(self, value: Number) -> None:
+        with self._lock:
+            self._value = value
+            if value > self._peak:
+                self._peak = value
+
+    def add(self, delta: Number) -> None:
+        with self._lock:
+            self._value += delta
+            if self._value > self._peak:
+                self._peak = self._value
+
+    @property
+    def value(self) -> Number:
+        with self._lock:
+            return self._value
+
+    @property
+    def peak(self) -> Number:
+        with self._lock:
+            return self._peak
+
+
+class Histogram:
+    """Streaming distribution with a bounded reservoir for percentiles.
+
+    Count, sum, min and max are exact for the full stream; percentiles
+    are computed over the most recent ``reservoir`` observations (a
+    simple sliding window — adequate for the serving benchmarks, and
+    bounded memory by construction).
+    """
+
+    def __init__(self, name: str = "", *, reservoir: int = 4096) -> None:
+        if reservoir <= 0:
+            raise ValueError("reservoir must be positive")
+        self.name = name
+        self._lock = threading.Lock()
+        self._reservoir_size = reservoir
+        self._samples: list[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, value: Number) -> None:
+        v = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += v
+            self._min = min(self._min, v)
+            self._max = max(self._max, v)
+            self._samples.append(v)
+            if len(self._samples) > self._reservoir_size:
+                del self._samples[0]
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    @property
+    def max(self) -> float:
+        with self._lock:
+            return self._max if self._count else 0.0
+
+    @property
+    def min(self) -> float:
+        with self._lock:
+            return self._min if self._count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over the reservoir (``q`` in [0, 100])."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        with self._lock:
+            if not self._samples:
+                return 0.0
+            ordered = sorted(self._samples)
+            rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+            return ordered[rank - 1]
+
+    def summary(self) -> dict:
+        """One JSON-friendly dict: count/mean/min/max/p50/p95."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+        }

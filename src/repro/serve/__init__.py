@@ -1,0 +1,45 @@
+"""Request-serving layer on top of the solver library.
+
+The paper's kernels amortize per-matrix analysis over one solve; a
+serving deployment amortizes it over *every* solve against that matrix.
+This package provides the three pieces that make that real:
+
+* :class:`~repro.serve.registry.MatrixRegistry` — register a
+  :class:`~repro.sparse.csr.CSRMatrix` once; features, level schedule,
+  static schedule verdicts and the CSC conversion are derived lazily,
+  cached behind an LRU with a configurable memory budget, and shared by
+  every request (hit/miss counters included).
+* :class:`~repro.serve.engine.SolveEngine` — an asyncio front over a
+  thread-pool executor.  Concurrent single-RHS requests against the
+  same matrix are coalesced into one batched
+  :func:`~repro.solvers.multirhs.capellini_sptrsm` launch (the SpTRSM
+  amortization, applied across requests); failures fall back down the
+  :func:`~repro.solvers.select.solver_chain` ladder with the failing
+  kernel quarantined per matrix, never silently retried.
+* :class:`~repro.serve.telemetry.ServeTelemetry` — latency, queue
+  depth, batch width, cache hit-rate, fallback counts; one
+  JSON-friendly snapshot consumed by tests, benchmarks and the
+  ``repro-sptrsv serve-stats`` CLI.
+
+See ``docs/serving.md`` for the architecture and tuning knobs.
+"""
+
+from repro.serve.engine import SolveEngine
+from repro.serve.registry import (
+    DEFAULT_MEMORY_BUDGET,
+    MatrixRegistry,
+    RegisteredMatrix,
+    matrix_fingerprint,
+)
+from repro.serve.requests import SolveResponse
+from repro.serve.telemetry import ServeTelemetry
+
+__all__ = [
+    "DEFAULT_MEMORY_BUDGET",
+    "MatrixRegistry",
+    "RegisteredMatrix",
+    "matrix_fingerprint",
+    "SolveEngine",
+    "SolveResponse",
+    "ServeTelemetry",
+]

@@ -1,0 +1,449 @@
+"""Fault-tolerant async solve engine with cross-request batching.
+
+The engine is the serving counterpart of the paper's SpTRSM
+amortization: ``capellini_sptrsm`` guards all ``k`` right-hand sides
+with one per-row flag, so ``k`` solves against one matrix cost far less
+than ``k`` independent launches.  Here the ``k`` comes from *traffic* —
+concurrent single-RHS requests against the same registered matrix are
+coalesced into one batched launch.
+
+Execution model
+---------------
+* The asyncio front enqueues requests per matrix.  The first request of
+  a group arms a flush after ``batch_window`` seconds (one event-loop
+  tick when 0); a group reaching ``max_batch`` flushes immediately.
+* Each flushed batch runs on a thread-pool worker: batched
+  ``capellini_sptrsm`` for width ≥ 2, the granularity-selected solver
+  chain for width 1 and multi-RHS fallbacks.
+* Robustness: a kernel that raises ``HazardError``/``SolverError`` on a
+  matrix is recorded in telemetry and *quarantined for that matrix* —
+  later requests walk the :func:`~repro.solvers.select.solver_chain`
+  ladder starting past it, never silently retrying the failed kernel.
+  Bounded queueing (``QueueFullError``) and per-request deadlines
+  (``RequestTimeoutError``) keep the engine shedding load instead of
+  buffering it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.errors import (
+    DeadlockError,
+    HazardError,
+    QueueFullError,
+    RequestTimeoutError,
+    SolverError,
+)
+from repro.gpu.device import SIM_SMALL, DeviceSpec
+from repro.serve.registry import MatrixRegistry, RegisteredMatrix
+from repro.serve.requests import BlockOutcome, PendingSolve, SolveResponse
+from repro.serve.telemetry import ServeTelemetry
+from repro.solvers.base import SpTRSVSolver
+from repro.solvers.capellini import WritingFirstCapelliniSolver
+from repro.solvers.multirhs import capellini_sptrsm
+from repro.solvers.select import solver_chain
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["SolveEngine"]
+
+#: Telemetry/quarantine name of the batched SpTRSM path.  It runs the
+#: Writing-First kernel, so it shares quarantine state with the
+#: single-RHS Writing-First solver: if one hazards on a matrix, the
+#: other is not a safe retry.
+BATCHED_KERNEL = WritingFirstCapelliniSolver.name
+
+#: Errors the fallback ladder absorbs.  Anything else (simulator bugs,
+#: validation errors) propagates to the caller unchanged.
+FALLBACK_ERRORS = (HazardError, SolverError, DeadlockError)
+
+
+def _discard_outcome(future: "asyncio.Future") -> None:
+    """Swallow the result/exception of an abandoned request's future."""
+    if not future.cancelled():
+        future.exception()
+
+
+class SolveEngine:
+    """Asyncio solve service over a :class:`MatrixRegistry`."""
+
+    def __init__(
+        self,
+        registry: Optional[MatrixRegistry] = None,
+        *,
+        device: DeviceSpec = SIM_SMALL,
+        max_queue: int = 64,
+        max_batch: int = 32,
+        batch_window: float = 0.0,
+        default_timeout: Optional[float] = 30.0,
+        max_workers: int = 4,
+        candidates: Optional[Iterable[type[SpTRSVSolver]]] = None,
+        telemetry: Optional[ServeTelemetry] = None,
+    ) -> None:
+        if max_queue <= 0:
+            raise ValueError("max_queue must be positive")
+        if max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        self.registry = registry if registry is not None else MatrixRegistry()
+        self.device = device
+        self.max_queue = max_queue
+        self.max_batch = max_batch
+        self.batch_window = batch_window
+        self.default_timeout = default_timeout
+        self.telemetry = telemetry if telemetry is not None else ServeTelemetry()
+        self._candidates = tuple(candidates) if candidates is not None else None
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-serve"
+        )
+        self._pending: dict[str, list[PendingSolve]] = {}
+        self._depth = 0
+        self._quarantine_lock = threading.Lock()
+        self._quarantined: dict[str, set[str]] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def register(self, matrix: CSRMatrix, *, name: Optional[str] = None) -> str:
+        """Register a matrix (delegates to the registry)."""
+        return self.registry.register(matrix, name=name)
+
+    async def solve(
+        self,
+        ref: str,
+        b: np.ndarray,
+        *,
+        timeout: Optional[float] = None,
+    ) -> SolveResponse:
+        """Solve ``L x = b`` for one right-hand side.
+
+        Concurrent calls against the same matrix coalesce into one
+        batched SpTRSM launch; the response reports the width of the
+        batch this request rode on.
+        """
+        entry = self.registry.get(ref)
+        b = np.ascontiguousarray(b, dtype=np.float64)
+        if b.shape != (entry.matrix.n_rows,):
+            raise SolverError(
+                f"b has shape {b.shape}, expected ({entry.matrix.n_rows},)"
+            )
+        self._admit(1)
+        req = PendingSolve(
+            b=b,
+            future=asyncio.get_running_loop().create_future(),
+            submitted_at=time.perf_counter(),
+        )
+        group = self._pending.setdefault(entry.key, [])
+        group.append(req)
+        if len(group) >= self.max_batch:
+            batch = self._pending.pop(entry.key)
+            asyncio.ensure_future(self._dispatch(entry, batch))
+        elif len(group) == 1:
+            asyncio.ensure_future(self._flush_after_window(entry))
+        try:
+            outcome, col = await self._await_request(req, timeout)
+        finally:
+            self._depth -= 1
+            self.telemetry.queue_depth.set(self._depth)
+        return self._response(entry, req, outcome, col, n_rhs=1)
+
+    async def solve_multi(
+        self,
+        ref: str,
+        B: np.ndarray,
+        *,
+        timeout: Optional[float] = None,
+    ) -> SolveResponse:
+        """Solve ``L X = B`` for a block of right-hand sides.
+
+        Dispatched immediately (a multi-RHS request is already a batch);
+        rides the same fallback ladder and telemetry as ``solve``.
+        """
+        entry = self.registry.get(ref)
+        B = np.ascontiguousarray(B, dtype=np.float64)
+        if B.ndim == 1:
+            B = B.reshape(-1, 1)
+        if B.ndim != 2 or B.shape[0] != entry.matrix.n_rows or B.shape[1] == 0:
+            raise SolverError(
+                f"B must have shape ({entry.matrix.n_rows}, k>=1), "
+                f"got {B.shape}"
+            )
+        self._admit(1)
+        req = PendingSolve(
+            b=B,
+            future=asyncio.get_running_loop().create_future(),
+            submitted_at=time.perf_counter(),
+        )
+        loop = asyncio.get_running_loop()
+
+        async def run() -> None:
+            try:
+                outcome = await loop.run_in_executor(
+                    self._executor, self._execute_block, entry, B, False
+                )
+            except BaseException as exc:  # noqa: BLE001 - forwarded to caller
+                self.telemetry.requests_failed.inc()
+                if not req.future.done():
+                    req.future.set_exception(exc)
+            else:
+                if not req.future.done():
+                    req.future.set_result((outcome, slice(None)))
+
+        asyncio.ensure_future(run())
+        try:
+            outcome, _ = await self._await_request(req, timeout)
+        finally:
+            self._depth -= 1
+            self.telemetry.queue_depth.set(self._depth)
+        return self._response(
+            entry, req, outcome, slice(None), n_rhs=B.shape[1]
+        )
+
+    def quarantined(self, ref: str) -> frozenset[str]:
+        """Solver names that have failed on this matrix (never retried)."""
+        entry = self.registry.get(ref)
+        with self._quarantine_lock:
+            return frozenset(self._quarantined.get(entry.key, ()))
+
+    def snapshot(self) -> dict:
+        """Telemetry + cache statistics + quarantine state, one dict."""
+        snap = self.telemetry.snapshot(cache=self.registry.stats())
+        with self._quarantine_lock:
+            snap["quarantined"] = {
+                key: sorted(names)
+                for key, names in self._quarantined.items()
+                if names
+            }
+        return snap
+
+    async def close(self) -> None:
+        """Drain: wait for enqueued work, then stop the worker pool."""
+        self._closed = True
+        while self._pending or self._depth:
+            await asyncio.sleep(0.001)
+        self._executor.shutdown(wait=True)
+
+    async def __aenter__(self) -> "SolveEngine":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # batching front (runs on the event loop)
+    # ------------------------------------------------------------------
+    def _admit(self, n: int) -> None:
+        if self._closed:
+            raise QueueFullError("engine is closed")
+        if self._depth + n > self.max_queue:
+            self.telemetry.requests_rejected.inc(n)
+            raise QueueFullError(
+                f"queue full: {self._depth} in flight, limit {self.max_queue}"
+            )
+        self._depth += n
+        self.telemetry.requests_total.inc(n)
+        self.telemetry.queue_depth.set(self._depth)
+
+    async def _await_request(
+        self, req: PendingSolve, timeout: Optional[float]
+    ):
+        deadline = self.default_timeout if timeout is None else timeout
+        try:
+            if deadline is None:
+                return await req.future
+            return await asyncio.wait_for(
+                asyncio.shield(req.future), deadline
+            )
+        except asyncio.TimeoutError:
+            self.telemetry.requests_timed_out.inc()
+            # the worker will still resolve the future; consume its
+            # outcome so an eventual failure is not "never retrieved"
+            req.future.add_done_callback(_discard_outcome)
+            raise RequestTimeoutError(
+                f"solve did not complete within {deadline} s "
+                "(worker continues; result discarded)"
+            ) from None
+
+    async def _flush_after_window(self, entry: RegisteredMatrix) -> None:
+        if self.batch_window > 0:
+            await asyncio.sleep(self.batch_window)
+        else:
+            # one full event-loop tick: everything already scheduled
+            # (e.g. the rest of an asyncio.gather) gets to enqueue first
+            await asyncio.sleep(0)
+        batch = self._pending.pop(entry.key, [])
+        if batch:
+            await self._dispatch(entry, batch)
+
+    async def _dispatch(
+        self, entry: RegisteredMatrix, batch: list[PendingSolve]
+    ) -> None:
+        width = len(batch)
+        self.telemetry.batches_total.inc()
+        self.telemetry.batch_width.observe(width)
+        B = (
+            batch[0].b.reshape(-1, 1)
+            if width == 1
+            else np.stack([r.b for r in batch], axis=1)
+        )
+        loop = asyncio.get_running_loop()
+        try:
+            outcome = await loop.run_in_executor(
+                self._executor, self._execute_block, entry, B, width > 1
+            )
+        except BaseException as exc:  # noqa: BLE001 - forwarded to callers
+            self.telemetry.requests_failed.inc(width)
+            for req in batch:
+                if not req.future.done():
+                    req.future.set_exception(exc)
+            return
+        for col, req in enumerate(batch):
+            if not req.future.done():
+                req.future.set_result((outcome, col))
+
+    def _response(
+        self,
+        entry: RegisteredMatrix,
+        req: PendingSolve,
+        outcome: BlockOutcome,
+        col,
+        *,
+        n_rhs: int,
+    ) -> SolveResponse:
+        latency_ms = (time.perf_counter() - req.submitted_at) * 1e3
+        self.telemetry.latency_ms.observe(latency_ms)
+        self.telemetry.requests_completed.inc()
+        x = outcome.X[:, col]
+        if isinstance(col, int):
+            x = x.copy()
+        return SolveResponse(
+            x=x,
+            solver_name=outcome.solver_name,
+            matrix_key=entry.key,
+            n_rhs=n_rhs,
+            batch_width=outcome.batch_width,
+            exec_ms=outcome.exec_ms,
+            cycles=outcome.cycles,
+            latency_ms=latency_ms,
+            fallback_from=outcome.fallback_from,
+        )
+
+    # ------------------------------------------------------------------
+    # execution (runs on worker threads)
+    # ------------------------------------------------------------------
+    def _quarantined_names(self, key: str) -> frozenset[str]:
+        with self._quarantine_lock:
+            return frozenset(self._quarantined.get(key, ()))
+
+    def _quarantine(self, key: str, solver_name: str) -> None:
+        with self._quarantine_lock:
+            self._quarantined.setdefault(key, set()).add(solver_name)
+
+    def _execute_block(
+        self, entry: RegisteredMatrix, B: np.ndarray, coalesced: bool
+    ) -> BlockOutcome:
+        """Solve a block: batched SpTRSM first, then the solver ladder."""
+        k = B.shape[1]
+        failures: list[str] = []
+        batched_allowed = (
+            self._candidates is None
+            or WritingFirstCapelliniSolver in self._candidates
+        )
+        if k > 1 and batched_allowed:
+            quarantined = self._quarantined_names(entry.key)
+            if BATCHED_KERNEL not in quarantined:
+                try:
+                    res = capellini_sptrsm(entry.matrix, B, device=self.device)
+                except FALLBACK_ERRORS as exc:
+                    self._quarantine(entry.key, BATCHED_KERNEL)
+                    self.telemetry.record_kernel_failure(
+                        entry.key, BATCHED_KERNEL, exc
+                    )
+                    failures.append(BATCHED_KERNEL)
+                else:
+                    self.telemetry.sim_cycles.inc(res.stats.cycles)
+                    self.telemetry.sim_exec_ms.inc(res.exec_ms)
+                    return BlockOutcome(
+                        X=res.X,
+                        solver_name=f"{BATCHED_KERNEL}-SpTRSM",
+                        exec_ms=res.exec_ms,
+                        cycles=res.stats.cycles,
+                        batch_width=k if coalesced else 1,
+                        fallback_from=None,
+                        failures=(),
+                    )
+            else:
+                failures.append(BATCHED_KERNEL)
+        return self._solve_chain_block(
+            entry, B, coalesced=coalesced, prior_failures=failures
+        )
+
+    def _solve_chain_block(
+        self,
+        entry: RegisteredMatrix,
+        B: np.ndarray,
+        *,
+        coalesced: bool,
+        prior_failures: list[str],
+    ) -> BlockOutcome:
+        """Walk the preference ladder column-by-column.
+
+        The chain head is the granularity-selected primary (shared with
+        :func:`select_solver` — one code path); quarantined kernels are
+        skipped up front rather than retried.
+        """
+        k = B.shape[1]
+        features = self.registry.features(entry.key)
+        chain = solver_chain(features, candidates=self._candidates)
+        primary_name = chain[0].name
+        quarantined = self._quarantined_names(entry.key)
+        failures = list(prior_failures)
+        fell_back = bool(failures) or primary_name in quarantined
+        for solver in chain:
+            if solver.name in quarantined:
+                fell_back = True
+                continue
+            try:
+                results = [
+                    solver.solve(entry.matrix, B[:, r], device=self.device)
+                    for r in range(k)
+                ]
+            except FALLBACK_ERRORS as exc:
+                self._quarantine(entry.key, solver.name)
+                self.telemetry.record_kernel_failure(
+                    entry.key, solver.name, exc
+                )
+                failures.append(solver.name)
+                fell_back = True
+                continue
+            cycles = sum(
+                r.stats.cycles for r in results if r.stats is not None
+            )
+            exec_ms = sum(r.exec_ms for r in results)
+            self.telemetry.sim_cycles.inc(cycles)
+            self.telemetry.sim_exec_ms.inc(exec_ms)
+            fallback_from = None
+            if fell_back and solver.name != primary_name:
+                fallback_from = failures[0] if failures else primary_name
+                self.telemetry.record_fallback_solve(
+                    entry.key, fallback_from, solver.name
+                )
+            return BlockOutcome(
+                X=np.stack([r.x for r in results], axis=1),
+                solver_name=solver.name,
+                exec_ms=exec_ms,
+                cycles=cycles,
+                batch_width=k if coalesced else 1,
+                fallback_from=fallback_from,
+                failures=tuple(failures),
+            )
+        raise SolverError(
+            f"no usable solver left for matrix {entry.name!r}: "
+            f"failed/quarantined {sorted(set(failures) | quarantined)}"
+        )

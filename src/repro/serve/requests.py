@@ -1,0 +1,64 @@
+"""Request/response records exchanged with the solve engine."""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["SolveResponse", "PendingSolve", "BlockOutcome"]
+
+
+@dataclass(frozen=True)
+class SolveResponse:
+    """What the engine hands back for one completed request.
+
+    ``x`` is 1-D for :meth:`~repro.serve.engine.SolveEngine.solve` and
+    2-D ``(n, k)`` for ``solve_multi``.  ``exec_ms`` / ``cycles`` are
+    *simulated-device* costs of the launch this request rode on (shared
+    by every request coalesced into the same batch); ``latency_ms`` is
+    the host wall-clock from submission to completion.
+    """
+
+    x: np.ndarray
+    solver_name: str
+    matrix_key: str
+    n_rhs: int
+    batch_width: int
+    exec_ms: float
+    cycles: int
+    latency_ms: float
+    #: name of the solver that *should* have served this request but was
+    #: skipped or failed (None when the primary served it)
+    fallback_from: Optional[str] = None
+
+    @property
+    def used_fallback(self) -> bool:
+        return self.fallback_from is not None
+
+
+@dataclass
+class PendingSolve:
+    """One enqueued single-RHS request awaiting its batch (internal)."""
+
+    b: np.ndarray
+    future: "asyncio.Future"
+    submitted_at: float
+
+
+@dataclass(frozen=True)
+class BlockOutcome:
+    """Result of executing one block (batch or multi-RHS) on a worker.
+
+    ``X`` has one column per right-hand side, in request order.
+    """
+
+    X: np.ndarray
+    solver_name: str
+    exec_ms: float
+    cycles: int
+    batch_width: int
+    fallback_from: Optional[str] = None
+    failures: tuple[str, ...] = field(default=())

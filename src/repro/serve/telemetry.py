@@ -1,0 +1,129 @@
+"""Serving-layer telemetry: one object, one snapshot.
+
+Built from the generic primitives in :mod:`repro.metrics.telemetry`
+(thread-safe counters, gauges, reservoir histograms) so the engine can
+update them from both the event loop and its worker threads.  The
+:meth:`ServeTelemetry.snapshot` dict is the single source every
+consumer reads: tests assert on it, ``benchmarks/bench_serving.py``
+prints it, and ``repro-sptrsv serve-stats`` renders it.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Optional
+
+from repro.metrics.telemetry import Counter, Gauge, Histogram
+
+__all__ = ["ServeTelemetry"]
+
+#: How many failure / fallback events the snapshot retains verbatim.
+EVENT_TAIL = 100
+
+
+class ServeTelemetry:
+    """Counters and distributions for one :class:`SolveEngine`."""
+
+    def __init__(self) -> None:
+        self.requests_total = Counter("requests_total")
+        self.requests_completed = Counter("requests_completed")
+        self.requests_failed = Counter("requests_failed")
+        self.requests_timed_out = Counter("requests_timed_out")
+        self.requests_rejected = Counter("requests_rejected")
+        self.batches_total = Counter("batches_total")
+        self.batch_width = Histogram("batch_width")
+        self.latency_ms = Histogram("latency_ms")
+        self.queue_depth = Gauge("queue_depth")
+        self.fallback_solves = Counter("fallback_solves")
+        self.kernel_failures = Counter("kernel_failures")
+        self.sim_cycles = Counter("sim_cycles")
+        self.sim_exec_ms = Counter("sim_exec_ms")
+        self._lock = threading.Lock()
+        self._fallback_by_solver: dict[str, int] = {}
+        self._failures_by_solver: dict[str, int] = {}
+        self._events: deque[dict] = deque(maxlen=EVENT_TAIL)
+
+    # ------------------------------------------------------------------
+    # event recording
+    # ------------------------------------------------------------------
+    def record_kernel_failure(
+        self, matrix_key: str, solver_name: str, error: BaseException
+    ) -> None:
+        """One kernel raised on one matrix (it will be quarantined)."""
+        self.kernel_failures.inc()
+        with self._lock:
+            self._failures_by_solver[solver_name] = (
+                self._failures_by_solver.get(solver_name, 0) + 1
+            )
+            self._events.append(
+                {
+                    "kind": "kernel-failure",
+                    "matrix": matrix_key,
+                    "solver": solver_name,
+                    "error": type(error).__name__,
+                    "message": str(error),
+                }
+            )
+
+    def record_fallback_solve(
+        self, matrix_key: str, from_solver: str, to_solver: str
+    ) -> None:
+        """A request was served by a fallback instead of its primary."""
+        self.fallback_solves.inc()
+        with self._lock:
+            key = f"{from_solver}->{to_solver}"
+            self._fallback_by_solver[key] = (
+                self._fallback_by_solver.get(key, 0) + 1
+            )
+            self._events.append(
+                {
+                    "kind": "fallback-solve",
+                    "matrix": matrix_key,
+                    "from": from_solver,
+                    "to": to_solver,
+                }
+            )
+
+    # ------------------------------------------------------------------
+    # snapshot
+    # ------------------------------------------------------------------
+    def snapshot(self, *, cache: Optional[dict] = None) -> dict:
+        """JSON-friendly view of every signal, optionally with the
+        registry's cache statistics merged in under ``"cache"``."""
+        with self._lock:
+            fallback_by_solver = dict(self._fallback_by_solver)
+            failures_by_solver = dict(self._failures_by_solver)
+            events = list(self._events)
+        snap = {
+            "requests": {
+                "total": self.requests_total.value,
+                "completed": self.requests_completed.value,
+                "failed": self.requests_failed.value,
+                "timed_out": self.requests_timed_out.value,
+                "rejected": self.requests_rejected.value,
+            },
+            "batches": {
+                "total": self.batches_total.value,
+                "width": self.batch_width.summary(),
+            },
+            "latency_ms": self.latency_ms.summary(),
+            "queue": {
+                "depth": self.queue_depth.value,
+                "peak": self.queue_depth.peak,
+            },
+            "fallbacks": {
+                "solves": self.fallback_solves.value,
+                "by_transition": fallback_by_solver,
+                "kernel_failures": self.kernel_failures.value,
+                "failures_by_solver": failures_by_solver,
+            },
+            "sim": {
+                "cycles": self.sim_cycles.value,
+                "exec_ms": self.sim_exec_ms.value,
+            },
+            "events": events,
+        }
+        if cache is not None:
+            snap["cache"] = cache
+        return snap

@@ -33,7 +33,12 @@ from repro.solvers.capellini import (
 from repro.solvers.naive_thread import NaiveThreadSolver
 from repro.solvers.cusparse_proxy import CuSparseProxySolver
 from repro.solvers.adaptive import AdaptiveCapelliniSolver
-from repro.solvers.select import select_solver, ALL_SIMULATED_SOLVERS
+from repro.solvers.select import (
+    ALL_SIMULATED_SOLVERS,
+    FALLBACK_LADDER,
+    select_solver,
+    solver_chain,
+)
 from repro.solvers.upper import is_upper_triangular, reverse_matrix, solve_upper
 from repro.solvers.host_parallel import (
     ExecutionPlan,
@@ -61,7 +66,9 @@ __all__ = [
     "WritingFirstCapelliniSolver",
     "AdaptiveCapelliniSolver",
     "select_solver",
+    "solver_chain",
     "ALL_SIMULATED_SOLVERS",
+    "FALLBACK_LADDER",
     "is_upper_triangular",
     "reverse_matrix",
     "solve_upper",

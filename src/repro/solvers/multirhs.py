@@ -69,7 +69,8 @@ def capellini_sptrsm(
     mem.alloc(_sim.COL_IDX, L.col_idx)
     mem.alloc(_sim.VALUES, L.values)
     # RHS and solution blocks stored row-major: element (i, r) at i*k + r
-    mem.alloc(_sim.RHS, np.ascontiguousarray(B, dtype=np.float64).ravel())
+    # (_validate already made B a C-contiguous float64 block)
+    mem.alloc(_sim.RHS, B.ravel())
     mem.alloc(_sim.X, np.zeros(m * k, dtype=np.float64))
     mem.alloc(_sim.GET_VALUE, np.zeros(m, dtype=np.int8), flags=True)
 
@@ -119,10 +120,15 @@ def capellini_sptrsm(
 def _validate(L: CSRMatrix, B: np.ndarray) -> np.ndarray:
     check_solvable(L)
     B = np.asarray(B, dtype=np.float64)
+    if B.ndim == 1:
+        # a single right-hand side is just SpTRSM with k=1
+        B = B.reshape(-1, 1)
     if B.ndim != 2 or B.shape[0] != L.n_rows:
         raise SolverError(
             f"B must have shape ({L.n_rows}, k), got {B.shape}"
         )
     if B.shape[1] == 0:
         raise SolverError("B must have at least one right-hand side")
-    return B
+    # the kernel indexes element (i, r) at flat offset i*k + r, so hand it
+    # a C-contiguous block (copies Fortran-ordered / sliced inputs)
+    return np.ascontiguousarray(B)

@@ -5,12 +5,23 @@ The paper's Figure 6 shows the optimal-algorithm distribution over the
 CapelliniSpTRSV wins when levels are wide and rows are thin; SyncFree
 wins otherwise.  Equation 1 collapses the two axes into the parallel
 granularity, with 0.7 as the empirical crossover (Section 5.2).
+
+:func:`solver_chain` generalizes the rule into a *preference ladder*:
+the granularity-selected primary first, then progressively more
+conservative fallbacks ending at the barrier-synchronized
+:class:`~repro.solvers.levelset.LevelSetSolver`, which is safe on any
+solvable system.  The serving engine (:mod:`repro.serve`) walks this
+ladder when a kernel raises, so selection and fallback share one code
+path instead of hard-coding solver classes in two places.
 """
 
 from __future__ import annotations
 
+from typing import Iterable, Optional, Sequence
+
 from repro.analysis.features import MatrixFeatures, extract_features
 from repro.analysis.granularity import HIGH_GRANULARITY_THRESHOLD
+from repro.errors import SolverError
 from repro.solvers.base import SpTRSVSolver
 from repro.solvers.capellini import (
     TwoPhaseCapelliniSolver,
@@ -22,7 +33,12 @@ from repro.solvers.syncfree import SyncFreeSolver
 from repro.solvers.syncfree_csc import SyncFreeCSCSolver
 from repro.sparse.csr import CSRMatrix
 
-__all__ = ["select_solver", "ALL_SIMULATED_SOLVERS"]
+__all__ = [
+    "select_solver",
+    "solver_chain",
+    "ALL_SIMULATED_SOLVERS",
+    "FALLBACK_LADDER",
+]
 
 #: Factories for every simulated algorithm the evaluation compares.
 ALL_SIMULATED_SOLVERS: tuple[type[SpTRSVSolver], ...] = (
@@ -34,23 +50,88 @@ ALL_SIMULATED_SOLVERS: tuple[type[SpTRSVSolver], ...] = (
     WritingFirstCapelliniSolver,
 )
 
+#: Progressively more conservative synchronization disciplines: the
+#: Writing-First kernel (fastest, productive polls), the Two-Phase kernel
+#: (bounded poll loop), and finally the barrier-scheduled level-set
+#: solver, which cannot encounter a synchronization hazard at all.
+FALLBACK_LADDER: tuple[type[SpTRSVSolver], ...] = (
+    WritingFirstCapelliniSolver,
+    TwoPhaseCapelliniSolver,
+    LevelSetSolver,
+)
+
+
+def _features_of(
+    matrix_or_features: CSRMatrix | MatrixFeatures,
+) -> MatrixFeatures:
+    if isinstance(matrix_or_features, MatrixFeatures):
+        return matrix_or_features
+    return extract_features(matrix_or_features)
+
+
+def solver_chain(
+    matrix_or_features: CSRMatrix | MatrixFeatures,
+    *,
+    threshold: float = HIGH_GRANULARITY_THRESHOLD,
+    candidates: Optional[Iterable[type[SpTRSVSolver]]] = None,
+) -> tuple[SpTRSVSolver, ...]:
+    """The full preference ladder for a matrix, primary first.
+
+    The head of the chain is what :func:`select_solver` returns — the
+    paper's Figure 6 decision.  The tail is the fallback ladder the
+    serving engine retries down when a kernel raises
+    (Writing-First → Two-Phase → LevelSet), minus whatever the head
+    already covers.
+
+    ``candidates`` optionally restricts the ladder to a set of solver
+    classes (e.g. an operator disabling a kernel fleet-wide).  An empty
+    intersection raises :class:`~repro.errors.SolverError`.
+    """
+    features = _features_of(matrix_or_features)
+    primary: type[SpTRSVSolver]
+    if features.granularity > threshold:
+        primary = WritingFirstCapelliniSolver
+    else:
+        primary = SyncFreeSolver
+    ladder: list[type[SpTRSVSolver]] = [primary]
+    ladder.extend(cls for cls in FALLBACK_LADDER if cls is not primary)
+    if candidates is not None:
+        allowed = _as_class_set(candidates)
+        ladder = [cls for cls in ladder if cls in allowed]
+        if not ladder:
+            raise SolverError(
+                "candidates excludes every solver in the preference ladder"
+            )
+    return tuple(cls() for cls in ladder)
+
+
+def _as_class_set(
+    candidates: Iterable[type[SpTRSVSolver]],
+) -> frozenset[type[SpTRSVSolver]]:
+    classes = frozenset(candidates)
+    for cls in classes:
+        if not (isinstance(cls, type) and issubclass(cls, SpTRSVSolver)):
+            raise SolverError(
+                f"candidates must be SpTRSVSolver subclasses, got {cls!r}"
+            )
+    return classes
+
 
 def select_solver(
     matrix_or_features: CSRMatrix | MatrixFeatures,
     *,
     threshold: float = HIGH_GRANULARITY_THRESHOLD,
+    candidates: Optional[Sequence[type[SpTRSVSolver]]] = None,
 ) -> SpTRSVSolver:
     """Pick the solver the paper's evidence says should win.
 
     High parallel granularity (wide levels, thin rows) → thread-level
     Writing-First Capellini; otherwise the warp-level SyncFree baseline.
     Accepts a matrix (features are computed, including the level
-    schedule) or precomputed :class:`MatrixFeatures`.
+    schedule) or precomputed :class:`MatrixFeatures`.  ``candidates``
+    restricts the choice exactly as in :func:`solver_chain` — the
+    selection is the head of that chain.
     """
-    if isinstance(matrix_or_features, MatrixFeatures):
-        features = matrix_or_features
-    else:
-        features = extract_features(matrix_or_features)
-    if features.granularity > threshold:
-        return WritingFirstCapelliniSolver()
-    return SyncFreeSolver()
+    return solver_chain(
+        matrix_or_features, threshold=threshold, candidates=candidates
+    )[0]

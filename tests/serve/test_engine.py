@@ -1,0 +1,408 @@
+"""SolveEngine: coalescing, fallback ladder, timeouts, backpressure."""
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.hazards import RACE, Hazard
+from repro.errors import (
+    HazardError,
+    QueueFullError,
+    RequestTimeoutError,
+    SolverError,
+    UnknownMatrixError,
+)
+from repro.serve import MatrixRegistry, SolveEngine
+from repro.solvers import (
+    LevelSetSolver,
+    TwoPhaseCapelliniSolver,
+    WritingFirstCapelliniSolver,
+)
+from repro.sparse.triangular import lower_triangular_system
+
+from tests.conftest import random_unit_lower
+
+#: Restricting candidates to the thread-level ladder makes the chain
+#: head deterministic (Writing-First) regardless of matrix granularity.
+THREAD_LADDER = (
+    WritingFirstCapelliniSolver,
+    TwoPhaseCapelliniSolver,
+    LevelSetSolver,
+)
+
+
+def make_system(n=120, density=0.05, seed=3):
+    return lower_triangular_system(random_unit_lower(n, density, seed=seed))
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def injected_hazard() -> HazardError:
+    return HazardError(Hazard(kind=RACE, message="injected for test"))
+
+
+class TestSingleSolve:
+    def test_solve_matches_truth(self):
+        system = make_system()
+
+        async def main():
+            engine = SolveEngine()
+            engine.register(system.L, name="m")
+            resp = await engine.solve("m", system.b)
+            await engine.close()
+            return resp
+
+        resp = run(main())
+        np.testing.assert_allclose(resp.x, system.x_true, rtol=1e-9)
+        assert resp.batch_width == 1
+        assert resp.n_rhs == 1
+        assert resp.fallback_from is None
+        assert resp.latency_ms > 0
+
+    def test_unknown_matrix(self):
+        async def main():
+            engine = SolveEngine()
+            with pytest.raises(UnknownMatrixError):
+                await engine.solve("ghost", np.zeros(3))
+            await engine.close()
+
+        run(main())
+
+    def test_bad_rhs_shape(self):
+        system = make_system()
+
+        async def main():
+            engine = SolveEngine()
+            engine.register(system.L, name="m")
+            with pytest.raises(SolverError, match="shape"):
+                await engine.solve("m", np.zeros(7))
+            await engine.close()
+
+        run(main())
+
+
+class TestCoalescing:
+    def test_concurrent_requests_share_one_batch(self):
+        system = make_system(n=150, seed=5)
+        n_req = 6
+
+        async def main():
+            engine = SolveEngine(max_batch=32)
+            engine.register(system.L, name="m")
+            resps = await asyncio.gather(
+                *[engine.solve("m", system.b) for _ in range(n_req)]
+            )
+            snap = engine.snapshot()
+            await engine.close()
+            return resps, snap
+
+        resps, snap = run(main())
+        for r in resps:
+            np.testing.assert_allclose(r.x, system.x_true, rtol=1e-9)
+            assert r.batch_width == n_req
+            assert r.solver_name == "Capellini-SpTRSM"
+        assert snap["batches"]["total"] == 1
+        assert snap["batches"]["width"]["max"] == n_req
+        assert snap["requests"]["completed"] == n_req
+
+    def test_batched_beats_independent_on_cycles(self):
+        system = make_system(n=150, seed=6)
+        n_req = 5
+
+        async def main():
+            engine = SolveEngine(max_batch=32)
+            engine.register(system.L, name="m")
+            await asyncio.gather(
+                *[engine.solve("m", system.b) for _ in range(n_req)]
+            )
+            snap = engine.snapshot()
+            await engine.close()
+            return snap
+
+        snap = run(main())
+        solver = WritingFirstCapelliniSolver()
+        independent = sum(
+            solver.solve(system.L, system.b).stats.cycles
+            for _ in range(n_req)
+        )
+        assert snap["sim"]["cycles"] < independent
+
+    def test_max_batch_caps_width(self):
+        system = make_system(n=100, seed=7)
+
+        async def main():
+            engine = SolveEngine(max_batch=2)
+            engine.register(system.L, name="m")
+            resps = await asyncio.gather(
+                *[engine.solve("m", system.b) for _ in range(4)]
+            )
+            snap = engine.snapshot()
+            await engine.close()
+            return resps, snap
+
+        resps, snap = run(main())
+        assert all(r.batch_width <= 2 for r in resps)
+        assert snap["batches"]["total"] >= 2
+
+    def test_requests_on_different_matrices_do_not_coalesce(self):
+        sys_a = make_system(n=90, seed=8)
+        sys_b = make_system(n=90, seed=9)
+
+        async def main():
+            engine = SolveEngine()
+            engine.register(sys_a.L, name="a")
+            engine.register(sys_b.L, name="b")
+            ra, rb = await asyncio.gather(
+                engine.solve("a", sys_a.b), engine.solve("b", sys_b.b)
+            )
+            await engine.close()
+            return ra, rb
+
+        ra, rb = run(main())
+        np.testing.assert_allclose(ra.x, sys_a.x_true, rtol=1e-9)
+        np.testing.assert_allclose(rb.x, sys_b.x_true, rtol=1e-9)
+        assert ra.batch_width == rb.batch_width == 1
+
+
+class TestMultiRHS:
+    def test_solve_multi(self):
+        system = make_system(n=100, seed=10)
+        X_true = np.column_stack(
+            [system.x_true, 2.0 * system.x_true, -system.x_true]
+        )
+        B = np.column_stack([system.b, 2.0 * system.b, -system.b])
+
+        async def main():
+            engine = SolveEngine()
+            engine.register(system.L, name="m")
+            resp = await engine.solve_multi("m", B)
+            await engine.close()
+            return resp
+
+        resp = run(main())
+        np.testing.assert_allclose(resp.x, X_true, rtol=1e-9)
+        assert resp.n_rhs == 3
+
+    def test_solve_multi_promotes_1d(self):
+        system = make_system(n=80, seed=11)
+
+        async def main():
+            engine = SolveEngine()
+            engine.register(system.L, name="m")
+            resp = await engine.solve_multi("m", system.b)
+            await engine.close()
+            return resp
+
+        resp = run(main())
+        assert resp.x.shape == (80, 1)
+        np.testing.assert_allclose(resp.x[:, 0], system.x_true, rtol=1e-9)
+
+
+class TestFallbackLadder:
+    def test_hazard_in_primary_falls_back_and_is_recorded(self, monkeypatch):
+        """The ISSUE acceptance test: inject a HazardError into the
+        primary solver; the request completes via the fallback ladder
+        and the telemetry snapshot records it."""
+        system = make_system(n=100, seed=12)
+
+        def explode(self, L, b, device):
+            raise injected_hazard()
+
+        monkeypatch.setattr(WritingFirstCapelliniSolver, "_solve", explode)
+
+        async def main():
+            engine = SolveEngine(candidates=THREAD_LADDER)
+            engine.register(system.L, name="m")
+            resp = await engine.solve("m", system.b)
+            snap = engine.snapshot()
+            await engine.close()
+            return resp, snap
+
+        resp, snap = run(main())
+        np.testing.assert_allclose(resp.x, system.x_true, rtol=1e-9)
+        assert resp.solver_name == "Capellini-TwoPhase"
+        assert resp.fallback_from == "Capellini"
+        assert resp.used_fallback
+        fb = snap["fallbacks"]
+        assert fb["kernel_failures"] == 1
+        assert fb["failures_by_solver"] == {"Capellini": 1}
+        assert fb["solves"] == 1
+        assert fb["by_transition"] == {"Capellini->Capellini-TwoPhase": 1}
+        events = [e["kind"] for e in snap["events"]]
+        assert "kernel-failure" in events and "fallback-solve" in events
+        assert snap["quarantined"] == {resp.matrix_key: ["Capellini"]}
+
+    def test_failed_kernel_is_never_silently_retried(self, monkeypatch):
+        system = make_system(n=100, seed=13)
+        calls = {"n": 0}
+
+        def explode(self, L, b, device):
+            calls["n"] += 1
+            raise injected_hazard()
+
+        monkeypatch.setattr(WritingFirstCapelliniSolver, "_solve", explode)
+
+        async def main():
+            engine = SolveEngine(candidates=THREAD_LADDER)
+            engine.register(system.L, name="m")
+            r1 = await engine.solve("m", system.b)
+            r2 = await engine.solve("m", system.b)
+            snap = engine.snapshot()
+            await engine.close()
+            return r1, r2, snap
+
+        r1, r2, snap = run(main())
+        assert calls["n"] == 1  # quarantined after the first failure
+        assert snap["fallbacks"]["kernel_failures"] == 1
+        assert r2.solver_name == "Capellini-TwoPhase"
+        assert r2.fallback_from == "Capellini"
+        np.testing.assert_allclose(r2.x, system.x_true, rtol=1e-9)
+
+    def test_batched_kernel_failure_falls_back_per_request(self, monkeypatch):
+        system = make_system(n=100, seed=14)
+
+        def explode_batch(L, B, *, device):
+            raise injected_hazard()
+
+        monkeypatch.setattr(
+            "repro.serve.engine.capellini_sptrsm", explode_batch
+        )
+
+        async def main():
+            engine = SolveEngine(candidates=THREAD_LADDER)
+            engine.register(system.L, name="m")
+            resps = await asyncio.gather(
+                *[engine.solve("m", system.b) for _ in range(3)]
+            )
+            snap = engine.snapshot()
+            await engine.close()
+            return resps, snap
+
+        resps, snap = run(main())
+        for r in resps:
+            np.testing.assert_allclose(r.x, system.x_true, rtol=1e-9)
+            # batched SpTRSM shares quarantine with Writing-First, so
+            # the per-request retry starts at Two-Phase
+            assert r.solver_name == "Capellini-TwoPhase"
+            assert r.fallback_from == "Capellini"
+        assert snap["fallbacks"]["kernel_failures"] == 1
+        assert snap["quarantined"] == {resps[0].matrix_key: ["Capellini"]}
+
+    def test_ladder_exhaustion_raises(self, monkeypatch):
+        system = make_system(n=60, seed=15)
+
+        def explode(self, L, b, device):
+            raise injected_hazard()
+
+        for cls in THREAD_LADDER:
+            monkeypatch.setattr(cls, "_solve", explode)
+
+        async def main():
+            engine = SolveEngine(candidates=THREAD_LADDER)
+            engine.register(system.L, name="m")
+            with pytest.raises(SolverError, match="no usable solver"):
+                await engine.solve("m", system.b)
+            snap = engine.snapshot()
+            await engine.close()
+            return snap
+
+        snap = run(main())
+        assert snap["fallbacks"]["kernel_failures"] == 3
+        assert snap["requests"]["failed"] == 1
+
+
+class TestRobustness:
+    def test_timeout(self):
+        system = make_system(n=60, seed=16)
+
+        async def main():
+            engine = SolveEngine()
+            engine.register(system.L, name="m")
+            original = engine._execute_block
+
+            def slow(entry, B, coalesced):
+                time.sleep(0.25)
+                return original(entry, B, coalesced)
+
+            engine._execute_block = slow
+            with pytest.raises(RequestTimeoutError):
+                await engine.solve("m", system.b, timeout=0.02)
+            snap = engine.snapshot()
+            await engine.close()
+            return snap
+
+        snap = run(main())
+        assert snap["requests"]["timed_out"] == 1
+
+    def test_backpressure_rejects_over_limit(self):
+        system = make_system(n=60, seed=17)
+
+        async def main():
+            engine = SolveEngine(max_queue=2, batch_window=0.05)
+            engine.register(system.L, name="m")
+            results = await asyncio.gather(
+                *[engine.solve("m", system.b) for _ in range(4)],
+                return_exceptions=True,
+            )
+            snap = engine.snapshot()
+            await engine.close()
+            return results, snap
+
+        results, snap = run(main())
+        rejected = [r for r in results if isinstance(r, QueueFullError)]
+        completed = [r for r in results if not isinstance(r, Exception)]
+        assert len(rejected) == 2
+        assert len(completed) == 2
+        assert snap["requests"]["rejected"] == 2
+        for r in completed:
+            np.testing.assert_allclose(r.x, system.x_true, rtol=1e-9)
+
+    def test_closed_engine_rejects(self):
+        system = make_system(n=40, seed=18)
+
+        async def main():
+            engine = SolveEngine()
+            engine.register(system.L, name="m")
+            await engine.close()
+            with pytest.raises(QueueFullError, match="closed"):
+                await engine.solve("m", system.b)
+
+        run(main())
+
+    def test_context_manager(self):
+        system = make_system(n=40, seed=19)
+
+        async def main():
+            async with SolveEngine() as engine:
+                engine.register(system.L, name="m")
+                resp = await engine.solve("m", system.b)
+            return resp
+
+        resp = run(main())
+        np.testing.assert_allclose(resp.x, system.x_true, rtol=1e-9)
+
+
+class TestSharedRegistry:
+    def test_engine_uses_external_registry_artifacts(self):
+        system = make_system(n=90, seed=20)
+        registry = MatrixRegistry()
+
+        async def main():
+            engine = SolveEngine(registry)
+            key = engine.register(system.L)
+            # width-1 solves walk the chain, which pulls cached features
+            await engine.solve(key, system.b)
+            await engine.solve(key, system.b)
+            snap = engine.snapshot()
+            await engine.close()
+            return snap
+
+        snap = run(main())
+        cache = snap["cache"]
+        assert cache["artifact_builds"] == 1  # features built once
+        assert cache["hits"] > 0
+        assert cache["hit_rate"] > 0.5

@@ -1,0 +1,197 @@
+"""MatrixRegistry: caching, LRU memory budget, counters, concurrency."""
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ServeError, UnknownMatrixError
+from repro.serve import MatrixRegistry, matrix_fingerprint
+from repro.sparse.convert import csr_to_dense
+
+from tests.conftest import random_unit_lower
+
+
+def entry_cost(registry: MatrixRegistry, ref: str) -> int:
+    return registry.get(ref).nbytes
+
+
+class TestRegistration:
+    def test_register_and_get(self):
+        reg = MatrixRegistry()
+        L = random_unit_lower(50, 0.1, seed=1)
+        key = reg.register(L, name="m1")
+        assert key == matrix_fingerprint(L)
+        assert reg.get(key).matrix is L
+        assert reg.get("m1").matrix is L  # name lookup
+        assert "m1" in reg and key in reg
+        assert len(reg) == 1
+
+    def test_register_is_idempotent_by_content(self):
+        reg = MatrixRegistry()
+        L = random_unit_lower(40, 0.1, seed=2)
+        # same content, distinct container object
+        L2 = random_unit_lower(40, 0.1, seed=2)
+        k1 = reg.register(L)
+        k2 = reg.register(L2)
+        assert k1 == k2
+        assert len(reg) == 1
+        stats = reg.stats()
+        assert stats["registrations"] == 1
+        assert stats["dedup_hits"] == 1
+
+    def test_unknown_matrix_raises_and_counts_miss(self):
+        reg = MatrixRegistry()
+        with pytest.raises(UnknownMatrixError):
+            reg.get("nope")
+        assert reg.stats()["misses"] == 1
+        assert reg.stats()["hits"] == 0
+
+    def test_invalid_budget(self):
+        with pytest.raises(ServeError):
+            MatrixRegistry(memory_budget=0)
+
+
+class TestArtifacts:
+    def test_features_cached_hit_miss(self):
+        reg = MatrixRegistry()
+        key = reg.register(random_unit_lower(60, 0.1, seed=3))
+        before = reg.stats()
+        f1 = reg.features(key)  # build: a miss
+        f2 = reg.features(key)  # reuse: a hit
+        assert f1 is f2
+        stats = reg.stats()
+        assert stats["misses"] == before["misses"] + 1
+        assert stats["hits"] == before["hits"] + 1
+        assert stats["artifact_builds"] == before["artifact_builds"] + 1
+
+    def test_schedule_shared_with_features(self):
+        reg = MatrixRegistry()
+        key = reg.register(random_unit_lower(60, 0.1, seed=4))
+        assert reg.schedule(key) is reg.features(key).schedule
+
+    def test_csc_conversion_cached(self):
+        reg = MatrixRegistry()
+        L = random_unit_lower(30, 0.2, seed=5)
+        key = reg.register(L)
+        csc = reg.csc(key)
+        assert reg.csc(key) is csc
+        # the conversion is loss-free
+        from repro.sparse.convert import csc_to_csr
+
+        assert np.allclose(
+            csr_to_dense(csc_to_csr(csc)), csr_to_dense(L)
+        )
+
+    def test_verdict_cached_per_solver(self):
+        reg = MatrixRegistry()
+        key = reg.register(random_unit_lower(80, 0.08, seed=6))
+        r1 = reg.verdict(key, "capellini")
+        assert reg.verdict(key, "capellini") is r1
+        assert r1.verdict == "SAFE"
+        r2 = reg.verdict(key, "naive-thread")
+        assert r2 is not r1
+
+    def test_artifacts_grow_accounted_bytes(self):
+        reg = MatrixRegistry()
+        key = reg.register(random_unit_lower(100, 0.1, seed=7))
+        base = reg.resident_bytes
+        reg.features(key)
+        after_features = reg.resident_bytes
+        assert after_features > base
+        reg.csc(key)
+        assert reg.resident_bytes > after_features
+
+
+class TestLRUEviction:
+    def test_eviction_under_small_budget(self):
+        probe = MatrixRegistry()
+        mats = [random_unit_lower(80, 0.1, seed=s) for s in (10, 11, 12)]
+        costs = [
+            entry_cost(probe, probe.register(m)) for m in mats
+        ]
+        # room for the last two matrices, not all three
+        budget = costs[1] + costs[2] + costs[0] - 1
+        reg = MatrixRegistry(memory_budget=budget)
+        k0, k1, k2 = (reg.register(m) for m in mats)
+        assert k0 not in reg  # least recently used, evicted
+        assert k1 in reg and k2 in reg
+        assert reg.stats()["evictions"] == 1
+        with pytest.raises(UnknownMatrixError):
+            reg.get(k0)
+
+    def test_recency_protects_touched_entries(self):
+        probe = MatrixRegistry()
+        mats = [random_unit_lower(80, 0.1, seed=s) for s in (20, 21, 22)]
+        costs = [entry_cost(probe, probe.register(m)) for m in mats]
+        budget = costs[0] + costs[2] + costs[1] - 1
+        reg = MatrixRegistry(memory_budget=budget)
+        k0 = reg.register(mats[0])
+        k1 = reg.register(mats[1])
+        reg.get(k0)  # touch: k1 becomes the LRU entry
+        k2 = reg.register(mats[2])
+        assert k0 in reg and k2 in reg
+        assert k1 not in reg
+
+    def test_single_oversized_entry_is_kept(self):
+        L = random_unit_lower(60, 0.1, seed=30)
+        reg = MatrixRegistry(memory_budget=1)
+        key = reg.register(L)
+        assert key in reg  # pinned: evicting the only entry helps nobody
+        assert reg.stats()["evictions"] == 0
+
+
+class TestConcurrentRegistration:
+    def test_two_threads_register_same_matrix(self):
+        reg = MatrixRegistry()
+        L = random_unit_lower(100, 0.08, seed=40)
+        keys: list[str] = []
+        barrier = threading.Barrier(2)
+
+        def worker():
+            barrier.wait()
+            keys.append(reg.register(L))
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert keys[0] == keys[1]
+        assert len(reg) == 1
+        stats = reg.stats()
+        assert stats["registrations"] == 1
+        assert stats["dedup_hits"] == 1
+
+    def test_two_async_tasks_register_same_matrix(self):
+        reg = MatrixRegistry()
+        L = random_unit_lower(100, 0.08, seed=41)
+
+        async def main():
+            loop = asyncio.get_running_loop()
+            return await asyncio.gather(
+                loop.run_in_executor(None, reg.register, L),
+                loop.run_in_executor(None, reg.register, L),
+            )
+
+        k1, k2 = asyncio.run(main())
+        assert k1 == k2
+        assert len(reg) == 1
+        assert reg.stats()["artifact_builds"] == 0
+
+    def test_concurrent_feature_builds_build_once(self):
+        reg = MatrixRegistry()
+        key = reg.register(random_unit_lower(150, 0.05, seed=42))
+        results = []
+
+        def worker():
+            results.append(reg.features(key))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(f is results[0] for f in results)
+        assert reg.stats()["artifact_builds"] == 1

@@ -1,0 +1,111 @@
+"""Telemetry primitives and the serving snapshot format."""
+
+import threading
+
+import pytest
+
+from repro.metrics import Counter, Gauge, Histogram
+from repro.serve import ServeTelemetry
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_thread_safety(self):
+        c = Counter()
+
+        def worker():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+
+class TestGauge:
+    def test_set_add_and_peak(self):
+        g = Gauge()
+        g.set(3)
+        g.add(2)
+        g.add(-4)
+        assert g.value == 1
+        assert g.peak == 5
+
+
+class TestHistogram:
+    def test_summary(self):
+        h = Histogram()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 4
+        assert s["mean"] == pytest.approx(2.5)
+        assert s["min"] == 1.0 and s["max"] == 4.0
+        assert s["p50"] == 2.0
+        assert s["p95"] == 4.0
+
+    def test_empty(self):
+        s = Histogram().summary()
+        assert s["count"] == 0
+        assert s["p50"] == 0.0
+
+    def test_percentile_bounds(self):
+        h = Histogram()
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_reservoir_is_bounded(self):
+        h = Histogram(reservoir=10)
+        for v in range(1000):
+            h.observe(float(v))
+        assert h.count == 1000       # exact totals survive
+        assert h.max == 999.0
+        assert h.percentile(50) >= 990.0  # window holds the latest values
+
+
+class TestServeTelemetry:
+    def test_snapshot_shape(self):
+        t = ServeTelemetry()
+        t.requests_total.inc(3)
+        t.batch_width.observe(2)
+        t.record_kernel_failure("k1", "Capellini", RuntimeError("boom"))
+        t.record_fallback_solve("k1", "Capellini", "LevelSet")
+        snap = t.snapshot(cache={"hits": 1})
+        assert snap["requests"]["total"] == 3
+        assert snap["batches"]["width"]["count"] == 1
+        assert snap["fallbacks"]["kernel_failures"] == 1
+        assert snap["fallbacks"]["failures_by_solver"] == {"Capellini": 1}
+        assert snap["fallbacks"]["by_transition"] == {
+            "Capellini->LevelSet": 1
+        }
+        assert snap["cache"] == {"hits": 1}
+        kinds = [e["kind"] for e in snap["events"]]
+        assert kinds == ["kernel-failure", "fallback-solve"]
+        failure = snap["events"][0]
+        assert failure["error"] == "RuntimeError"
+        assert failure["matrix"] == "k1"
+
+    def test_snapshot_without_cache(self):
+        snap = ServeTelemetry().snapshot()
+        assert "cache" not in snap
+
+    def test_snapshot_is_json_serializable(self):
+        import json
+
+        t = ServeTelemetry()
+        t.latency_ms.observe(1.25)
+        t.record_kernel_failure("k", "S", ValueError("x"))
+        json.dumps(t.snapshot(cache={"hit_rate": None}))

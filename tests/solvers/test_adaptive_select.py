@@ -7,7 +7,7 @@ from repro.analysis.features import extract_features
 from repro.datasets.domains import circuit
 from repro.datasets.synthetic import banded, diagonal
 from repro.gpu.device import SIM_SMALL
-from repro.solvers import AdaptiveCapelliniSolver, select_solver
+from repro.solvers import AdaptiveCapelliniSolver, select_solver, solver_chain
 from repro.solvers.adaptive import THREAD_MODE, WARP_MODE, plan_row_blocks
 from repro.sparse.coo import COOMatrix
 from repro.sparse.convert import coo_to_csr
@@ -116,3 +116,73 @@ class TestSelection:
         s_high = select_solver(L, threshold=10.0)
         assert s_low.name == "Capellini"
         assert s_high.name == "SyncFree"
+
+
+class TestSolverChain:
+    """The preference ladder shared by select_solver and repro.serve."""
+
+    def test_head_is_the_selection(self):
+        L = random_unit_lower(100, 0.05, seed=0)
+        for threshold in (-10.0, 10.0):
+            chain = solver_chain(L, threshold=threshold)
+            assert (
+                chain[0].name
+                == select_solver(L, threshold=threshold).name
+            )
+
+    def test_tail_ends_at_levelset(self):
+        L = random_unit_lower(100, 0.05, seed=1)
+        chain = solver_chain(L)
+        assert chain[-1].name == "LevelSet"
+        names = [s.name for s in chain]
+        assert len(names) == len(set(names))  # no duplicates
+
+    def test_high_granularity_chain(self):
+        L = random_unit_lower(100, 0.05, seed=2)
+        names = [s.name for s in solver_chain(L, threshold=-10.0)]
+        assert names == ["Capellini", "Capellini-TwoPhase", "LevelSet"]
+
+    def test_low_granularity_chain_keeps_full_ladder(self):
+        L = banded(400, bandwidth=12, fill=0.9)
+        names = [s.name for s in solver_chain(L)]
+        assert names[0] == "SyncFree"
+        assert names[1:] == ["Capellini", "Capellini-TwoPhase", "LevelSet"]
+
+    def test_candidates_restrict_selection(self):
+        from repro.solvers import (
+            LevelSetSolver,
+            TwoPhaseCapelliniSolver,
+            WritingFirstCapelliniSolver,
+        )
+
+        L = banded(400, bandwidth=12, fill=0.9)  # would pick SyncFree
+        chain = solver_chain(
+            L,
+            candidates=(
+                WritingFirstCapelliniSolver,
+                TwoPhaseCapelliniSolver,
+                LevelSetSolver,
+            ),
+        )
+        assert [s.name for s in chain] == [
+            "Capellini", "Capellini-TwoPhase", "LevelSet",
+        ]
+        assert (
+            select_solver(L, candidates=(LevelSetSolver,)).name
+            == "LevelSet"
+        )
+
+    def test_empty_candidates_raise(self):
+        from repro.errors import SolverError
+        from repro.solvers import SyncFreeCSCSolver
+
+        L = random_unit_lower(50, 0.1, seed=3)
+        with pytest.raises(SolverError, match="excludes every solver"):
+            solver_chain(L, candidates=(SyncFreeCSCSolver,))
+
+    def test_non_solver_candidate_rejected(self):
+        from repro.errors import SolverError
+
+        L = random_unit_lower(50, 0.1, seed=4)
+        with pytest.raises(SolverError, match="subclasses"):
+            solver_chain(L, candidates=(int,))

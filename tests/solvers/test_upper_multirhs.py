@@ -16,7 +16,6 @@ from repro.solvers import (
     solve_upper,
 )
 from repro.sparse.convert import csr_to_dense, dense_to_csr
-from repro.sparse.triangular import lower_triangular_system
 
 from tests.conftest import random_unit_lower
 
@@ -130,6 +129,48 @@ class TestMultiRHS:
             capellini_sptrsm(L, np.zeros((5, 2)))
         with pytest.raises(SolverError, match="at least one"):
             capellini_sptrsm(L, np.zeros((10, 0)))
+        with pytest.raises(SolverError, match="shape"):
+            capellini_sptrsm(L, np.zeros(5))  # wrong-length 1-D
+
+    def test_1d_b_promoted_to_single_column(self):
+        """A 1-D right-hand side is SpTRSM with k=1, not an error."""
+        L = random_unit_lower(60, 0.08, seed=8)
+        x_true = np.random.default_rng(5).uniform(0.5, 1.5, 60)
+        b = csr_to_dense(L) @ x_true
+        result = capellini_sptrsm(L, b, device=SIM_SMALL)
+        assert result.X.shape == (60, 1)
+        assert result.n_rhs == 1
+        np.testing.assert_allclose(result.X[:, 0], x_true, rtol=1e-9)
+        np.testing.assert_allclose(
+            serial_sptrsm(L, b)[:, 0], x_true, rtol=1e-9
+        )
+
+    def test_k1_equals_single_rhs_writing_first(self):
+        """SpTRSM with one column must agree with the single-RHS
+        Writing-First kernel bit-for-bit (same arithmetic order)."""
+        L = random_unit_lower(90, 0.07, seed=9)
+        b = np.random.default_rng(6).normal(size=90)
+        multi = capellini_sptrsm(L, b.reshape(-1, 1), device=SIM_SMALL)
+        single = WritingFirstCapelliniSolver().solve(L, b, device=SIM_SMALL)
+        np.testing.assert_array_equal(multi.X[:, 0], single.x)
+
+    def test_fortran_ordered_B(self):
+        """Non-contiguous (column-major) B is copied, not mis-indexed."""
+        L = random_unit_lower(50, 0.1, seed=10)
+        X_true = np.random.default_rng(7).uniform(0.5, 1.5, (50, 3))
+        B = np.asfortranarray(csr_to_dense(L) @ X_true)
+        assert not B.flags["C_CONTIGUOUS"]
+        result = capellini_sptrsm(L, B, device=SIM_SMALL)
+        np.testing.assert_allclose(result.X, X_true, rtol=1e-9)
+
+    def test_sliced_noncontiguous_B(self):
+        L = random_unit_lower(40, 0.1, seed=11)
+        X_true = np.random.default_rng(8).uniform(0.5, 1.5, (40, 4))
+        B_wide = csr_to_dense(L) @ X_true
+        B = B_wide[:, ::2]  # stride-2 view
+        assert not B.flags["C_CONTIGUOUS"]
+        result = capellini_sptrsm(L, B, device=SIM_SMALL)
+        np.testing.assert_allclose(result.X, X_true[:, ::2], rtol=1e-9)
 
     @settings(max_examples=10, deadline=None)
     @given(n=st.integers(2, 30), k=st.integers(1, 4),

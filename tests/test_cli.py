@@ -114,6 +114,74 @@ class TestCommands:
         assert "Table 2" in capsys.readouterr().out
 
 
+class TestAnalyzeJson:
+    def test_analyze_json_schema(self, capsys):
+        import json
+
+        rc = main(["analyze", "--domain", "circuit", "--n-rows", "400",
+                   "--json"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        doc = json.loads(out)  # the human table is suppressed
+        assert doc["matrix"] == "circuit"
+        f = doc["features"]
+        assert f["n_rows"] == 400
+        for field in ("n_rows", "nnz", "granularity", "n_levels",
+                      "avg_rows_per_level", "critical_path_length"):
+            assert field in f
+        assert doc["recommended_solver"] in ("Capellini", "SyncFree")
+
+    def test_analyze_json_verdicts_and_exit_code(self, capsys):
+        import json
+
+        rc = main(["analyze", "--solver", "naive-thread",
+                   "--domain", "circuit", "--n-rows", "400", "--json"])
+        out = capsys.readouterr().out
+        assert rc == 1  # non-SAFE verdict keeps the failing exit code
+        doc = json.loads(out)
+        (report,) = doc["reports"]
+        assert report["verdict"] == "DEADLOCK"
+        assert report["certified"] is False
+        assert any(
+            h["kind"] == "intra-warp-blocking-spin"
+            for h in report["hazards"]
+        )
+        assert report["edges"]["total"] > 0
+
+    def test_analyze_json_with_lint(self, capsys):
+        import json
+
+        rc = main(["analyze", "--lint", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["lint"]["count"] == 0
+
+
+class TestServeStats:
+    def test_serve_stats_happy_path(self, capsys):
+        rc = main(["serve-stats", "--n-rows", "300", "--requests", "6",
+                   "--rhs", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "cache" in out
+        assert "batch" in out
+        assert "max error" in out
+
+    def test_serve_stats_json(self, capsys):
+        import json
+
+        rc = main(["serve-stats", "--n-rows", "300", "--requests", "6",
+                   "--rhs", "2", "--json"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        doc = json.loads(out)
+        snap = doc["snapshot"]
+        assert snap["requests"]["completed"] == 7  # 6 singles + 1 multi
+        assert snap["cache"]["entries"] == 1
+        assert snap["batches"]["width"]["max"] >= 2
+        assert doc["max_error"] < 1e-8
+
+
 class TestJsonExport:
     def test_experiments_json_written(self, tmp_path, capsys):
         rc = main(["experiments", "table2", "--json", str(tmp_path)])
