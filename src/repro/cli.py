@@ -7,9 +7,13 @@ Usage::
     repro-sptrsv solve --domain circuit --n-rows 2000 --solver Capellini
     repro-sptrsv analyze --matrix path/to/file.mtx
     repro-sptrsv analyze --solver naive-thread --domain circuit --json
+    repro-sptrsv analyze --solver syncfree --domain circuit --n-rows 200 --trace
     repro-sptrsv analyze --lint
+    repro-sptrsv profile --solver writing_first --domain circuit --n-rows 600
+    repro-sptrsv profile --solver two_phase --chrome-trace trace.json
     repro-sptrsv generate --domain lp --n-rows 5000 --out lp.mtx
     repro-sptrsv serve-stats --domain circuit --n-rows 800 --requests 16
+    repro-sptrsv serve-stats --profile --trace-log events.jsonl
 """
 
 from __future__ import annotations
@@ -62,6 +66,48 @@ def _solver_registry() -> dict[str, Callable]:
     return _SOLVERS
 
 
+#: schedule-policy key -> simulator-backed solver class name (for the
+#: ``profile`` and ``analyze --trace`` commands, which accept the same
+#: spellings as the static verifier: writing_first, two_phase, ...)
+_POLICY_SOLVER_NAMES = {
+    "naive-thread": "NaiveThreadSolver",
+    "capellini": "WritingFirstCapelliniSolver",
+    "capellini-two-phase": "TwoPhaseCapelliniSolver",
+    "syncfree": "SyncFreeSolver",
+    "syncfree-csc": "SyncFreeCSCSolver",
+    "adaptive": "AdaptiveCapelliniSolver",
+    "levelset": "LevelSetSolver",
+}
+
+
+def _resolve_sim_solver(name: str, L):
+    """Solver instance for simulator-backed commands.
+
+    Returns ``(solver, None)`` or ``(None, error_message)``.  ``auto``
+    delegates to granularity selection; anything else goes through
+    :func:`repro.analysis.schedule.resolve_policy`, so every alias the
+    static verifier accepts works here too.
+    """
+    from repro import solvers
+
+    if name == "auto":
+        return solvers.select_solver(L), None
+    from repro.analysis.schedule import resolve_policy
+
+    try:
+        key = resolve_policy(name).key
+    except Exception as exc:  # unknown policy name
+        return None, f"unknown solver {name!r}: {exc}"
+    cls_name = _POLICY_SOLVER_NAMES.get(key)
+    if cls_name is None:
+        return None, (
+            f"solver {name!r} (policy {key!r}) does not run on the "
+            "simulator; choose one of: "
+            + ", ".join(sorted(_POLICY_SOLVER_NAMES)) + ", auto"
+        )
+    return getattr(solvers, cls_name)(), None
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-sptrsv",
@@ -112,6 +158,36 @@ def build_parser() -> argparse.ArgumentParser:
                       help="emit the analysis as one JSON document on "
                       "stdout (machine-readable verdicts for CI and the "
                       "serve engine)")
+    p_an.add_argument("--trace", action="store_true",
+                      help="run --solver (default: auto) on the simulator "
+                      "with the warp tracer attached and render the "
+                      "ASCII timeline (use small --n-rows)")
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="cycle-level phase attribution of one simulated solve: "
+        "flame summary, Chrome/Perfetto trace, JSON report",
+    )
+    p_prof.add_argument("--matrix", default=None,
+                        help="Matrix Market file to solve")
+    p_prof.add_argument("--domain", default=None,
+                        help="generate a matrix of this domain "
+                        "(default: circuit)")
+    p_prof.add_argument("--n-rows", type=int, default=1000)
+    p_prof.add_argument("--seed", type=int, default=0)
+    p_prof.add_argument("--solver", default="auto",
+                        help="solver/policy name (writing_first, "
+                        "two_phase, syncfree, syncfree_csc, levelset, "
+                        "adaptive, naive_thread or auto)")
+    p_prof.add_argument("--device", default="SimSmall",
+                        choices=["SimSmall", "SimTiny"])
+    p_prof.add_argument("--chrome-trace", metavar="PATH", default=None,
+                        help="write a Perfetto-loadable trace "
+                        "(chrome://tracing / ui.perfetto.dev) to PATH")
+    p_prof.add_argument("--json", action="store_true",
+                        help="emit the full profile report as JSON")
+    p_prof.add_argument("--top", type=int, default=8,
+                        help="wait-heavy warps/levels to list")
 
     p_srv = sub.add_parser(
         "serve-stats",
@@ -131,6 +207,12 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["SimSmall", "SimTiny"])
     p_srv.add_argument("--json", action="store_true",
                        help="print the raw snapshot as JSON")
+    p_srv.add_argument("--profile", action="store_true",
+                       help="attach the cycle profiler: every launch "
+                       "event in the trace log carries a phase digest")
+    p_srv.add_argument("--trace-log", metavar="PATH", default=None,
+                       help="write the engine's structured event log "
+                       "(enqueue/batch/launch/publish, JSONL) to PATH")
 
     p_gen = sub.add_parser("generate", help="write a synthetic matrix to .mtx")
     p_gen.add_argument("--domain", required=True)
@@ -148,6 +230,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_solve(args)
     if args.command == "analyze":
         return _cmd_analyze(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "serve-stats":
         return _cmd_serve_stats(args)
     if args.command == "generate":
@@ -311,6 +395,38 @@ def _cmd_analyze(args) -> int:
     doc["matrix"] = name
     doc["features"] = _features_json(f)
 
+    if args.trace:
+        from repro.errors import DeadlockError, SolverError
+        from repro.gpu.device import SIM_SMALL
+        from repro.gpu.trace import Tracer, render_timeline
+        from repro.solvers._sim import tracing
+        from repro.sparse import lower_triangular_system
+
+        solver, err_msg = _resolve_sim_solver(args.solver or "auto", L)
+        if solver is None:
+            print(err_msg, file=sys.stderr)
+            return 2
+        system = lower_triangular_system(L)
+        tracer = Tracer()
+        try:
+            with tracing(tracer):
+                solver.solve(system.L, system.b, device=SIM_SMALL)
+        except (DeadlockError, SolverError) as exc:
+            # still render: the frozen timeline is the diagnosis
+            emit(f"traced solve failed: {exc}")
+            rc = max(rc, 1)
+        timeline = render_timeline(tracer)
+        emit()
+        emit(timeline)
+        doc["trace"] = {
+            "solver": solver.name,
+            "events": len(tracer.events),
+            "timeline": timeline,
+        }
+        if args.json:
+            print(json.dumps(doc, indent=2))
+        return rc
+
     if args.solver:
         from repro.analysis.schedule import (
             render_verdict_table,
@@ -341,6 +457,100 @@ def _cmd_analyze(args) -> int:
     return rc
 
 
+def _cmd_profile(args) -> int:
+    """Profile one simulated solve: where do the cycles go?
+
+    Runs the chosen solver under :func:`repro.obs.profile_solve` (the
+    profiled solve is bit-identical to an unprofiled one), verifies the
+    answer against the manufactured solution, then renders the phase
+    attribution — terminal flame summary by default, ``--json`` for the
+    full machine-readable report, ``--chrome-trace`` for a
+    Perfetto-loadable per-warp timeline.
+    """
+    import json
+
+    from repro.analysis import extract_features
+    from repro.datasets import generate
+    from repro.errors import DeadlockError, SolverError
+    from repro.gpu.device import SIM_SMALL, SIM_TINY
+    from repro.obs import (
+        profile_json,
+        profile_solve,
+        render_flame,
+        write_chrome_trace,
+    )
+    from repro.sparse import (
+        lower_triangular_system,
+        make_unit_lower_triangular,
+        read_matrix_market,
+    )
+
+    device = SIM_SMALL if args.device == "SimSmall" else SIM_TINY
+    if args.matrix:
+        L = make_unit_lower_triangular(read_matrix_market(args.matrix))
+        name = args.matrix
+    else:
+        domain = args.domain or "circuit"
+        L = generate(domain, args.n_rows, args.seed)
+        name = domain
+    system = lower_triangular_system(L)
+    solver, err_msg = _resolve_sim_solver(args.solver, system.L)
+    if solver is None:
+        print(err_msg, file=sys.stderr)
+        return 2
+    try:
+        result, prof = profile_solve(
+            solver, system.L, system.b, device=device
+        )
+    except (DeadlockError, SolverError) as exc:
+        print(f"profiled solve failed: {exc}", file=sys.stderr)
+        return 1
+    err = float(np.max(np.abs(result.x - system.x_true)))
+
+    # level attribution holds only for single-launch kernels with a
+    # static row->warp mapping (LevelSet re-numbers warps per launch)
+    level_of_row = None
+    rows_per_warp = None
+    if len(prof.launches) == 1:
+        gran = getattr(solver, "processing_granularity", "")
+        if gran == "thread":
+            rows_per_warp = device.warp_size
+        elif gran == "warp":
+            rows_per_warp = 1
+        if rows_per_warp is not None:
+            level_of_row = extract_features(system.L).schedule.level_of_row
+
+    if args.chrome_trace:
+        write_chrome_trace(prof, args.chrome_trace)
+    if args.json:
+        doc = profile_json(
+            prof, level_of_row=level_of_row, rows_per_warp=rows_per_warp
+        )
+        doc["matrix"] = {"name": name, "n_rows": L.n_rows, "nnz": L.nnz}
+        doc["max_error"] = err
+        print(json.dumps(doc, indent=2))
+    else:
+        print(
+            render_flame(
+                prof,
+                top=args.top,
+                level_of_row=level_of_row,
+                rows_per_warp=rows_per_warp,
+            )
+        )
+        print()
+        if result.stats is not None:
+            print(f"stats     : {result.stats.cycles} cycles "
+                  f"(incl. modeled overheads), "
+                  f"{result.stats.total_instructions} instr")
+        print(f"exec (sim): {result.exec_ms:.4f} ms")
+        print(f"max error : {err:.3e}")
+        if args.chrome_trace:
+            print(f"chrome trace -> {args.chrome_trace} "
+                  "(load in ui.perfetto.dev or chrome://tracing)")
+    return 0 if err < 1e-8 else 1
+
+
 def _cmd_serve_stats(args) -> int:
     """Drive a short serving session and print its telemetry snapshot.
 
@@ -364,7 +574,9 @@ def _cmd_serve_stats(args) -> int:
     system = lower_triangular_system(L)
 
     async def session() -> tuple[dict, float]:
-        engine = SolveEngine(device=device, max_batch=args.max_batch)
+        engine = SolveEngine(
+            device=device, max_batch=args.max_batch, profile=args.profile
+        )
         engine.register(system.L, name="cli-demo")
         responses = await asyncio.gather(
             *[engine.solve("cli-demo", system.b)
@@ -384,6 +596,8 @@ def _cmd_serve_stats(args) -> int:
             )
             err = max(err, float(np.max(np.abs(multi.x - X_true))))
         snap = engine.snapshot()
+        if args.trace_log:
+            engine.trace_log.write_jsonl(args.trace_log)
         await engine.close()
         return snap, err
 
@@ -414,6 +628,13 @@ def _cmd_serve_stats(args) -> int:
               f"{cache['evictions']} eviction(s)")
         print(f"fallbacks     : {snap['fallbacks']['solves']} solve(s), "
               f"{snap['fallbacks']['kernel_failures']} kernel failure(s)")
+        tr = snap["trace"]
+        kinds = ", ".join(f"{k} {v}" for k, v in tr["by_kind"].items())
+        print(f"trace         : {tr['emitted']} event(s) "
+              f"[{kinds or 'none'}], {tr['dropped']} dropped")
+        if args.trace_log:
+            print(f"trace log     : {tr['retained']} event(s) -> "
+                  f"{args.trace_log}")
         print(f"max error     : {err:.3e}")
     return 0 if err < 1e-8 else 1
 

@@ -34,6 +34,12 @@ class LaneCounters:
     #: state machine diffs this across a step to decide whether the step
     #: pays the device's DRAM latency.
     dram_load_events: int = 0
+    #: Warp wake-ups out of a blocking SpinWait (a producer's store
+    #: resolved a cross-warp dependency).
+    spin_wakes: int = 0
+    #: Warp wake-ups out of an all-lanes-failed Poll sleep (Algorithm 5's
+    #: productive polling resuming).
+    poll_wakes: int = 0
 
 
 @dataclass(frozen=True)
@@ -81,6 +87,10 @@ class KernelStats:
     #: dependency* stalls (spins, barriers), not memory latency, which
     #: resident-warp oversubscription hides on real parts.
     mem_stall_cycles: int = 0
+    #: Warp wake-ups out of blocking spins / poll sleeps during this
+    #: launch (how often stores re-scheduled a parked warp).
+    spin_wakes: int = 0
+    poll_wakes: int = 0
 
     @property
     def total_instructions(self) -> int:
@@ -118,4 +128,6 @@ class KernelStats:
             flag_polls=self.flag_polls + other.flag_polls,
             fences=self.fences + other.fences,
             mem_stall_cycles=self.mem_stall_cycles + other.mem_stall_cycles,
+            spin_wakes=self.spin_wakes + other.spin_wakes,
+            poll_wakes=self.poll_wakes + other.poll_wakes,
         )

@@ -37,6 +37,7 @@ from repro.gpu.device import DeviceSpec
 from repro.gpu.kernel import ThreadCtx
 from repro.gpu.memory import GlobalMemory
 from repro.gpu.warp import Warp, WarpState
+from repro.obs.profile import INTRA_WARP_WAIT, MEM_STALL, SPIN_WAIT
 
 __all__ = ["SIMTEngine"]
 
@@ -73,6 +74,10 @@ class SIMTEngine:
         self.memory = GlobalMemory(self.counters)
         #: optional :class:`repro.gpu.trace.Tracer`; zero overhead if None
         self.tracer = None
+        #: optional :class:`repro.obs.profiler.Profiler`; every launch
+        #: records per-warp phase attribution into it (zero overhead —
+        #: one ``is None`` check per hook site — when unset)
+        self.profiler = None
         self._sanitizer = None
 
     @property
@@ -129,6 +134,9 @@ class SIMTEngine:
         # mutable cells shared with watch callbacks
         state = _LaunchState()
         tracer = self.tracer
+        profiler = self.profiler
+        rec = profiler.begin_launch(total_warps) if profiler is not None else None
+        counters = self.counters
         sanitizer = self._sanitizer
         if sanitizer is not None and sanitizer.tracer is None:
             sanitizer.tracer = tracer
@@ -154,7 +162,7 @@ class SIMTEngine:
                 if w.warp_id not in parked_warps:
                     return
                 if w.resolve_spin(lane):
-                    _credit_unpark(w, state, blocked=True)
+                    _credit_unpark(w, state, rec, counters, blocked=True)
                     parked_warps.discard(w.warp_id)
                     sm.runnable.append(w)
                     if tracer is not None:
@@ -177,7 +185,7 @@ class SIMTEngine:
                 if w.warp_id not in parked_warps:
                     return
                 if w.wake_from_sleep():
-                    _credit_unpark(w, state, blocked=False)
+                    _credit_unpark(w, state, rec, counters, blocked=False)
                     parked_warps.discard(w.warp_id)
                     sm.runnable.append(w)
                     if tracer is not None:
@@ -199,6 +207,8 @@ class SIMTEngine:
             while timed and timed[0][0] <= cycle:
                 _, _, tw, tsm = heapq.heappop(timed)
                 tsm.runnable.append(tw)
+                if rec is not None:
+                    rec.unpark(cycle, tw.warp_id)
             progressed = False
             for sm in sms:
                 # admit pending warps in grid order
@@ -213,6 +223,8 @@ class SIMTEngine:
                     progressed = True
                     if tracer is not None:
                         tracer.record(cycle, w.warp_id, "admit")
+                    if rec is not None:
+                        rec.admit(cycle, w.warp_id)
                 # issue up to issue_width warp instructions
                 issued = 0
                 n_runnable_before = len(sm.runnable)
@@ -223,6 +235,8 @@ class SIMTEngine:
                     issued += 1
                     if tracer is not None:
                         tracer.record(cycle, w.warp_id, "issue")
+                    if rec is not None:
+                        rec.issue(cycle, w.warp_id)
                     state.warp_instructions += 1
                     state.active_lane_slots += outcome.live_lanes
                     state.idle_lane_slots += ws - outcome.live_lanes
@@ -238,6 +252,8 @@ class SIMTEngine:
                             state.mem_stall_cycles += latency
                             if tracer is not None:
                                 tracer.record(cycle, w.warp_id, "mem")
+                            if rec is not None:
+                                rec.park(cycle, w.warp_id, MEM_STALL, 0)
                         else:
                             sm.runnable.append(w)
                     elif outcome.state is WarpState.DONE:
@@ -245,11 +261,16 @@ class SIMTEngine:
                         done_warps += 1
                         if tracer is not None:
                             tracer.record(cycle, w.warp_id, "done")
+                        if rec is not None:
+                            rec.done(cycle, w.warp_id)
                     elif outcome.state is WarpState.BLOCKED:
                         w.parked_since = cycle
                         parked_warps.add(w.warp_id)
                         if tracer is not None:
                             tracer.record(cycle, w.warp_id, "block")
+                        if rec is not None:
+                            rec.park(cycle, w.warp_id, SPIN_WAIT,
+                                     w.waiting_lanes)
                         for name, idx, lane, expected in outcome.watch_lanes:
                             arm_spin_watch(w, sm, name, idx, lane, expected)
                     else:  # SLEEPING
@@ -257,12 +278,16 @@ class SIMTEngine:
                         parked_warps.add(w.warp_id)
                         if tracer is not None:
                             tracer.record(cycle, w.warp_id, "sleep")
+                        if rec is not None:
+                            rec.park(cycle, w.warp_id, INTRA_WARP_WAIT,
+                                     w.waiting_lanes)
                         for name, idx, _lane, _expected in outcome.watch_lanes:
                             arm_sleep_watch(w, sm, name, idx)
                         # Close the store-before-watch race for polls.
                         if w.warp_id in parked_warps and w.any_poll_satisfied():
                             if w.wake_from_sleep():
-                                _credit_unpark(w, state, blocked=False)
+                                _credit_unpark(w, state, rec, counters,
+                                               blocked=False)
                                 parked_warps.discard(w.warp_id)
                                 sm.runnable.append(w)
                 if issued:
@@ -291,6 +316,8 @@ class SIMTEngine:
             cycle += 1
 
         c1 = _traffic_snapshot(self.counters)
+        if rec is not None:
+            profiler.end_launch(rec, cycle)
         return KernelStats(
             cycles=cycle,
             warp_instructions=state.warp_instructions,
@@ -304,6 +331,8 @@ class SIMTEngine:
             flag_polls=c1[3] - c0[3],
             fences=c1[4] - c0[4],
             mem_stall_cycles=state.mem_stall_cycles,
+            spin_wakes=c1[5] - c0[5],
+            poll_wakes=c1[6] - c0[6],
         )
 
 
@@ -330,26 +359,39 @@ class _LaunchState:
         self.idle_lane_slots = 0
 
 
-def _credit_unpark(w: Warp, state: _LaunchState, *, blocked: bool) -> None:
+def _credit_unpark(
+    w: Warp, state: _LaunchState, rec, counters: LaneCounters, *, blocked: bool
+) -> None:
     """Credit the cycles a warp spent parked.
 
     A blocking spin executes a load+test every cycle (spin instructions)
     and is a dependency stall; a sleeping poll warp would likewise issue
     poll iterations, but those are the *productive* polling of Algorithm
-    5 — counted as spin instructions only.
+    5 — counted as spin instructions only.  ``rec`` (the profiler's
+    launch recorder, may be None) closes the warp's open wait interval;
+    the wake counters feed :class:`KernelStats`.
     """
     duration = max(0, state.cycle - w.parked_since)
     state.spin_instructions += duration
     if blocked:
         state.stall_cycles += duration
+        counters.spin_wakes += 1
+    else:
+        counters.poll_wakes += 1
+    if rec is not None:
+        rec.unpark(state.cycle, w.warp_id)
     w.parked_since = -1
 
 
-def _traffic_snapshot(c: LaneCounters) -> tuple[int, int, int, int, int]:
+def _traffic_snapshot(
+    c: LaneCounters,
+) -> tuple[int, int, int, int, int, int, int]:
     return (
         c.dram_bytes_read,
         c.dram_bytes_written,
         c.cache_bytes_read,
         c.flag_polls,
         c.fences,
+        c.spin_wakes,
+        c.poll_wakes,
     )

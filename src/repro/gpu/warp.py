@@ -102,6 +102,17 @@ class Warp:
     def live_lanes(self) -> int:
         return sum(1 for s in self._lane_state if s is not _LaneState.DONE)
 
+    @property
+    def waiting_lanes(self) -> int:
+        """Lanes holding an unsatisfied Poll/SpinWait request right now.
+
+        Read by the profiler when the warp parks: it records how many
+        lanes gated the wait, which the Chrome-trace export surfaces on
+        each wait slice (one gating lane vs. a whole warp of them are
+        very different tuning targets).
+        """
+        return sum(1 for p in self._pending if p is not None)
+
     # ------------------------------------------------------------------
     def step(self) -> StepOutcome:
         """Execute one warp instruction: advance every live lane once."""

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import math
 import threading
+from collections import deque
 from typing import Union
 
 __all__ = ["Counter", "Gauge", "Histogram"]
@@ -91,7 +92,10 @@ class Histogram:
         self.name = name
         self._lock = threading.Lock()
         self._reservoir_size = reservoir
-        self._samples: list[float] = []
+        # deque(maxlen=...) evicts the oldest sample in O(1); the old
+        # ``del list[0]`` shifted the whole reservoir on every observe
+        # past capacity (O(reservoir) per request at steady state)
+        self._samples: deque[float] = deque(maxlen=reservoir)
         self._count = 0
         self._sum = 0.0
         self._min = math.inf
@@ -105,8 +109,6 @@ class Histogram:
             self._min = min(self._min, v)
             self._max = max(self._max, v)
             self._samples.append(v)
-            if len(self._samples) > self._reservoir_size:
-                del self._samples[0]
 
     @property
     def count(self) -> int:
@@ -140,12 +142,30 @@ class Histogram:
             return ordered[rank - 1]
 
     def summary(self) -> dict:
-        """One JSON-friendly dict: count/mean/min/max/p50/p95."""
+        """One JSON-friendly dict: count/mean/min/max/p50/p95.
+
+        Taken under one lock with one sort — a coherent snapshot (the
+        per-property path could interleave with writers between fields)
+        that also avoids re-sorting the reservoir per percentile.
+        """
+        with self._lock:
+            count = self._count
+            if not count:
+                return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+                        "p50": 0.0, "p95": 0.0}
+            ordered = sorted(self._samples)
+            mean = self._sum / count
+            lo, hi = self._min, self._max
+        n = len(ordered)
+
+        def nearest_rank(q: float) -> float:
+            return ordered[max(1, math.ceil(q / 100.0 * n)) - 1]
+
         return {
-            "count": self.count,
-            "mean": self.mean,
-            "min": self.min,
-            "max": self.max,
-            "p50": self.percentile(50),
-            "p95": self.percentile(95),
+            "count": count,
+            "mean": mean,
+            "min": lo,
+            "max": hi,
+            "p50": nearest_rank(50),
+            "p95": nearest_rank(95),
         }

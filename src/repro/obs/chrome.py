@@ -1,0 +1,115 @@
+"""Chrome-trace / Perfetto export of a :class:`SolveProfile`.
+
+The emitted document follows the Trace Event Format (the JSON object
+form with a ``traceEvents`` array), which both ``chrome://tracing`` and
+https://ui.perfetto.dev load directly.  One *process* per kernel launch,
+one *track (thread)* per warp, one complete (``"ph": "X"``) slice per
+contiguous phase span, phase-colored via ``cname``.  Timestamps are
+simulated cycles presented as microseconds, so 1 ms on the Perfetto
+ruler reads as 1000 cycles.
+
+Launches of a multi-launch solve (the level-set solver runs one launch
+per level) are laid out back-to-back on one global clock, so the export
+shows the whole solve as a single timeline.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Union
+
+from repro.obs.profile import (
+    COMPUTE,
+    IDLE,
+    INTRA_WARP_WAIT,
+    MEM_STALL,
+    SPIN_WAIT,
+    SolveProfile,
+)
+
+__all__ = ["chrome_trace", "write_chrome_trace", "PHASE_COLORS"]
+
+#: Trace-viewer reserved color names per phase (green / red / orange /
+#: blue-grey / grey in the default palette).
+PHASE_COLORS = {
+    COMPUTE: "thread_state_running",
+    SPIN_WAIT: "terrible",
+    INTRA_WARP_WAIT: "bad",
+    MEM_STALL: "thread_state_iowait",
+    IDLE: "grey",
+}
+
+
+def chrome_trace(profile: SolveProfile) -> dict:
+    """The profile as a Trace Event Format document (a JSON-ready dict)."""
+    events: list[dict] = []
+    offset = 0
+    for li, launch in enumerate(profile.launches):
+        pid = li
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {
+                    "name": f"{profile.solver_name} launch {li} "
+                    f"({launch.cycles} cycles)"
+                },
+            }
+        )
+        for w in launch.warps:
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": w.warp_id,
+                    "args": {"name": f"warp {w.warp_id}"},
+                }
+            )
+        for s in launch.slices:
+            events.append(
+                {
+                    "ph": "X",
+                    "name": s.phase,
+                    "cat": "phase",
+                    "pid": pid,
+                    "tid": s.warp_id,
+                    "ts": offset + s.start,
+                    "dur": s.duration,
+                    "cname": PHASE_COLORS.get(s.phase, "grey"),
+                    "args": {"lanes": s.lanes},
+                }
+            )
+        offset += launch.cycles
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "solver": profile.solver_name,
+            "device": profile.device_name,
+            "cycles": profile.cycles,
+            "launches": len(profile.launches),
+            "clock": "1 trace microsecond = 1 simulated cycle",
+            "truncated": any(
+                launch.slices_truncated for launch in profile.launches
+            ),
+        },
+    }
+
+
+def write_chrome_trace(
+    profile: SolveProfile, path: Union[str, "object"]
+) -> dict:
+    """Write the trace JSON to ``path``; returns the document.
+
+    The serialization is deterministic (sorted keys, fixed separators)
+    so identical solves produce byte-identical files — the property the
+    golden test pins down.
+    """
+    doc = chrome_trace(profile)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return doc

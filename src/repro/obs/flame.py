@@ -1,0 +1,119 @@
+"""Terminal rendering of solve profiles.
+
+A compact, dependency-free "flame summary": one phase-share bar for the
+whole solve, the most wait-heavy warps (the rows a performance engineer
+chases first), and — when level information is supplied — the most
+wait-heavy dependency levels.  The symbols match the tracer timeline:
+``#`` compute, ``s`` cross-warp spin, ``z`` intra-warp poll wait,
+``m`` memory stall, ``.`` idle/retired.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.obs.profile import (
+    COMPUTE,
+    IDLE,
+    INTRA_WARP_WAIT,
+    MEM_STALL,
+    PHASES,
+    SPIN_WAIT,
+    SolveProfile,
+)
+
+__all__ = ["render_flame", "phase_bar"]
+
+_PHASE_CHARS = {
+    COMPUTE: "#",
+    SPIN_WAIT: "s",
+    INTRA_WARP_WAIT: "z",
+    MEM_STALL: "m",
+    IDLE: ".",
+}
+
+_PHASE_LABELS = {
+    COMPUTE: "compute",
+    SPIN_WAIT: "spin-wait (cross-warp)",
+    INTRA_WARP_WAIT: "intra-warp wait",
+    MEM_STALL: "memory stall",
+    IDLE: "idle/retired",
+}
+
+
+def phase_bar(fractions: dict, *, width: int = 40) -> str:
+    """A fixed-width bar whose segments are proportional phase shares."""
+    cells: list[str] = []
+    remaining = width
+    for i, phase in enumerate(PHASES):
+        frac = max(0.0, fractions.get(phase, 0.0))
+        n = remaining if i == len(PHASES) - 1 else int(round(frac * width))
+        n = min(n, remaining)
+        cells.append(_PHASE_CHARS[phase] * n)
+        remaining -= n
+    return "|" + "".join(cells).ljust(width) + "|"
+
+
+def render_flame(
+    profile: SolveProfile,
+    *,
+    width: int = 40,
+    top: int = 8,
+    level_of_row: Optional[Sequence[int]] = None,
+    rows_per_warp: Optional[int] = None,
+) -> str:
+    """Multi-line flame summary of ``profile``.
+
+    ``level_of_row`` + ``rows_per_warp`` enable the per-level section
+    for single-launch profiles (see :meth:`SolveProfile.by_level`).
+    """
+    lines: list[str] = []
+    fractions = profile.phase_fractions()
+    lines.append(
+        f"phase profile — {profile.solver_name} on {profile.device_name}: "
+        f"{profile.cycles} cycles, {len(profile.launches)} launch(es), "
+        f"{profile.n_warps} warp(s)"
+    )
+    lines.append(f"  {phase_bar(fractions, width=width)}")
+    for phase in PHASES:
+        lines.append(
+            f"  {_PHASE_CHARS[phase]} {_PHASE_LABELS[phase]:<24}"
+            f"{fractions[phase]:>8.1%}"
+        )
+
+    ranked = profile.top_wait_warps(top)
+    ranked = [(li, w) for li, w in ranked if w.spin_wait + w.intra_warp_wait]
+    if ranked:
+        lines.append("")
+        lines.append(f"  top wait-heavy warps (of {profile.n_warps}):")
+        multi = len(profile.launches) > 1
+        for li, w in ranked:
+            tag = f"launch {li} warp {w.warp_id}" if multi else f"warp {w.warp_id}"
+            lines.append(
+                f"    {tag:<18} {phase_bar(w.phase_fractions(), width=width)}"
+                f"  wait {w.wait_fraction:.1%}"
+            )
+
+    if level_of_row is not None and rows_per_warp and len(profile.launches) == 1:
+        by_level = profile.by_level(level_of_row, rows_per_warp=rows_per_warp)
+        scored = sorted(
+            by_level.items(),
+            key=lambda kv: -(kv[1][SPIN_WAIT] + kv[1][INTRA_WARP_WAIT]),
+        )[:top]
+        scored = [
+            (lvl, b) for lvl, b in scored if b[SPIN_WAIT] + b[INTRA_WARP_WAIT]
+        ]
+        if scored:
+            lines.append("")
+            lines.append("  top wait-heavy levels:")
+            for lvl, bucket in scored:
+                total = sum(bucket[phase] for phase in PHASES)
+                wait = bucket[SPIN_WAIT] + bucket[INTRA_WARP_WAIT]
+                share = wait / total if total else 0.0
+                lines.append(
+                    f"    level {lvl:<5d} {bucket['warps']:>4d} warp(s)  "
+                    f"wait {share:>6.1%}  "
+                    f"(spin {bucket[SPIN_WAIT]}, poll {bucket[INTRA_WARP_WAIT]} "
+                    f"of {total} cycles)"
+                )
+    return "\n".join(lines)

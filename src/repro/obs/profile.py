@@ -1,0 +1,273 @@
+"""Phase-attributed solve profiles.
+
+Every simulated cycle of every warp is attributed to exactly one phase:
+
+``compute``
+    The warp issued a warp instruction this cycle (real work, including
+    the load/test instruction of the step that subsequently parked it).
+``spin_wait``
+    Parked in a blocking :class:`~repro.gpu.kernel.SpinWait` — the
+    cross-warp busy-wait of Algorithm 4's phase 1 (the kernel lint
+    forbids blocking spins on intra-warp producers, so this phase is the
+    paper's cross-warp spin time).
+``intra_warp_wait``
+    Asleep with every live lane in a failed :class:`~repro.gpu.kernel.Poll`
+    — the productive polling of Algorithm 5, where lanes wait on
+    warp-mates (or still-unpublished components) without blocking the
+    warp's control flow.
+``mem_stall``
+    Parked on DRAM latency after issuing uncached loads.
+``idle``
+    Everything else: cycles before admission, after retirement, and
+    runnable-but-not-issued contention cycles.  Computed as the
+    remainder, so per-warp fractions sum to exactly 1.0.
+
+The accounting is interval-based and non-overlapping by construction:
+an issue occupies its own cycle; a parked episode that begins with the
+issue at cycle ``c`` and wakes at cycle ``w`` is charged ``w - c - 1``
+parked cycles (cycle ``c`` is compute, cycle ``w`` is compute or idle
+depending on whether the woken warp wins an issue slot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+__all__ = [
+    "COMPUTE",
+    "SPIN_WAIT",
+    "INTRA_WARP_WAIT",
+    "MEM_STALL",
+    "IDLE",
+    "PHASES",
+    "WAIT_PHASES",
+    "Slice",
+    "WarpProfile",
+    "LaunchProfile",
+    "SolveProfile",
+]
+
+COMPUTE = "compute"
+SPIN_WAIT = "spin_wait"
+INTRA_WARP_WAIT = "intra_warp_wait"
+MEM_STALL = "mem_stall"
+IDLE = "idle"
+
+#: Every phase, in reporting order.
+PHASES: tuple[str, ...] = (COMPUTE, SPIN_WAIT, INTRA_WARP_WAIT, MEM_STALL, IDLE)
+
+#: The phases in which a warp is waiting on someone else's store.
+WAIT_PHASES: tuple[str, ...] = (SPIN_WAIT, INTRA_WARP_WAIT)
+
+
+@dataclass(frozen=True)
+class Slice:
+    """One contiguous span of one warp spent in one phase (for traces).
+
+    ``lanes`` is the number of lanes that gated the phase when it is a
+    wait (pending SpinWait/Poll requests at park time), 0 otherwise.
+    """
+
+    warp_id: int
+    phase: str
+    start: int
+    end: int
+    lanes: int = 0
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class WarpProfile:
+    """Cycle totals of one warp over one launch."""
+
+    warp_id: int
+    admit_cycle: int
+    done_cycle: int
+    launch_cycles: int
+    compute: int = 0
+    spin_wait: int = 0
+    intra_warp_wait: int = 0
+    mem_stall: int = 0
+
+    @property
+    def idle(self) -> int:
+        """Remainder phase: pre-admit, post-retire, contention cycles."""
+        return self.launch_cycles - (
+            self.compute + self.spin_wait + self.intra_warp_wait + self.mem_stall
+        )
+
+    def phase_cycles(self) -> dict[str, int]:
+        return {
+            COMPUTE: self.compute,
+            SPIN_WAIT: self.spin_wait,
+            INTRA_WARP_WAIT: self.intra_warp_wait,
+            MEM_STALL: self.mem_stall,
+            IDLE: self.idle,
+        }
+
+    def phase_fractions(self) -> dict[str, float]:
+        """Per-phase share of the launch; sums to exactly 1.0."""
+        total = self.launch_cycles
+        if total <= 0:
+            return {phase: 0.0 for phase in PHASES}
+        return {phase: c / total for phase, c in self.phase_cycles().items()}
+
+    @property
+    def wait_fraction(self) -> float:
+        """Share of the launch this warp spent waiting on stores."""
+        if self.launch_cycles <= 0:
+            return 0.0
+        return (self.spin_wait + self.intra_warp_wait) / self.launch_cycles
+
+
+@dataclass(frozen=True)
+class LaunchProfile:
+    """Phase attribution of one kernel launch."""
+
+    cycles: int
+    warps: tuple[WarpProfile, ...]
+    slices: tuple[Slice, ...] = ()
+    #: True when the slice buffer hit its bound (totals stay exact).
+    slices_truncated: bool = False
+
+    @property
+    def n_warps(self) -> int:
+        return len(self.warps)
+
+    def phase_cycles(self) -> dict[str, int]:
+        totals = {phase: 0 for phase in PHASES}
+        for w in self.warps:
+            for phase, c in w.phase_cycles().items():
+                totals[phase] += c
+        return totals
+
+    def phase_fractions(self) -> dict[str, float]:
+        totals = self.phase_cycles()
+        denom = sum(totals.values())
+        if denom <= 0:
+            return {phase: 0.0 for phase in PHASES}
+        return {phase: c / denom for phase, c in totals.items()}
+
+
+@dataclass(frozen=True)
+class SolveProfile:
+    """Phase attribution of one solve (one or more sequential launches).
+
+    The multi-launch shape mirrors
+    :meth:`repro.gpu.counters.KernelStats.merged_with`: the level-set
+    solver profiles as one launch per level, the Capellini solvers as a
+    single launch.
+    """
+
+    solver_name: str
+    device_name: str
+    launches: tuple[LaunchProfile, ...]
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> int:
+        return sum(launch.cycles for launch in self.launches)
+
+    @property
+    def n_warps(self) -> int:
+        return sum(launch.n_warps for launch in self.launches)
+
+    def phase_cycles(self) -> dict[str, int]:
+        totals = {phase: 0 for phase in PHASES}
+        for launch in self.launches:
+            for phase, c in launch.phase_cycles().items():
+                totals[phase] += c
+        return totals
+
+    def phase_fractions(self) -> dict[str, float]:
+        """Solver-wide phase shares over all warps of all launches."""
+        totals = self.phase_cycles()
+        denom = sum(totals.values())
+        if denom <= 0:
+            return {phase: 0.0 for phase in PHASES}
+        return {phase: c / denom for phase, c in totals.items()}
+
+    @property
+    def spin_fraction(self) -> float:
+        """Cross-warp busy-wait share — the paper's central metric."""
+        return self.phase_fractions()[SPIN_WAIT]
+
+    @property
+    def wait_fraction(self) -> float:
+        fr = self.phase_fractions()
+        return fr[SPIN_WAIT] + fr[INTRA_WARP_WAIT]
+
+    def top_wait_warps(self, n: int = 8) -> list[tuple[int, WarpProfile]]:
+        """The ``n`` most wait-heavy warps as ``(launch_index, profile)``."""
+        ranked = [
+            (li, w)
+            for li, launch in enumerate(self.launches)
+            for w in launch.warps
+        ]
+        ranked.sort(
+            key=lambda it: (-(it[1].spin_wait + it[1].intra_warp_wait),
+                            it[0], it[1].warp_id)
+        )
+        return ranked[:n]
+
+    def merged_with(self, other: "SolveProfile") -> "SolveProfile":
+        """Concatenate two sequential profiles (cycles add)."""
+        return SolveProfile(
+            solver_name=self.solver_name,
+            device_name=self.device_name,
+            launches=self.launches + other.launches,
+            extra=dict(self.extra),
+        )
+
+    # ------------------------------------------------------------------
+    def by_level(
+        self,
+        level_of_row: Sequence[int],
+        *,
+        rows_per_warp: Optional[int] = None,
+    ) -> dict[int, dict[str, int]]:
+        """Aggregate warp phases into dependency levels.
+
+        Only meaningful for single-launch profiles with a static
+        warp→row mapping: ``rows_per_warp`` lanes-per-warp rows for
+        thread-granularity kernels (Capellini: warp ``w`` owns rows
+        ``[w*ws, (w+1)*ws)``), 1 for warp-granularity kernels (SyncFree:
+        warp ``w`` owns row ``w``).  A warp is charged to the deepest
+        level of its rows — the level that gates its retirement.
+        Multi-launch (level-set) profiles should be read per launch
+        instead; this raises ``ValueError`` for them.
+        """
+        if len(self.launches) != 1:
+            raise ValueError(
+                "by_level needs a single-launch profile; read the "
+                f"{len(self.launches)} launches individually instead"
+            )
+        if rows_per_warp is None or rows_per_warp <= 0:
+            raise ValueError("rows_per_warp must be a positive int")
+        n_rows = len(level_of_row)
+        out: dict[int, dict[str, int]] = {}
+        for w in self.launches[0].warps:
+            lo = w.warp_id * rows_per_warp
+            hi = min(n_rows, lo + rows_per_warp)
+            if lo >= n_rows:
+                continue
+            level = max(int(level_of_row[r]) for r in range(lo, hi))
+            bucket = out.setdefault(
+                level, {phase: 0 for phase in PHASES} | {"warps": 0}
+            )
+            bucket["warps"] += 1
+            for phase, c in w.phase_cycles().items():
+                bucket[phase] += c
+        return out
+
+
+def merge_profiles(profiles: Iterable[SolveProfile]) -> Optional[SolveProfile]:
+    """Fold sequential profiles into one (None for an empty iterable)."""
+    merged: Optional[SolveProfile] = None
+    for p in profiles:
+        merged = p if merged is None else merged.merged_with(p)
+    return merged

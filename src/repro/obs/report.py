@@ -1,0 +1,91 @@
+"""Machine-readable profile reports.
+
+One schema, three consumers: ``repro-sptrsv profile --json``, the
+serving layer's per-launch digests (:func:`phase_digest` rides on the
+trace log's ``launch`` events), and ``benchmarks/bench_trajectory.py``'s
+``BENCH_solvers.json`` entries.  The layout mirrors ``analyze --json``
+(flat ``matrix``/``features`` keys beside the payload) so CI tooling
+can consume both with one reader.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.obs.profile import PHASES, SolveProfile
+
+__all__ = ["profile_json", "phase_digest"]
+
+
+def phase_digest(profile: SolveProfile, *, digits: int = 6) -> dict:
+    """Tiny summary for event logs: cycles + rounded phase fractions."""
+    fractions = profile.phase_fractions()
+    return {
+        "solver": profile.solver_name,
+        "cycles": profile.cycles,
+        "launches": len(profile.launches),
+        "phases": {p: round(fractions[p], digits) for p in PHASES},
+    }
+
+
+def profile_json(
+    profile: SolveProfile,
+    *,
+    level_of_row: Optional[Sequence[int]] = None,
+    rows_per_warp: Optional[int] = None,
+) -> dict:
+    """The full profile document (per-solve, per-launch, per-warp).
+
+    Per-warp fractions are emitted unrounded so consumers can assert
+    they sum to 1.0 exactly; solver-level fractions are likewise exact.
+    """
+    cycles_by_phase = profile.phase_cycles()
+    fractions = profile.phase_fractions()
+    doc: dict = {
+        "solver": profile.solver_name,
+        "device": profile.device_name,
+        "cycles": profile.cycles,
+        "phases": {
+            phase: {
+                "cycles": cycles_by_phase[phase],
+                "fraction": fractions[phase],
+            }
+            for phase in PHASES
+        },
+        "spin_fraction": profile.spin_fraction,
+        "wait_fraction": profile.wait_fraction,
+        "launches": [
+            {
+                "index": li,
+                "cycles": launch.cycles,
+                "n_warps": launch.n_warps,
+                "phases": launch.phase_cycles(),
+                "slices": len(launch.slices),
+                "slices_truncated": launch.slices_truncated,
+                "warps": [
+                    {
+                        "warp_id": w.warp_id,
+                        "admit_cycle": w.admit_cycle,
+                        "done_cycle": w.done_cycle,
+                        "phases": w.phase_cycles(),
+                        "fractions": w.phase_fractions(),
+                    }
+                    for w in launch.warps
+                ],
+            }
+            for li, launch in enumerate(profile.launches)
+        ],
+    }
+    if profile.extra:
+        doc["extra"] = dict(profile.extra)
+    if (
+        level_of_row is not None
+        and rows_per_warp
+        and len(profile.launches) == 1
+    ):
+        by_level = profile.by_level(level_of_row, rows_per_warp=rows_per_warp)
+        doc["levels"] = [
+            {"level": level, **bucket}
+            for level, bucket in sorted(by_level.items())
+        ]
+    return doc

@@ -42,6 +42,9 @@ from repro.errors import (
     SolverError,
 )
 from repro.gpu.device import SIM_SMALL, DeviceSpec
+from repro.obs.profiler import Profiler, profiling
+from repro.obs.report import phase_digest
+from repro.obs.tracelog import TraceLog, new_trace_id
 from repro.serve.registry import MatrixRegistry, RegisteredMatrix
 from repro.serve.requests import BlockOutcome, PendingSolve, SolveResponse
 from repro.serve.telemetry import ServeTelemetry
@@ -85,6 +88,8 @@ class SolveEngine:
         max_workers: int = 4,
         candidates: Optional[Iterable[type[SpTRSVSolver]]] = None,
         telemetry: Optional[ServeTelemetry] = None,
+        trace_log: Optional[TraceLog] = None,
+        profile: bool = False,
     ) -> None:
         if max_queue <= 0:
             raise ValueError("max_queue must be positive")
@@ -97,6 +102,12 @@ class SolveEngine:
         self.batch_window = batch_window
         self.default_timeout = default_timeout
         self.telemetry = telemetry if telemetry is not None else ServeTelemetry()
+        #: bounded structured event log; every request gets a trace id
+        #: and an enqueue → batch → launch → publish event trail
+        self.trace_log = trace_log if trace_log is not None else TraceLog()
+        #: when True, every launch event carries a cycle-phase digest
+        #: (aggregate-only profiler: no slices, O(warps) overhead)
+        self.profile = profile
         self._candidates = tuple(candidates) if candidates is not None else None
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-serve"
@@ -133,11 +144,17 @@ class SolveEngine:
             raise SolverError(
                 f"b has shape {b.shape}, expected ({entry.matrix.n_rows},)"
             )
-        self._admit(1)
+        trace_id = new_trace_id()
+        self._admit(1, trace_id, entry.key)
+        self.trace_log.emit(
+            "enqueue", trace_id=trace_id, matrix=entry.key, n_rhs=1,
+            queue_depth=self._depth,
+        )
         req = PendingSolve(
             b=b,
             future=asyncio.get_running_loop().create_future(),
             submitted_at=time.perf_counter(),
+            trace_id=trace_id,
         )
         group = self._pending.setdefault(entry.key, [])
         group.append(req)
@@ -174,18 +191,25 @@ class SolveEngine:
                 f"B must have shape ({entry.matrix.n_rows}, k>=1), "
                 f"got {B.shape}"
             )
-        self._admit(1)
+        trace_id = new_trace_id()
+        self._admit(1, trace_id, entry.key)
+        self.trace_log.emit(
+            "enqueue", trace_id=trace_id, matrix=entry.key,
+            n_rhs=B.shape[1], queue_depth=self._depth,
+        )
         req = PendingSolve(
             b=B,
             future=asyncio.get_running_loop().create_future(),
             submitted_at=time.perf_counter(),
+            trace_id=trace_id,
         )
         loop = asyncio.get_running_loop()
 
         async def run() -> None:
             try:
                 outcome = await loop.run_in_executor(
-                    self._executor, self._execute_block, entry, B, False
+                    self._executor, self._execute_block, entry, B, False,
+                    trace_id, (trace_id,),
                 )
             except BaseException as exc:  # noqa: BLE001 - forwarded to caller
                 self.telemetry.requests_failed.inc()
@@ -220,6 +244,7 @@ class SolveEngine:
                 for key, names in self._quarantined.items()
                 if names
             }
+        snap["trace"] = self.trace_log.summary()
         return snap
 
     async def close(self) -> None:
@@ -238,11 +263,19 @@ class SolveEngine:
     # ------------------------------------------------------------------
     # batching front (runs on the event loop)
     # ------------------------------------------------------------------
-    def _admit(self, n: int) -> None:
+    def _admit(self, n: int, trace_id: str, matrix_key: str) -> None:
         if self._closed:
+            self.trace_log.emit(
+                "reject", trace_id=trace_id, matrix=matrix_key,
+                reason="closed",
+            )
             raise QueueFullError("engine is closed")
         if self._depth + n > self.max_queue:
             self.telemetry.requests_rejected.inc(n)
+            self.trace_log.emit(
+                "reject", trace_id=trace_id, matrix=matrix_key,
+                reason="queue-full", queue_depth=self._depth,
+            )
             raise QueueFullError(
                 f"queue full: {self._depth} in flight, limit {self.max_queue}"
             )
@@ -262,6 +295,9 @@ class SolveEngine:
             )
         except asyncio.TimeoutError:
             self.telemetry.requests_timed_out.inc()
+            self.trace_log.emit(
+                "timeout", trace_id=req.trace_id, deadline_s=deadline
+            )
             # the worker will still resolve the future; consume its
             # outcome so an eventual failure is not "never retrieved"
             req.future.add_done_callback(_discard_outcome)
@@ -287,6 +323,12 @@ class SolveEngine:
         width = len(batch)
         self.telemetry.batches_total.inc()
         self.telemetry.batch_width.observe(width)
+        batch_id = new_trace_id()
+        trace_ids = tuple(r.trace_id for r in batch)
+        self.trace_log.emit(
+            "batch", batch_id=batch_id, matrix=entry.key, width=width,
+            trace_ids=list(trace_ids),
+        )
         B = (
             batch[0].b.reshape(-1, 1)
             if width == 1
@@ -295,7 +337,8 @@ class SolveEngine:
         loop = asyncio.get_running_loop()
         try:
             outcome = await loop.run_in_executor(
-                self._executor, self._execute_block, entry, B, width > 1
+                self._executor, self._execute_block, entry, B, width > 1,
+                batch_id, trace_ids,
             )
         except BaseException as exc:  # noqa: BLE001 - forwarded to callers
             self.telemetry.requests_failed.inc(width)
@@ -319,6 +362,11 @@ class SolveEngine:
         latency_ms = (time.perf_counter() - req.submitted_at) * 1e3
         self.telemetry.latency_ms.observe(latency_ms)
         self.telemetry.requests_completed.inc()
+        self.trace_log.emit(
+            "publish", trace_id=req.trace_id, solver=outcome.solver_name,
+            latency_ms=round(latency_ms, 3),
+            batch_width=outcome.batch_width,
+        )
         x = outcome.X[:, col]
         if isinstance(col, int):
             x = x.copy()
@@ -332,6 +380,7 @@ class SolveEngine:
             cycles=outcome.cycles,
             latency_ms=latency_ms,
             fallback_from=outcome.fallback_from,
+            trace_id=req.trace_id,
         )
 
     # ------------------------------------------------------------------
@@ -345,8 +394,42 @@ class SolveEngine:
         with self._quarantine_lock:
             self._quarantined.setdefault(key, set()).add(solver_name)
 
+    def _profiler(self) -> Optional[Profiler]:
+        """Fresh aggregate-only profiler when profiling is enabled."""
+        return Profiler(slices=False) if self.profile else None
+
+    def _emit_launch(
+        self,
+        entry: RegisteredMatrix,
+        solver_name: str,
+        cycles: int,
+        profiler: Optional[Profiler],
+        batch_id: str,
+        trace_ids: tuple,
+    ) -> None:
+        """One ``launch`` event per kernel launch that served a block."""
+        fields = {
+            "batch_id": batch_id,
+            "matrix": entry.key,
+            "solver": solver_name,
+            "cycles": cycles,
+            "trace_ids": list(trace_ids),
+        }
+        if profiler is not None and profiler.launches:
+            fields["profile"] = phase_digest(
+                profiler.profile(
+                    solver_name=solver_name, device_name=self.device.name
+                )
+            )
+        self.trace_log.emit("launch", **fields)
+
     def _execute_block(
-        self, entry: RegisteredMatrix, B: np.ndarray, coalesced: bool
+        self,
+        entry: RegisteredMatrix,
+        B: np.ndarray,
+        coalesced: bool,
+        batch_id: str = "",
+        trace_ids: tuple = (),
     ) -> BlockOutcome:
         """Solve a block: batched SpTRSM first, then the solver ladder."""
         k = B.shape[1]
@@ -358,20 +441,40 @@ class SolveEngine:
         if k > 1 and batched_allowed:
             quarantined = self._quarantined_names(entry.key)
             if BATCHED_KERNEL not in quarantined:
+                profiler = self._profiler()
                 try:
-                    res = capellini_sptrsm(entry.matrix, B, device=self.device)
+                    if profiler is not None:
+                        with profiling(profiler):
+                            res = capellini_sptrsm(
+                                entry.matrix, B, device=self.device
+                            )
+                    else:
+                        res = capellini_sptrsm(
+                            entry.matrix, B, device=self.device
+                        )
                 except FALLBACK_ERRORS as exc:
                     self._quarantine(entry.key, BATCHED_KERNEL)
                     self.telemetry.record_kernel_failure(
                         entry.key, BATCHED_KERNEL, exc
                     )
+                    self.trace_log.emit(
+                        "kernel-failure", batch_id=batch_id,
+                        matrix=entry.key, solver=BATCHED_KERNEL,
+                        error=type(exc).__name__,
+                        trace_ids=list(trace_ids),
+                    )
                     failures.append(BATCHED_KERNEL)
                 else:
                     self.telemetry.sim_cycles.inc(res.stats.cycles)
                     self.telemetry.sim_exec_ms.inc(res.exec_ms)
+                    name = f"{BATCHED_KERNEL}-SpTRSM"
+                    self._emit_launch(
+                        entry, name, res.stats.cycles, profiler,
+                        batch_id, trace_ids,
+                    )
                     return BlockOutcome(
                         X=res.X,
-                        solver_name=f"{BATCHED_KERNEL}-SpTRSM",
+                        solver_name=name,
                         exec_ms=res.exec_ms,
                         cycles=res.stats.cycles,
                         batch_width=k if coalesced else 1,
@@ -381,7 +484,8 @@ class SolveEngine:
             else:
                 failures.append(BATCHED_KERNEL)
         return self._solve_chain_block(
-            entry, B, coalesced=coalesced, prior_failures=failures
+            entry, B, coalesced=coalesced, prior_failures=failures,
+            batch_id=batch_id, trace_ids=trace_ids,
         )
 
     def _solve_chain_block(
@@ -391,6 +495,8 @@ class SolveEngine:
         *,
         coalesced: bool,
         prior_failures: list[str],
+        batch_id: str = "",
+        trace_ids: tuple = (),
     ) -> BlockOutcome:
         """Walk the preference ladder column-by-column.
 
@@ -409,15 +515,32 @@ class SolveEngine:
             if solver.name in quarantined:
                 fell_back = True
                 continue
+            profiler = self._profiler()
             try:
-                results = [
-                    solver.solve(entry.matrix, B[:, r], device=self.device)
-                    for r in range(k)
-                ]
+                if profiler is not None:
+                    with profiling(profiler):
+                        results = [
+                            solver.solve(
+                                entry.matrix, B[:, r], device=self.device
+                            )
+                            for r in range(k)
+                        ]
+                else:
+                    results = [
+                        solver.solve(
+                            entry.matrix, B[:, r], device=self.device
+                        )
+                        for r in range(k)
+                    ]
             except FALLBACK_ERRORS as exc:
                 self._quarantine(entry.key, solver.name)
                 self.telemetry.record_kernel_failure(
                     entry.key, solver.name, exc
+                )
+                self.trace_log.emit(
+                    "kernel-failure", batch_id=batch_id, matrix=entry.key,
+                    solver=solver.name, error=type(exc).__name__,
+                    trace_ids=list(trace_ids),
                 )
                 failures.append(solver.name)
                 fell_back = True
@@ -428,11 +551,19 @@ class SolveEngine:
             exec_ms = sum(r.exec_ms for r in results)
             self.telemetry.sim_cycles.inc(cycles)
             self.telemetry.sim_exec_ms.inc(exec_ms)
+            self._emit_launch(
+                entry, solver.name, cycles, profiler, batch_id, trace_ids
+            )
             fallback_from = None
             if fell_back and solver.name != primary_name:
                 fallback_from = failures[0] if failures else primary_name
                 self.telemetry.record_fallback_solve(
                     entry.key, fallback_from, solver.name
+                )
+                self.trace_log.emit(
+                    "fallback", batch_id=batch_id, matrix=entry.key,
+                    fallback_from=fallback_from, solver=solver.name,
+                    trace_ids=list(trace_ids),
                 )
             return BlockOutcome(
                 X=np.stack([r.x for r in results], axis=1),

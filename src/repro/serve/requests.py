@@ -33,6 +33,9 @@ class SolveResponse:
     #: name of the solver that *should* have served this request but was
     #: skipped or failed (None when the primary served it)
     fallback_from: Optional[str] = None
+    #: request-scoped trace id; key into the engine's
+    #: :class:`repro.obs.TraceLog` (``request_timeline(trace_id)``)
+    trace_id: Optional[str] = None
 
     @property
     def used_fallback(self) -> bool:
@@ -46,6 +49,7 @@ class PendingSolve:
     b: np.ndarray
     future: "asyncio.Future"
     submitted_at: float
+    trace_id: str = ""
 
 
 @dataclass(frozen=True)

@@ -21,6 +21,10 @@ __all__ = [
     "sanitizing",
 ]
 
+# ``repro.obs.profiling`` is the third ambient-attachment context: every
+# engine built here also picks up the active cycle profiler (imported
+# lazily inside make_engine to keep solver import time flat).
+
 #: Tracer picked up by every engine created while a `tracing` block is
 #: active (lets callers trace a solve without touching solver APIs).
 _ACTIVE_TRACER: ContextVar = ContextVar("repro_active_tracer", default=None)
@@ -96,6 +100,9 @@ def make_engine(device: DeviceSpec, *, max_cycles: int | None = None) -> SIMTEng
     else:
         engine = SIMTEngine(device, max_cycles=max_cycles)
     engine.tracer = _ACTIVE_TRACER.get()
+    from repro.obs.profiler import active_profiler
+
+    engine.profiler = active_profiler()
     sanitizer = _ACTIVE_SANITIZER.get()
     if sanitizer is None:
         sanitizer = _env_sanitizer()

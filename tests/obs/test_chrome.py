@@ -1,0 +1,97 @@
+"""Chrome-trace exporter tests, including the byte-stable golden.
+
+The golden fixture is the Writing-First solve of the paper's Figure 1
+matrix on SimTiny.  Matrix, seed, device and serialization are all
+deterministic, so the export must be byte-identical run to run; a diff
+here means kernel scheduling (or the exporter) changed behaviour and
+the golden needs a deliberate refresh::
+
+    PYTHONPATH=src:. python - <<'PY'
+    from repro.gpu.device import SIM_TINY
+    from repro.obs import profile_solve, write_chrome_trace
+    from repro.solvers import WritingFirstCapelliniSolver
+    from repro.sparse.triangular import lower_triangular_system
+    from tests.conftest import fig1_matrix
+    system = lower_triangular_system(fig1_matrix())
+    _, prof = profile_solve(WritingFirstCapelliniSolver(),
+                            system.L, system.b, device=SIM_TINY)
+    write_chrome_trace(prof,
+                       "tests/obs/golden/fig1_writing_first.trace.json")
+    PY
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.gpu.device import SIM_TINY
+from repro.obs import (
+    PHASE_COLORS,
+    PHASES,
+    chrome_trace,
+    profile_solve,
+    write_chrome_trace,
+)
+from repro.solvers import WritingFirstCapelliniSolver
+from repro.sparse.triangular import lower_triangular_system
+
+from tests.conftest import fig1_matrix
+
+GOLDEN = Path(__file__).parent / "golden" / "fig1_writing_first.trace.json"
+
+
+@pytest.fixture(scope="module")
+def fig1_profile():
+    system = lower_triangular_system(fig1_matrix())
+    _, prof = profile_solve(
+        WritingFirstCapelliniSolver(), system.L, system.b, device=SIM_TINY
+    )
+    return prof
+
+
+class TestGolden:
+    def test_export_matches_golden_bytes(self, fig1_profile, tmp_path):
+        out = tmp_path / "trace.json"
+        write_chrome_trace(fig1_profile, str(out))
+        assert out.read_bytes() == GOLDEN.read_bytes()
+
+    def test_export_is_deterministic(self, fig1_profile, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        write_chrome_trace(fig1_profile, str(a))
+        write_chrome_trace(fig1_profile, str(b))
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestFormat:
+    def test_trace_event_format(self, fig1_profile):
+        doc = chrome_trace(fig1_profile)
+        events = doc["traceEvents"]
+        assert {e["ph"] for e in events} <= {"X", "M"}
+        slices = [e for e in events if e["ph"] == "X"]
+        assert slices, "no duration events"
+        for e in slices:
+            assert e["dur"] >= 1
+            assert e["ts"] >= 0
+            assert e["name"] in PHASES
+            assert e["cname"] == PHASE_COLORS[e["name"]]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert any(e["name"] == "process_name" for e in meta)
+        assert any(e["name"] == "thread_name" for e in meta)
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"]["solver"] == "Capellini"
+
+    def test_golden_is_valid_json_with_metadata(self):
+        doc = json.loads(GOLDEN.read_text())
+        assert doc["otherData"]["device"] == "SimTiny"
+        assert doc["otherData"]["launches"] == 1
+        assert not doc["otherData"]["truncated"]
+
+    def test_slices_stay_within_launch_window(self, fig1_profile):
+        doc = chrome_trace(fig1_profile)
+        cycles = doc["otherData"]["cycles"]
+        for e in doc["traceEvents"]:
+            if e["ph"] == "X":
+                assert e["ts"] + e["dur"] <= cycles

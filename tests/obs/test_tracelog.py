@@ -1,0 +1,116 @@
+"""TraceLog (bounded structured event log) tests."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import TraceLog, new_trace_id
+
+
+class TestTraceIds:
+    def test_shape_and_uniqueness(self):
+        ids = {new_trace_id() for _ in range(256)}
+        assert len(ids) == 256
+        assert all(len(t) == 12 for t in ids)
+        assert all(int(t, 16) >= 0 for t in ids)  # hex
+
+
+class TestRing:
+    def test_capacity_bounds_memory_and_reports_drops(self):
+        log = TraceLog(capacity=8)
+        for i in range(20):
+            log.emit("tick", n=i)
+        s = log.summary()
+        assert s == {
+            "emitted": 20, "retained": 8, "dropped": 12, "capacity": 8,
+            "by_kind": {"tick": 8},
+        }
+        # the ring keeps the newest events
+        assert [e["n"] for e in log.events()] == list(range(12, 20))
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            TraceLog(capacity=0)
+
+    def test_seq_is_monotonic(self):
+        log = TraceLog()
+        for _ in range(5):
+            log.emit("a")
+        seqs = [e["seq"] for e in log.events()]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == 5
+
+
+class TestQueries:
+    def test_filter_by_kind_and_trace_id(self):
+        log = TraceLog()
+        t1, t2 = new_trace_id(), new_trace_id()
+        log.emit("enqueue", trace_id=t1)
+        log.emit("enqueue", trace_id=t2)
+        log.emit("publish", trace_id=t1)
+        assert len(log.events(kind="enqueue")) == 2
+        assert [e["kind"] for e in log.events(trace_id=t1)] == [
+            "enqueue", "publish"
+        ]
+
+    def test_request_timeline_includes_batch_events(self):
+        log = TraceLog()
+        t1, t2 = new_trace_id(), new_trace_id()
+        log.emit("enqueue", trace_id=t1)
+        log.emit("enqueue", trace_id=t2)
+        log.emit("batch", batch_id="b1", trace_ids=[t1, t2])
+        log.emit("launch", batch_id="b1", trace_ids=[t1, t2])
+        log.emit("publish", trace_id=t1)
+        kinds = [e["kind"] for e in log.request_timeline(t1)]
+        assert kinds == ["enqueue", "batch", "launch", "publish"]
+        # t2's timeline shares batch/launch but not t1's publish
+        assert [e["kind"] for e in log.request_timeline(t2)] == [
+            "enqueue", "batch", "launch"
+        ]
+
+
+class TestSerialization:
+    def test_jsonl_round_trip(self, tmp_path):
+        log = TraceLog()
+        log.emit("enqueue", trace_id="abc", n_rhs=1)
+        log.emit("publish", trace_id="abc", latency_ms=1.5)
+        path = tmp_path / "events.jsonl"
+        assert log.write_jsonl(str(path)) == 2
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[0]["kind"] == "enqueue"
+        assert parsed[1]["latency_ms"] == 1.5
+        assert log.to_jsonl() == "\n".join(lines)
+
+    def test_empty_log_writes_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert TraceLog().write_jsonl(str(path)) == 0
+        assert path.read_text() == ""
+
+
+class TestThreadSafety:
+    def test_concurrent_emit_keeps_exact_counts(self):
+        log = TraceLog(capacity=100_000)
+        n_threads, per_thread = 8, 500
+
+        def worker(k: int) -> None:
+            for i in range(per_thread):
+                log.emit("tick", thread=k, n=i)
+
+        threads = [
+            threading.Thread(target=worker, args=(k,))
+            for k in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        s = log.summary()
+        assert s["emitted"] == n_threads * per_thread
+        assert s["retained"] == n_threads * per_thread
+        seqs = [e["seq"] for e in log.events()]
+        assert len(set(seqs)) == n_threads * per_thread

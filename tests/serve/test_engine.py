@@ -324,9 +324,9 @@ class TestRobustness:
             engine.register(system.L, name="m")
             original = engine._execute_block
 
-            def slow(entry, B, coalesced):
+            def slow(entry, B, coalesced, *trace_args):
                 time.sleep(0.25)
-                return original(entry, B, coalesced)
+                return original(entry, B, coalesced, *trace_args)
 
             engine._execute_block = slow
             with pytest.raises(RequestTimeoutError):

@@ -75,6 +75,38 @@ class TestHistogram:
         assert h.max == 999.0
         assert h.percentile(50) >= 990.0  # window holds the latest values
 
+    def test_concurrent_observes_keep_exact_totals(self):
+        h = Histogram(reservoir=64)  # far smaller than the stream
+        n_threads, per_thread = 8, 2000
+
+        def worker():
+            for v in range(per_thread):
+                h.observe(float(v))
+
+        threads = [
+            threading.Thread(target=worker) for _ in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        expected = n_threads * per_thread
+        assert h.count == expected
+        assert h.mean == pytest.approx((per_thread - 1) / 2.0)
+        assert h.min == 0.0 and h.max == float(per_thread - 1)
+        s = h.summary()
+        assert s["count"] == expected
+        assert 0.0 <= s["p50"] <= s["p95"] <= float(per_thread - 1)
+
+    def test_summary_is_single_snapshot(self):
+        h = Histogram()
+        for v in (5.0, 1.0, 9.0, 3.0):
+            h.observe(v)
+        s = h.summary()
+        # one lock, one sort: fields must be mutually consistent
+        assert s["min"] <= s["p50"] <= s["p95"] <= s["max"]
+        assert s["p50"] == 3.0 and s["p95"] == 9.0
+
 
 class TestServeTelemetry:
     def test_snapshot_shape(self):

@@ -212,3 +212,112 @@ class TestJsonExport:
         )
         payload = json.dumps(r.to_json_dict())
         assert '"arr": [0, 1, 2]' in payload
+
+
+class TestProfileCommand:
+    def test_profile_flame_summary(self, capsys):
+        rc = main(["profile", "--solver", "writing_first",
+                   "--domain", "circuit", "--n-rows", "300"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "phase profile — Capellini" in out
+        assert "spin-wait (cross-warp)" in out
+        assert "max error" in out
+
+    def test_profile_chrome_trace_is_loadable(self, tmp_path, capsys):
+        import json
+
+        path = str(tmp_path / "trace.json")
+        rc = main(["profile", "--solver", "writing_first",
+                   "--domain", "circuit", "--n-rows", "300",
+                   "--chrome-trace", path])
+        assert rc == 0
+        doc = json.loads(open(path).read())
+        kinds = {e["ph"] for e in doc["traceEvents"]}
+        assert "X" in kinds and "M" in kinds
+        assert doc["otherData"]["solver"] == "Capellini"
+
+    def test_profile_json_fractions_sum_to_one(self, capsys):
+        import json
+
+        rc = main(["profile", "--solver", "two_phase",
+                   "--domain", "circuit", "--n-rows", "300", "--json"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        doc = json.loads(out)
+        assert doc["solver"] == "Capellini-TwoPhase"
+        for launch in doc["launches"]:
+            for w in launch["warps"]:
+                assert abs(sum(w["fractions"].values()) - 1.0) <= 1e-9
+        assert doc["max_error"] < 1e-8
+
+    def test_profile_multi_launch_levelset(self, capsys):
+        rc = main(["profile", "--solver", "levelset",
+                   "--domain", "circuit", "--n-rows", "200"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "launch(es)" in out
+
+    def test_profile_unknown_solver(self, capsys):
+        rc = main(["profile", "--solver", "definitely-not-a-solver",
+                   "--domain", "circuit", "--n-rows", "100"])
+        assert rc == 2
+        assert "unknown solver" in capsys.readouterr().err
+
+    def test_profile_host_only_solver_rejected(self, capsys):
+        rc = main(["profile", "--solver", "serial",
+                   "--domain", "circuit", "--n-rows", "100"])
+        assert rc == 2
+        assert "does not run on the simulator" in capsys.readouterr().err
+
+
+class TestAnalyzeTrace:
+    def test_trace_renders_timeline(self, capsys):
+        rc = main(["analyze", "--domain", "circuit", "--n-rows", "120",
+                   "--solver", "syncfree", "--trace"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "warp timeline" in out
+        assert "w0" in out
+
+    def test_trace_json_carries_timeline(self, capsys):
+        import json
+
+        rc = main(["analyze", "--domain", "circuit", "--n-rows", "120",
+                   "--solver", "writing_first", "--trace", "--json"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        doc = json.loads(out)
+        assert doc["trace"]["solver"] == "Capellini"
+        assert doc["trace"]["events"] > 0
+        assert "warp timeline" in doc["trace"]["timeline"]
+
+
+class TestServeStatsTrace:
+    def test_trace_log_written(self, tmp_path, capsys):
+        import json
+
+        path = str(tmp_path / "events.jsonl")
+        rc = main(["serve-stats", "--domain", "circuit", "--n-rows", "200",
+                   "--requests", "4", "--rhs", "0", "--profile",
+                   "--trace-log", path])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "trace" in out
+        events = [json.loads(line) for line in open(path)]
+        kinds = {e["kind"] for e in events}
+        assert {"enqueue", "batch", "launch", "publish"} <= kinds
+        launches = [e for e in events if e["kind"] == "launch"]
+        assert all("profile" in e for e in launches)
+
+    def test_snapshot_json_includes_trace_summary(self, capsys):
+        import json
+
+        rc = main(["serve-stats", "--domain", "circuit", "--n-rows", "200",
+                   "--requests", "3", "--rhs", "0", "--json"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        doc = json.loads(out)
+        trace = doc["snapshot"]["trace"]
+        assert trace["emitted"] > 0
+        assert trace["dropped"] == 0
