@@ -13,6 +13,7 @@ Usage::
     repro-sptrsv profile --solver two_phase --chrome-trace trace.json
     repro-sptrsv generate --domain lp --n-rows 5000 --out lp.mtx
     repro-sptrsv serve-stats --domain circuit --n-rows 800 --requests 16
+    repro-sptrsv serve-stats --execution host --requests 32
     repro-sptrsv serve-stats --profile --trace-log events.jsonl
 """
 
@@ -203,6 +204,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="right-hand sides of the one multi-RHS request "
                        "(0 to skip)")
     p_srv.add_argument("--max-batch", type=int, default=32)
+    p_srv.add_argument("--execution", default="auto",
+                       choices=["auto", "host", "sim"],
+                       help="execution lane: 'host' runs the registry's "
+                       "vectorized plan (production fast path), 'sim' the "
+                       "cycle-level simulator, 'auto' prefers host with a "
+                       "simulator fallback")
     p_srv.add_argument("--device", default="SimSmall",
                        choices=["SimSmall", "SimTiny"])
     p_srv.add_argument("--json", action="store_true",
@@ -575,7 +582,8 @@ def _cmd_serve_stats(args) -> int:
 
     async def session() -> tuple[dict, float]:
         engine = SolveEngine(
-            device=device, max_batch=args.max_batch, profile=args.profile
+            device=device, max_batch=args.max_batch, profile=args.profile,
+            execution=args.execution,
         )
         engine.register(system.L, name="cli-demo")
         responses = await asyncio.gather(
@@ -621,6 +629,12 @@ def _cmd_serve_stats(args) -> int:
               f"(width mean {width['mean']:.1f}, max {width['max']:.0f})")
         print(f"latency (host): p50 {lat['p50']:.2f} ms, "
               f"p95 {lat['p95']:.2f} ms")
+        lanes = snap["lanes"]
+        print(f"lanes         : host {lanes['host']['batches']} batch(es) "
+              f"/ {lanes['host']['rhs']} rhs "
+              f"({lanes['host']['exec_ms']:.3f} ms), "
+              f"sim {lanes['sim']['batches']} batch(es) "
+              f"/ {lanes['sim']['rhs']} rhs")
         print(f"sim cost      : {snap['sim']['cycles']} cycles, "
               f"{snap['sim']['exec_ms']:.4f} ms")
         print(f"cache         : {cache['entries']} entr(y/ies), "

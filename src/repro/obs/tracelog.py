@@ -5,7 +5,11 @@ structured event per lifecycle step — ``enqueue`` → ``batch`` →
 ``launch`` → ``publish`` (plus ``reject``/``timeout``/``kernel-failure``
 /``fallback`` on the unhappy paths) — all carrying the request's trace
 id, so one grep over the JSONL output reconstructs a request's journey
-through batching and the fallback ladder.
+through batching and the fallback ladder.  ``launch`` and ``publish``
+events additionally carry the execution ``lane`` (``"host"`` for the
+registry's inspector-executor plan, ``"sim"`` for the cycle-level
+simulator), so lane routing is auditable per batch, not just in the
+aggregate telemetry counters.
 
 The log is a fixed-capacity ring: appends are O(1), memory is bounded
 by construction, and the count of events dropped at the head is

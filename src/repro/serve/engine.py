@@ -12,9 +12,24 @@ Execution model
 * The asyncio front enqueues requests per matrix.  The first request of
   a group arms a flush after ``batch_window`` seconds (one event-loop
   tick when 0); a group reaching ``max_batch`` flushes immediately.
-* Each flushed batch runs on a thread-pool worker: batched
-  ``capellini_sptrsm`` for width ≥ 2, the granularity-selected solver
-  chain for width 1 and multi-RHS fallbacks.
+* Each flushed batch runs on a thread-pool worker, through one of two
+  **execution lanes** (``execution=`` constructor parameter):
+
+  - ``"host"`` — the registry's cached inspector-executor
+    :class:`~repro.solvers.host_parallel.ExecutionPlan`, solved with
+    ``solve_many`` over the whole block.  This is the production fast
+    path: a few numpy operations per level instead of thousands of
+    interpreter-stepped simulated cycles.
+  - ``"sim"`` — the cycle-level SIMT simulator: batched
+    ``capellini_sptrsm`` for width ≥ 2, the granularity-selected solver
+    chain for width 1 and multi-RHS fallbacks.  This is the measurement
+    instrument; it is the only lane that produces cycle counts, phase
+    profiles, and warp traces.
+  - ``"auto"`` (default) — the host lane, falling back to the simulator
+    ladder if the host path raises (the failure is quarantined like any
+    kernel failure).  ``profile=True`` or an ambient tracer/sanitizer/
+    profiler forces the simulator, because cycle attribution requires
+    actually simulating.
 * Robustness: a kernel that raises ``HazardError``/``SolverError`` on a
   matrix is recorded in telemetry and *quarantined for that matrix* —
   later requests walk the :func:`~repro.solvers.select.solver_chain`
@@ -27,6 +42,7 @@ Execution model
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -48,19 +64,28 @@ from repro.obs.tracelog import TraceLog, new_trace_id
 from repro.serve.registry import MatrixRegistry, RegisteredMatrix
 from repro.serve.requests import BlockOutcome, PendingSolve, SolveResponse
 from repro.serve.telemetry import ServeTelemetry
+from repro.solvers._sim import instrumentation_active
 from repro.solvers.base import SpTRSVSolver
 from repro.solvers.capellini import WritingFirstCapelliniSolver
+from repro.solvers.host_parallel import HostLevelScheduleSolver
 from repro.solvers.multirhs import capellini_sptrsm
 from repro.solvers.select import solver_chain
 from repro.sparse.csr import CSRMatrix
 
-__all__ = ["SolveEngine"]
+__all__ = ["EXECUTION_MODES", "SolveEngine"]
 
 #: Telemetry/quarantine name of the batched SpTRSM path.  It runs the
 #: Writing-First kernel, so it shares quarantine state with the
 #: single-RHS Writing-First solver: if one hazards on a matrix, the
 #: other is not a safe retry.
 BATCHED_KERNEL = WritingFirstCapelliniSolver.name
+
+#: Telemetry/quarantine name of the host fast lane (the registry-cached
+#: inspector-executor plan).
+HOST_LANE = HostLevelScheduleSolver.name
+
+#: Valid values of ``SolveEngine(execution=...)``.
+EXECUTION_MODES = ("auto", "host", "sim")
 
 #: Errors the fallback ladder absorbs.  Anything else (simulator bugs,
 #: validation errors) propagates to the caller unchanged.
@@ -90,11 +115,17 @@ class SolveEngine:
         telemetry: Optional[ServeTelemetry] = None,
         trace_log: Optional[TraceLog] = None,
         profile: bool = False,
+        execution: str = "auto",
     ) -> None:
         if max_queue <= 0:
             raise ValueError("max_queue must be positive")
         if max_batch <= 0:
             raise ValueError("max_batch must be positive")
+        if execution not in EXECUTION_MODES:
+            raise ValueError(
+                f"execution must be one of {EXECUTION_MODES}, "
+                f"got {execution!r}"
+            )
         self.registry = registry if registry is not None else MatrixRegistry()
         self.device = device
         self.max_queue = max_queue
@@ -106,8 +137,11 @@ class SolveEngine:
         #: and an enqueue → batch → launch → publish event trail
         self.trace_log = trace_log if trace_log is not None else TraceLog()
         #: when True, every launch event carries a cycle-phase digest
-        #: (aggregate-only profiler: no slices, O(warps) overhead)
+        #: (aggregate-only profiler: no slices, O(warps) overhead);
+        #: forces the simulator lane — cycle attribution requires it
         self.profile = profile
+        #: execution lane policy: "auto" | "host" | "sim"
+        self.execution = execution
         self._candidates = tuple(candidates) if candidates is not None else None
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-serve"
@@ -207,9 +241,8 @@ class SolveEngine:
 
         async def run() -> None:
             try:
-                outcome = await loop.run_in_executor(
-                    self._executor, self._execute_block, entry, B, False,
-                    trace_id, (trace_id,),
+                outcome = await self._dispatch_block(
+                    loop, entry, B, False, trace_id, (trace_id,)
                 )
             except BaseException as exc:  # noqa: BLE001 - forwarded to caller
                 self.telemetry.requests_failed.inc()
@@ -336,9 +369,8 @@ class SolveEngine:
         )
         loop = asyncio.get_running_loop()
         try:
-            outcome = await loop.run_in_executor(
-                self._executor, self._execute_block, entry, B, width > 1,
-                batch_id, trace_ids,
+            outcome = await self._dispatch_block(
+                loop, entry, B, width > 1, batch_id, trace_ids
             )
         except BaseException as exc:  # noqa: BLE001 - forwarded to callers
             self.telemetry.requests_failed.inc(width)
@@ -364,7 +396,7 @@ class SolveEngine:
         self.telemetry.requests_completed.inc()
         self.trace_log.emit(
             "publish", trace_id=req.trace_id, solver=outcome.solver_name,
-            latency_ms=round(latency_ms, 3),
+            lane=outcome.lane, latency_ms=round(latency_ms, 3),
             batch_width=outcome.batch_width,
         )
         x = outcome.X[:, col]
@@ -381,6 +413,7 @@ class SolveEngine:
             latency_ms=latency_ms,
             fallback_from=outcome.fallback_from,
             trace_id=req.trace_id,
+            lane=outcome.lane,
         )
 
     # ------------------------------------------------------------------
@@ -412,6 +445,7 @@ class SolveEngine:
             "batch_id": batch_id,
             "matrix": entry.key,
             "solver": solver_name,
+            "lane": "sim",
             "cycles": cycles,
             "trace_ids": list(trace_ids),
         }
@@ -423,6 +457,53 @@ class SolveEngine:
             )
         self.trace_log.emit("launch", **fields)
 
+    def _dispatch_block(self, loop, *args) -> "asyncio.Future":
+        """Run ``_execute_block`` on the worker pool inside a copy of
+        the submitting task's context — ambient instrumentation
+        (tracer/sanitizer/profiler ContextVars) would otherwise be
+        invisible on the worker thread, and the lane policy must see it
+        to force the simulator."""
+        ctx = contextvars.copy_context()
+        return loop.run_in_executor(
+            self._executor, lambda: ctx.run(self._execute_block, *args)
+        )
+
+    def _sim_forced(self) -> bool:
+        """Cycle attribution requested — only the simulator provides it."""
+        return self.profile or instrumentation_active()
+
+    def _execute_host(
+        self,
+        entry: RegisteredMatrix,
+        B: np.ndarray,
+        coalesced: bool,
+        batch_id: str,
+        trace_ids: tuple,
+    ) -> BlockOutcome:
+        """Host fast lane: the registry's cached execution plan."""
+        k = B.shape[1]
+        t0 = time.perf_counter()
+        plan = self.registry.plan(entry.key)
+        X = plan.solve_many(B)
+        exec_ms = (time.perf_counter() - t0) * 1e3
+        self.telemetry.record_lane("host", k, exec_ms=exec_ms)
+        self.trace_log.emit(
+            "launch", batch_id=batch_id, matrix=entry.key,
+            solver=HOST_LANE, lane="host", cycles=0,
+            exec_ms=round(exec_ms, 3), n_levels=plan.n_levels,
+            trace_ids=list(trace_ids),
+        )
+        return BlockOutcome(
+            X=X,
+            solver_name=HOST_LANE,
+            exec_ms=exec_ms,
+            cycles=0,
+            batch_width=k if coalesced else 1,
+            fallback_from=None,
+            failures=(),
+            lane="host",
+        )
+
     def _execute_block(
         self,
         entry: RegisteredMatrix,
@@ -431,9 +512,35 @@ class SolveEngine:
         batch_id: str = "",
         trace_ids: tuple = (),
     ) -> BlockOutcome:
-        """Solve a block: batched SpTRSM first, then the solver ladder."""
+        """Solve a block: host fast lane when the policy allows it, else
+        batched SpTRSM first, then the solver ladder."""
         k = B.shape[1]
         failures: list[str] = []
+        if self.execution != "sim" and not self._sim_forced():
+            if self.execution == "host":
+                # forced host lane: failures propagate to the caller
+                return self._execute_host(
+                    entry, B, coalesced, batch_id, trace_ids
+                )
+            if HOST_LANE not in self._quarantined_names(entry.key):
+                try:
+                    return self._execute_host(
+                        entry, B, coalesced, batch_id, trace_ids
+                    )
+                except FALLBACK_ERRORS as exc:
+                    self._quarantine(entry.key, HOST_LANE)
+                    self.telemetry.record_kernel_failure(
+                        entry.key, HOST_LANE, exc
+                    )
+                    self.trace_log.emit(
+                        "kernel-failure", batch_id=batch_id,
+                        matrix=entry.key, solver=HOST_LANE, lane="host",
+                        error=type(exc).__name__,
+                        trace_ids=list(trace_ids),
+                    )
+                    failures.append(HOST_LANE)
+            else:
+                failures.append(HOST_LANE)
         batched_allowed = (
             self._candidates is None
             or WritingFirstCapelliniSolver in self._candidates
@@ -467,6 +574,7 @@ class SolveEngine:
                 else:
                     self.telemetry.sim_cycles.inc(res.stats.cycles)
                     self.telemetry.sim_exec_ms.inc(res.exec_ms)
+                    self.telemetry.record_lane("sim", k)
                     name = f"{BATCHED_KERNEL}-SpTRSM"
                     self._emit_launch(
                         entry, name, res.stats.cycles, profiler,
@@ -551,11 +659,12 @@ class SolveEngine:
             exec_ms = sum(r.exec_ms for r in results)
             self.telemetry.sim_cycles.inc(cycles)
             self.telemetry.sim_exec_ms.inc(exec_ms)
+            self.telemetry.record_lane("sim", k)
             self._emit_launch(
                 entry, solver.name, cycles, profiler, batch_id, trace_ids
             )
             fallback_from = None
-            if fell_back and solver.name != primary_name:
+            if fell_back and (failures or solver.name != primary_name):
                 fallback_from = failures[0] if failures else primary_name
                 self.telemetry.record_fallback_solve(
                     entry.key, fallback_from, solver.name

@@ -3,7 +3,8 @@
 Every solver-side cost that is a function of the matrix alone —
 feature extraction (including the level schedule), the static
 schedule-verifier verdict, the CSR→CSC conversion the SyncFree baseline
-needs — is paid at most once per registered matrix and shared by every
+needs, the host-lane execution plan the serve engine's fast path runs —
+is paid at most once per registered matrix and shared by every
 subsequent request.  Entries live behind an LRU keyed on a content
 fingerprint, bounded by a configurable memory budget, with hit/miss
 counters so the serving telemetry can report cache effectiveness.
@@ -18,7 +19,6 @@ produce one entry and one build, never two.
 
 from __future__ import annotations
 
-import hashlib
 import threading
 from collections import OrderedDict
 from typing import Optional
@@ -28,6 +28,7 @@ from repro.analysis.levels import LevelSchedule
 from repro.analysis.schedule import ScheduleReport, verify_schedule
 from repro.errors import ServeError, UnknownMatrixError
 from repro.gpu.device import SIM_SMALL, DeviceSpec
+from repro.solvers.host_parallel import ExecutionPlan, build_plan
 from repro.sparse.convert import csr_to_csc
 from repro.sparse.csc import CSCMatrix
 from repro.sparse.csr import CSRMatrix
@@ -48,14 +49,12 @@ def matrix_fingerprint(L: CSRMatrix) -> str:
     """Content hash of a CSR matrix (shape + all three arrays).
 
     Registering the same matrix twice — from two tasks, two clients, or
-    a client that lost its handle — lands on one cache entry.
+    a client that lost its handle — lands on one cache entry.  Delegates
+    to :meth:`~repro.sparse.csr.CSRMatrix.content_fingerprint`, the same
+    key the host solver's plan cache uses, so every content-addressed
+    cache in the system agrees on identity.
     """
-    h = hashlib.blake2b(digest_size=16)
-    h.update(f"{L.n_rows}x{L.n_cols}:{L.nnz};".encode())
-    h.update(L.row_ptr.tobytes())
-    h.update(L.col_idx.tobytes())
-    h.update(L.values.tobytes())
-    return h.hexdigest()
+    return L.content_fingerprint()
 
 
 class RegisteredMatrix:
@@ -67,7 +66,9 @@ class RegisteredMatrix:
     accounting and LRU recency stay consistent.
     """
 
-    __slots__ = ("key", "name", "matrix", "_features", "_csc", "_verdicts")
+    __slots__ = (
+        "key", "name", "matrix", "_features", "_csc", "_verdicts", "_plan",
+    )
 
     def __init__(self, key: str, name: str, matrix: CSRMatrix) -> None:
         self.key = key
@@ -76,6 +77,7 @@ class RegisteredMatrix:
         self._features: Optional[MatrixFeatures] = None
         self._csc: Optional[CSCMatrix] = None
         self._verdicts: dict[str, ScheduleReport] = {}
+        self._plan: Optional[ExecutionPlan] = None
 
     @property
     def nbytes(self) -> int:
@@ -97,6 +99,8 @@ class RegisteredMatrix:
                 + self._csc.row_idx.nbytes
                 + self._csc.values.nbytes
             )
+        if self._plan is not None:
+            total += self._plan.nbytes
         return total
 
 
@@ -217,6 +221,27 @@ class MatrixRegistry:
             else:
                 self._hits += 1
             return entry._csc
+
+    def plan(self, ref: str) -> ExecutionPlan:
+        """The host-lane execution plan (inspector output, cached).
+
+        Built lazily from the *cached* level schedule — the inspector
+        never recomputes levels the :meth:`features` artifact already
+        paid for — and accounted against the LRU byte budget like every
+        other artifact.  One build per fingerprint: repeated solves of
+        one matrix are pure executor work.
+        """
+        with self._lock:
+            entry = self._lookup(ref, count_miss=True)
+            if entry._plan is None:
+                schedule = self.features(entry.key).schedule
+                self._misses += 1
+                self._artifact_builds += 1
+                entry._plan = build_plan(entry.matrix, schedule=schedule)
+                self._enforce_budget(keep=entry.key)
+            else:
+                self._hits += 1
+            return entry._plan
 
     def verdict(self, ref: str, solver: str = "capellini") -> ScheduleReport:
         """Static schedule-verifier report for one solver family."""

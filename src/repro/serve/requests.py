@@ -36,6 +36,10 @@ class SolveResponse:
     #: request-scoped trace id; key into the engine's
     #: :class:`repro.obs.TraceLog` (``request_timeline(trace_id)``)
     trace_id: Optional[str] = None
+    #: which execution lane served this request: ``"host"`` (registry
+    #: execution plan, production fast path) or ``"sim"`` (cycle-level
+    #: simulator — the measurement instrument)
+    lane: str = "sim"
 
     @property
     def used_fallback(self) -> bool:
@@ -66,3 +70,5 @@ class BlockOutcome:
     batch_width: int
     fallback_from: Optional[str] = None
     failures: tuple[str, ...] = field(default=())
+    #: execution lane that produced ``X`` ("host" or "sim")
+    lane: str = "sim"

@@ -39,6 +39,12 @@ class ServeTelemetry:
         self.kernel_failures = Counter("kernel_failures")
         self.sim_cycles = Counter("sim_cycles")
         self.sim_exec_ms = Counter("sim_exec_ms")
+        # execution lanes: which path served each flushed block
+        self.host_lane_batches = Counter("host_lane_batches")
+        self.host_lane_rhs = Counter("host_lane_rhs")
+        self.host_exec_ms = Counter("host_exec_ms")
+        self.sim_lane_batches = Counter("sim_lane_batches")
+        self.sim_lane_rhs = Counter("sim_lane_rhs")
         self._lock = threading.Lock()
         self._fallback_by_solver: dict[str, int] = {}
         self._failures_by_solver: dict[str, int] = {}
@@ -85,6 +91,24 @@ class ServeTelemetry:
                 }
             )
 
+    def record_lane(
+        self, lane: str, n_rhs: int, *, exec_ms: float = 0.0
+    ) -> None:
+        """One block (batch or multi-RHS request) served by ``lane``.
+
+        ``lane`` is ``"host"`` (registry execution plan) or ``"sim"``
+        (cycle-level simulator); ``exec_ms`` is host wall-clock and only
+        meaningful for the host lane — the simulator's modeled cost is
+        tracked separately by :attr:`sim_cycles` / :attr:`sim_exec_ms`.
+        """
+        if lane == "host":
+            self.host_lane_batches.inc()
+            self.host_lane_rhs.inc(n_rhs)
+            self.host_exec_ms.inc(exec_ms)
+        else:
+            self.sim_lane_batches.inc()
+            self.sim_lane_rhs.inc(n_rhs)
+
     # ------------------------------------------------------------------
     # snapshot
     # ------------------------------------------------------------------
@@ -121,6 +145,17 @@ class ServeTelemetry:
             "sim": {
                 "cycles": self.sim_cycles.value,
                 "exec_ms": self.sim_exec_ms.value,
+            },
+            "lanes": {
+                "host": {
+                    "batches": self.host_lane_batches.value,
+                    "rhs": self.host_lane_rhs.value,
+                    "exec_ms": self.host_exec_ms.value,
+                },
+                "sim": {
+                    "batches": self.sim_lane_batches.value,
+                    "rhs": self.sim_lane_rhs.value,
+                },
             },
             "events": events,
         }

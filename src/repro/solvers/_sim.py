@@ -17,6 +17,7 @@ __all__ = [
     "make_engine",
     "alloc_system",
     "assert_all_solved",
+    "instrumentation_active",
     "tracing",
     "sanitizing",
 ]
@@ -72,6 +73,22 @@ def sanitizing(sanitizer=None):
         yield sanitizer
     finally:
         _ACTIVE_SANITIZER.reset(token)
+
+
+def instrumentation_active() -> bool:
+    """True when an ambient tracer, sanitizer, or cycle profiler would
+    attach to the next simulated launch.
+
+    The serving layer uses this to force the simulator lane: cycle-level
+    attribution only exists when the kernel actually runs on the
+    simulator, so a host fast-path solve would silently produce an empty
+    trace/profile.
+    """
+    if _ACTIVE_TRACER.get() is not None or _ACTIVE_SANITIZER.get() is not None:
+        return True
+    from repro.obs.profiler import active_profiler
+
+    return active_profiler() is not None
 
 
 def _env_sanitizer():

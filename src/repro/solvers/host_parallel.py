@@ -10,23 +10,41 @@ level: O(nnz) total work with only ``n_levels`` interpreter iterations.
 This is the practical way to run large SpTRSVs in pure Python (the SIMT
 simulator is a measurement instrument, not a production path), and the
 plan is reusable: repeated solves against one factor — the iterative-
-solver pattern — pay the inspection once.
+solver pattern — pay the inspection once.  :meth:`ExecutionPlan.solve_many`
+extends the amortization across right-hand sides: one gather + one
+``np.add.reduceat`` per level covers all ``k`` columns, the same
+blocking that makes the paper's SpTRSM (Section 5 / reference [21])
+cheaper than ``k`` independent solves.
 """
 
 from __future__ import annotations
 
+import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.analysis.levels import LevelSchedule, compute_levels
+from repro.errors import SolverError
 from repro.gpu.device import DeviceSpec
 from repro.solvers.base import PreprocessInfo, SolveResult, SpTRSVSolver
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.triangular import check_solvable
 
-__all__ = ["ExecutionPlan", "HostLevelScheduleSolver", "build_plan"]
+__all__ = [
+    "DEFAULT_PLAN_CACHE_SIZE",
+    "ExecutionPlan",
+    "HostLevelScheduleSolver",
+    "build_plan",
+]
+
+#: How many distinct matrices a :class:`HostLevelScheduleSolver` keeps
+#: inspected plans for (LRU).  Small: a solver instance typically serves
+#: a handful of factors at a time; the serving layer has its own
+#: byte-budgeted registry cache.
+DEFAULT_PLAN_CACHE_SIZE = 8
 
 
 @dataclass(frozen=True)
@@ -48,6 +66,12 @@ class ExecutionPlan:
         Diagonal value per plan row.
     level_ptr:
         Plan-row spans per level (mirrors ``schedule.level_ptr``).
+
+    The per-level index arithmetic (element spans, the nonempty-row mask,
+    segment starts for ``np.add.reduceat``) is hoisted out of the solve
+    loop at construction time, and the ``sums`` scratch buffer is
+    plan-owned and reused across calls (thread-local, so one plan shared
+    by several worker threads never races on scratch memory).
     """
 
     schedule: LevelSchedule
@@ -58,34 +82,118 @@ class ExecutionPlan:
     diag: np.ndarray
     level_ptr: np.ndarray
 
+    def __post_init__(self) -> None:
+        # level steps: (r0, r1, e0, e1, nonempty, starts, all_nonempty),
+        # precomputed once so the executor loop is pure array ops
+        nonempty = self.row_ptr[:-1] != self.row_ptr[1:]
+        steps = []
+        for k in range(self.n_levels):
+            r0, r1 = int(self.level_ptr[k]), int(self.level_ptr[k + 1])
+            e0, e1 = int(self.row_ptr[r0]), int(self.row_ptr[r1])
+            ne = nonempty[r0:r1]
+            starts = (
+                self.row_ptr[r0:r1][ne] - e0 if e1 > e0 else None
+            )
+            steps.append((r0, r1, e0, e1, ne, starts, bool(ne.all())))
+        object.__setattr__(self, "_steps", tuple(steps))
+        object.__setattr__(
+            self,
+            "_max_width",
+            max((s[1] - s[0] for s in steps), default=0),
+        )
+        object.__setattr__(self, "_scratch", threading.local())
+
     @property
     def n_levels(self) -> int:
         return self.schedule.n_levels
 
+    @property
+    def n_rows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the plan-owned arrays.
+
+        Counts the packed element arrays and the precomputed level-step
+        indices; the shared :attr:`schedule` is accounted by whoever owns
+        it (the registry counts it under the features artifact).
+        """
+        total = (
+            self.rows.nbytes
+            + self.row_ptr.nbytes
+            + self.cols.nbytes
+            + self.vals.nbytes
+            + self.diag.nbytes
+            + self.level_ptr.nbytes
+        )
+        for _r0, _r1, _e0, _e1, ne, starts, _all in self._steps:
+            total += ne.nbytes
+            if starts is not None:
+                total += starts.nbytes
+        return total
+
+    # ------------------------------------------------------------------
+    # executors
+    # ------------------------------------------------------------------
     def solve(self, b: np.ndarray) -> np.ndarray:
-        """Executor: one vectorized pass per level."""
+        """Executor: one vectorized pass per level, single RHS."""
         b = np.asarray(b, dtype=np.float64)
-        n = len(self.rows)
-        x = np.zeros(n, dtype=np.float64)
-        rows, row_ptr = self.rows, self.row_ptr
-        cols, vals, diag = self.cols, self.vals, self.diag
-        lptr = self.level_ptr
-        nonempty_global = row_ptr[:-1] != row_ptr[1:]
-        for k in range(self.n_levels):
-            r0, r1 = int(lptr[k]), int(lptr[k + 1])
-            e0, e1 = int(row_ptr[r0]), int(row_ptr[r1])
+        if b.ndim != 1 or b.shape[0] != self.n_rows:
+            raise SolverError(
+                f"b has shape {b.shape}, expected ({self.n_rows},)"
+            )
+        return self._execute(b.reshape(-1, 1))[:, 0]
+
+    def solve_many(self, B: np.ndarray) -> np.ndarray:
+        """Executor over a block: solve ``L X = B`` for all columns.
+
+        Vectorized over both the level's rows and all ``k`` right-hand
+        sides: one gather + one ``np.add.reduceat`` per level works on an
+        ``(nnz_off, k)`` block.  Accepts 1-D ``b`` (promoted to one
+        column), float32, and non-contiguous / Fortran-ordered inputs,
+        mirroring :func:`repro.solvers.multirhs.capellini_sptrsm`; always
+        returns a fresh ``(n, k)`` float64 array.
+        """
+        B = np.asarray(B, dtype=np.float64)
+        if B.ndim == 1:
+            B = B.reshape(-1, 1)
+        if B.ndim != 2 or B.shape[0] != self.n_rows:
+            raise SolverError(
+                f"B must have shape ({self.n_rows}, k), got {B.shape}"
+            )
+        if B.shape[1] == 0:
+            raise SolverError("B must have at least one right-hand side")
+        return self._execute(B)
+
+    def _execute(self, B: np.ndarray) -> np.ndarray:
+        n, k = B.shape
+        X = np.zeros((n, k), dtype=np.float64)
+        rows, cols, vals, diag = self.rows, self.cols, self.vals, self.diag
+        for r0, r1, e0, e1, ne, starts, all_nonempty in self._steps:
             level_rows = rows[r0:r1]
+            d = diag[r0:r1, None]
             if e1 > e0:
-                contrib = vals[e0:e1] * x[cols[e0:e1]]
-                sums = np.zeros(r1 - r0, dtype=np.float64)
-                ne = nonempty_global[r0:r1]
-                if ne.any():
-                    starts = row_ptr[r0:r1][ne] - e0
-                    sums[ne] = np.add.reduceat(contrib, starts)
-                x[level_rows] = (b[level_rows] - sums) / diag[r0:r1]
+                contrib = vals[e0:e1, None] * X[cols[e0:e1]]
+                if all_nonempty:
+                    sums = np.add.reduceat(contrib, starts, axis=0)
+                else:
+                    sums = self._sums(r1 - r0, k)
+                    sums[~ne] = 0.0
+                    sums[ne] = np.add.reduceat(contrib, starts, axis=0)
+                X[level_rows] = (B[level_rows] - sums) / d
             else:
-                x[level_rows] = b[level_rows] / diag[r0:r1]
-        return x
+                X[level_rows] = B[level_rows] / d
+        return X
+
+    def _sums(self, width: int, k: int) -> np.ndarray:
+        """Reusable per-thread scratch for a level's partial sums."""
+        loc = self._scratch
+        buf = getattr(loc, "sums", None)
+        if buf is None or buf.shape[1] < k:
+            buf = np.empty((self._max_width, k), dtype=np.float64)
+            loc.sums = buf
+        return buf[:width, :k]
 
 
 def build_plan(
@@ -129,8 +237,14 @@ def build_plan(
 class HostLevelScheduleSolver(SpTRSVSolver):
     """Inspector-executor SpTRSV on the host (wall-clock timed).
 
-    Plans are cached per matrix identity, so repeated solves against the
-    same factor skip the inspector.
+    Plans are cached per matrix *content* (blake2b fingerprint, see
+    :meth:`repro.sparse.csr.CSRMatrix.content_fingerprint`) behind a
+    small LRU, so repeated solves against the same factor — or an
+    equal-content copy of it — skip the inspector, and alternating
+    between a working set of factors does not thrash.  Identity-based
+    keys would be wrong here: CPython reuses ``id()`` values after
+    garbage collection, which can silently serve a stale plan built for
+    a different matrix.
     """
 
     name = "HostVectorized"
@@ -139,17 +253,23 @@ class HostLevelScheduleSolver(SpTRSVSolver):
     requires_synchronization = True
     processing_granularity = "vector"
 
-    def __init__(self) -> None:
-        self._plan_cache: dict[int, ExecutionPlan] = {}
+    def __init__(self, *, plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE) -> None:
+        if plan_cache_size <= 0:
+            raise ValueError("plan_cache_size must be positive")
+        self.plan_cache_size = plan_cache_size
+        self._plan_cache: "OrderedDict[str, ExecutionPlan]" = OrderedDict()
 
     def plan_for(self, L: CSRMatrix) -> ExecutionPlan:
-        """The (cached) execution plan for ``L``."""
-        key = id(L)
+        """The (cached) execution plan for ``L``, keyed by content."""
+        key = L.content_fingerprint()
         plan = self._plan_cache.get(key)
         if plan is None:
             plan = build_plan(L)
-            self._plan_cache.clear()  # cache exactly one matrix
             self._plan_cache[key] = plan
+            while len(self._plan_cache) > self.plan_cache_size:
+                self._plan_cache.popitem(last=False)
+        else:
+            self._plan_cache.move_to_end(key)
         return plan
 
     def _solve(

@@ -14,6 +14,7 @@ otherwise surface as a wrong *solution*, which is much harder to debug.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -139,6 +140,26 @@ class CSRMatrix:
         row_ids = np.repeat(np.arange(self.n_rows), self.row_lengths())
         np.add.at(out, row_ids, contrib)
         return out
+
+    def content_fingerprint(self) -> str:
+        """Content hash of the matrix (shape + all three arrays).
+
+        Two matrices with equal structure and values share a fingerprint
+        regardless of object identity, so it is the right key for any
+        cache of derived artifacts (execution plans, level schedules,
+        registry entries).  Computed once and memoized — the arrays are
+        immutable by convention.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            h = hashlib.blake2b(digest_size=16)
+            h.update(f"{self.n_rows}x{self.n_cols}:{self.nnz};".encode())
+            h.update(self.row_ptr.tobytes())
+            h.update(self.col_idx.tobytes())
+            h.update(self.values.tobytes())
+            cached = h.hexdigest()
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
 
     def with_values(self, values: np.ndarray) -> "CSRMatrix":
         """Return a matrix with the same pattern but new values."""

@@ -91,7 +91,7 @@ class TestCoalescing:
         n_req = 6
 
         async def main():
-            engine = SolveEngine(max_batch=32)
+            engine = SolveEngine(max_batch=32, execution="sim")
             engine.register(system.L, name="m")
             resps = await asyncio.gather(
                 *[engine.solve("m", system.b) for _ in range(n_req)]
@@ -114,7 +114,7 @@ class TestCoalescing:
         n_req = 5
 
         async def main():
-            engine = SolveEngine(max_batch=32)
+            engine = SolveEngine(max_batch=32, execution="sim")
             engine.register(system.L, name="m")
             await asyncio.gather(
                 *[engine.solve("m", system.b) for _ in range(n_req)]
@@ -215,7 +215,7 @@ class TestFallbackLadder:
         monkeypatch.setattr(WritingFirstCapelliniSolver, "_solve", explode)
 
         async def main():
-            engine = SolveEngine(candidates=THREAD_LADDER)
+            engine = SolveEngine(candidates=THREAD_LADDER, execution="sim")
             engine.register(system.L, name="m")
             resp = await engine.solve("m", system.b)
             snap = engine.snapshot()
@@ -247,7 +247,7 @@ class TestFallbackLadder:
         monkeypatch.setattr(WritingFirstCapelliniSolver, "_solve", explode)
 
         async def main():
-            engine = SolveEngine(candidates=THREAD_LADDER)
+            engine = SolveEngine(candidates=THREAD_LADDER, execution="sim")
             engine.register(system.L, name="m")
             r1 = await engine.solve("m", system.b)
             r2 = await engine.solve("m", system.b)
@@ -273,7 +273,7 @@ class TestFallbackLadder:
         )
 
         async def main():
-            engine = SolveEngine(candidates=THREAD_LADDER)
+            engine = SolveEngine(candidates=THREAD_LADDER, execution="sim")
             engine.register(system.L, name="m")
             resps = await asyncio.gather(
                 *[engine.solve("m", system.b) for _ in range(3)]
@@ -302,7 +302,7 @@ class TestFallbackLadder:
             monkeypatch.setattr(cls, "_solve", explode)
 
         async def main():
-            engine = SolveEngine(candidates=THREAD_LADDER)
+            engine = SolveEngine(candidates=THREAD_LADDER, execution="sim")
             engine.register(system.L, name="m")
             with pytest.raises(SolverError, match="no usable solver"):
                 await engine.solve("m", system.b)
@@ -392,7 +392,7 @@ class TestSharedRegistry:
         registry = MatrixRegistry()
 
         async def main():
-            engine = SolveEngine(registry)
+            engine = SolveEngine(registry, execution="sim")
             key = engine.register(system.L)
             # width-1 solves walk the chain, which pulls cached features
             await engine.solve(key, system.b)
@@ -406,3 +406,153 @@ class TestSharedRegistry:
         assert cache["artifact_builds"] == 1  # features built once
         assert cache["hits"] > 0
         assert cache["hit_rate"] > 0.5
+
+
+class TestExecutionLanes:
+    def test_invalid_execution_mode_raises(self):
+        with pytest.raises(ValueError, match="execution"):
+            SolveEngine(execution="bogus")
+
+    def test_auto_serves_on_host_lane(self):
+        system = make_system(n=120, seed=21)
+        n_req = 4
+
+        async def main():
+            engine = SolveEngine(max_batch=32)  # execution="auto"
+            engine.register(system.L, name="m")
+            resps = await asyncio.gather(
+                *[engine.solve("m", system.b) for _ in range(n_req)]
+            )
+            snap = engine.snapshot()
+            await engine.close()
+            return resps, snap
+
+        resps, snap = run(main())
+        for r in resps:
+            np.testing.assert_allclose(r.x, system.x_true, rtol=1e-9)
+            assert r.lane == "host"
+            assert r.solver_name == "HostVectorized"
+            assert r.fallback_from is None
+        lanes = snap["lanes"]
+        assert lanes["host"]["batches"] >= 1
+        assert lanes["host"]["rhs"] == n_req
+        assert lanes["sim"]["batches"] == 0
+        assert snap["sim"]["cycles"] == 0  # nothing was simulated
+
+    def test_auto_builds_plan_artifact_once(self):
+        system = make_system(n=90, seed=22)
+        registry = MatrixRegistry()
+
+        async def main():
+            engine = SolveEngine(registry)
+            key = engine.register(system.L)
+            await engine.solve(key, system.b)
+            await engine.solve(key, system.b)
+            snap = engine.snapshot()
+            await engine.close()
+            return snap
+
+        snap = run(main())
+        # features + plan, each built exactly once across both requests
+        assert snap["cache"]["artifact_builds"] == 2
+        assert snap["cache"]["hits"] > 0
+
+    def test_profile_forces_sim_lane(self):
+        system = make_system(n=80, seed=23)
+
+        async def main():
+            engine = SolveEngine(profile=True)
+            engine.register(system.L, name="m")
+            resp = await engine.solve("m", system.b)
+            snap = engine.snapshot()
+            await engine.close()
+            return resp, snap
+
+        resp, snap = run(main())
+        np.testing.assert_allclose(resp.x, system.x_true, rtol=1e-9)
+        assert resp.lane == "sim"
+        assert snap["lanes"]["host"]["batches"] == 0
+        assert snap["lanes"]["sim"]["batches"] == 1
+
+    def test_ambient_tracer_forces_sim_lane(self):
+        from repro.gpu.trace import Tracer
+        from repro.solvers._sim import tracing
+
+        system = make_system(n=80, seed=24)
+
+        async def main():
+            engine = SolveEngine()
+            engine.register(system.L, name="m")
+            with tracing(Tracer()):
+                traced = await engine.solve("m", system.b)
+            plain = await engine.solve("m", system.b)
+            await engine.close()
+            return traced, plain
+
+        traced, plain = run(main())
+        assert traced.lane == "sim"
+        assert plain.lane == "host"
+
+    def test_auto_falls_back_to_sim_on_host_failure(self, monkeypatch):
+        from repro.solvers.host_parallel import ExecutionPlan
+
+        system = make_system(n=100, seed=25)
+
+        def explode(self, B):
+            raise injected_hazard()
+
+        monkeypatch.setattr(ExecutionPlan, "solve_many", explode)
+
+        async def main():
+            engine = SolveEngine()
+            engine.register(system.L, name="m")
+            r1 = await engine.solve("m", system.b)
+            r2 = await engine.solve("m", system.b)
+            snap = engine.snapshot()
+            await engine.close()
+            return r1, r2, snap
+
+        r1, r2, snap = run(main())
+        for r in (r1, r2):
+            np.testing.assert_allclose(r.x, system.x_true, rtol=1e-9)
+            assert r.lane == "sim"
+            assert r.used_fallback
+            assert r.fallback_from == "HostVectorized"
+        # one failure, then quarantined — never silently retried
+        assert snap["fallbacks"]["kernel_failures"] == 1
+        assert "HostVectorized" in snap["quarantined"][r1.matrix_key]
+        assert snap["lanes"]["host"]["batches"] == 0
+        assert snap["lanes"]["sim"]["batches"] == 2
+
+    def test_host_mode_propagates_failure(self, monkeypatch):
+        from repro.solvers.host_parallel import ExecutionPlan
+
+        system = make_system(n=80, seed=26)
+
+        def explode(self, B):
+            raise injected_hazard()
+
+        monkeypatch.setattr(ExecutionPlan, "solve_many", explode)
+
+        async def main():
+            engine = SolveEngine(execution="host")
+            engine.register(system.L, name="m")
+            with pytest.raises(HazardError):
+                await engine.solve("m", system.b)
+            await engine.close()
+
+        run(main())
+
+    def test_launch_events_carry_lane(self):
+        system = make_system(n=80, seed=27)
+
+        async def main():
+            engine = SolveEngine()
+            engine.register(system.L, name="m")
+            await engine.solve("m", system.b)
+            launches = engine.trace_log.events(kind="launch")
+            await engine.close()
+            return launches
+
+        launches = run(main())
+        assert launches and all(e["lane"] == "host" for e in launches)

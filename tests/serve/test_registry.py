@@ -104,6 +104,45 @@ class TestArtifacts:
         assert reg.resident_bytes > after_features
 
 
+class TestPlanArtifact:
+    def test_plan_built_once_then_hits(self):
+        reg = MatrixRegistry()
+        key = reg.register(random_unit_lower(60, 0.1, seed=8))
+        before = reg.stats()
+        p1 = reg.plan(key)  # builds features then the plan: two misses
+        p2 = reg.plan(key)  # reuse: a hit
+        assert p1 is p2
+        stats = reg.stats()
+        assert stats["misses"] == before["misses"] + 2
+        assert stats["hits"] == before["hits"] + 1
+        assert stats["artifact_builds"] == before["artifact_builds"] + 2
+
+    def test_plan_reuses_cached_schedule(self):
+        reg = MatrixRegistry()
+        key = reg.register(random_unit_lower(60, 0.1, seed=9))
+        assert reg.plan(key).schedule is reg.features(key).schedule
+
+    def test_plan_bytes_enter_lru_budget(self):
+        reg = MatrixRegistry()
+        key = reg.register(random_unit_lower(100, 0.1, seed=10))
+        reg.features(key)
+        before = reg.resident_bytes
+        plan = reg.plan(key)
+        assert plan.nbytes > 0
+        assert reg.resident_bytes == before + plan.nbytes
+
+    def test_plan_solves_the_registered_matrix(self):
+        from repro.sparse.triangular import lower_triangular_system
+
+        reg = MatrixRegistry()
+        L = random_unit_lower(80, 0.1, seed=11)
+        system = lower_triangular_system(L)
+        plan = reg.plan(reg.register(L))
+        np.testing.assert_allclose(
+            plan.solve(system.b), system.x_true, rtol=1e-9, atol=1e-12
+        )
+
+
 class TestLRUEviction:
     def test_eviction_under_small_budget(self):
         probe = MatrixRegistry()

@@ -94,7 +94,9 @@ class TestProfileDigests:
     def test_profiling_does_not_change_answers(self):
         async def run():
             system = circuit_system()
-            async with SolveEngine(profile=False) as bare:
+            # pin the simulator lane: profile=True forces it, so the
+            # bit-identical comparison must run the same lane unprofiled
+            async with SolveEngine(profile=False, execution="sim") as bare:
                 key = bare.register(system.L)
                 plain = await bare.solve(key, system.b)
             async with SolveEngine(profile=True) as engine:
@@ -151,7 +153,9 @@ class TestUnhappyPaths:
 
         async def run():
             system = circuit_system(n=100, seed=12)
-            async with SolveEngine(candidates=ladder) as engine:
+            async with SolveEngine(
+                candidates=ladder, execution="sim"
+            ) as engine:
                 key = engine.register(system.L)
                 resp = await engine.solve(key, system.b)
                 assert resp.used_fallback

@@ -181,6 +181,42 @@ class TestServeStats:
         assert snap["batches"]["width"]["max"] >= 2
         assert doc["max_error"] < 1e-8
 
+    def test_serve_stats_renders_lane_counters(self, capsys):
+        rc = main(["serve-stats", "--n-rows", "300", "--requests", "6",
+                   "--rhs", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "lanes" in out
+        assert "host" in out and "sim" in out
+
+    def test_serve_stats_execution_host(self, capsys):
+        import json
+
+        rc = main(["serve-stats", "--n-rows", "300", "--requests", "6",
+                   "--rhs", "2", "--execution", "host", "--json"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        doc = json.loads(out)
+        lanes = doc["snapshot"]["lanes"]
+        assert lanes["host"]["batches"] >= 1
+        assert lanes["host"]["rhs"] >= 6
+        assert lanes["sim"]["batches"] == 0
+        assert doc["max_error"] < 1e-8
+
+    def test_serve_stats_execution_sim(self, capsys):
+        import json
+
+        rc = main(["serve-stats", "--n-rows", "300", "--requests", "6",
+                   "--rhs", "2", "--execution", "sim", "--json"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        doc = json.loads(out)
+        lanes = doc["snapshot"]["lanes"]
+        assert lanes["host"]["batches"] == 0
+        assert lanes["sim"]["batches"] >= 1
+        assert doc["snapshot"]["sim"]["cycles"] > 0
+        assert doc["max_error"] < 1e-8
+
 
 class TestJsonExport:
     def test_experiments_json_written(self, tmp_path, capsys):
