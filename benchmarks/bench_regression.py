@@ -1,0 +1,32 @@
+"""Perf-regression sentinel, runnable straight from a checkout.
+
+Re-runs the deterministic trajectory suite and diffs it against the
+committed ``BENCH_solvers.json`` with explicit tolerances; exits
+non-zero when anything drifted.  Thin wrapper over
+:mod:`repro.metrics.regression` (the same code behind ``repro-sptrsv
+regress``) so CI and developers can invoke it without installing the
+package::
+
+    python benchmarks/bench_regression.py              # full suite, exact
+    python benchmarks/bench_regression.py --quick      # first matrix only
+    python benchmarks/bench_regression.py --cycles-tol 0.01
+
+Exit codes: 0 clean, 1 regressions found, 2 baseline unusable.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.metrics.regression import DEFAULT_BASELINE, main  # noqa: E402
+
+if __name__ == "__main__":
+    argv = sys.argv[1:]
+    if not any(a.startswith("--baseline") for a in argv):
+        # default to the checkout's committed baseline regardless of cwd
+        argv = ["--baseline", str(REPO_ROOT / DEFAULT_BASELINE)] + argv
+    sys.exit(main(argv))

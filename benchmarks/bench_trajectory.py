@@ -2,12 +2,11 @@
 
 Writes ``BENCH_solvers.json`` at the repository root — a deterministic
 snapshot of every simulator-backed solver's simulated cost (cycles,
-instructions) and cycle-phase attribution (compute / spin-wait /
-intra-warp wait / memory stall / idle, from :mod:`repro.obs`) on a
-small fixed matrix suite.  Because matrices, seeds and the simulator
-are all deterministic, any diff in this file under CI is a real
-behavioural change in a kernel, the scheduler or the selection logic —
-the file is the trajectory of the repo's performance over time.
+instructions) and cycle-phase attribution on a small fixed matrix
+suite.  The measurement itself lives in
+:mod:`repro.metrics.trajectory` (shared with the ``repro-sptrsv
+regress`` sentinel); this script is the *writer* side: refresh the
+baseline after an intentional perf change, commit the diff.
 
 Run it directly (CI does, and diffs the result)::
 
@@ -26,77 +25,10 @@ import json
 import sys
 from pathlib import Path
 
-import numpy as np
-
 REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.datasets.suite import generate  # noqa: E402
-from repro.gpu.device import SIM_SMALL  # noqa: E402
-from repro.obs import PHASES, profile_solve  # noqa: E402
-from repro.solvers import (  # noqa: E402
-    LevelSetSolver,
-    SyncFreeSolver,
-    TwoPhaseCapelliniSolver,
-    WritingFirstCapelliniSolver,
-)
-from repro.sparse.triangular import lower_triangular_system  # noqa: E402
-
-#: (name, domain, n_rows, seed) — one high-granularity matrix (many
-#: rows per level: the paper's Writing-First sweet spot), one
-#: dependency-chain-heavy KKT system, one in between.
-MATRICES = (
-    ("circuit-600", "circuit", 600, 3),
-    ("optimization-400", "optimization", 400, 5),
-    ("combinatorial-500", "combinatorial", 500, 7),
-)
-
-#: Engine-backed solvers only: host reference solvers and the cuSPARSE
-#: proxy have no per-cycle schedule to attribute.
-SOLVERS = (
-    LevelSetSolver,
-    SyncFreeSolver,
-    TwoPhaseCapelliniSolver,
-    WritingFirstCapelliniSolver,
-)
-
-SCHEMA_VERSION = 1
-
-
-def run_suite(matrices=MATRICES) -> dict:
-    entries = []
-    for name, domain, n_rows, seed in matrices:
-        system = lower_triangular_system(generate(domain, n_rows, seed))
-        for solver_cls in SOLVERS:
-            result, prof = profile_solve(
-                solver_cls(), system.L, system.b,
-                device=SIM_SMALL, slices=False,
-            )
-            err = float(np.max(np.abs(result.x - system.x_true)))
-            if err > 1e-8:
-                raise SystemExit(
-                    f"{solver_cls.name} wrong on {name}: error {err:.3e}"
-                )
-            fractions = prof.phase_fractions()
-            entries.append({
-                "matrix": name,
-                "solver": result.solver_name,
-                "sim_cycles": prof.cycles,
-                "stats_cycles": result.stats.cycles,
-                "instructions": result.stats.total_instructions,
-                "launches": len(prof.launches),
-                "phases": {p: round(fractions[p], 6) for p in PHASES},
-            })
-    entries.sort(key=lambda e: (e["matrix"], e["solver"]))
-    return {
-        "schema_version": SCHEMA_VERSION,
-        "device": SIM_SMALL.name,
-        "matrices": [
-            {"name": n, "domain": d, "n_rows": r, "seed": s}
-            for n, d, r, s in matrices
-        ],
-        "results": entries,
-    }
+from repro.metrics.trajectory import MATRICES, run_suite  # noqa: E402
 
 
 def main(argv=None) -> int:

@@ -15,6 +15,9 @@ Usage::
     repro-sptrsv serve-stats --domain circuit --n-rows 800 --requests 16
     repro-sptrsv serve-stats --execution host --requests 32
     repro-sptrsv serve-stats --profile --trace-log events.jsonl
+    repro-sptrsv serve-stats --openmetrics
+    repro-sptrsv regress
+    repro-sptrsv regress --quick --cycles-tol 0.01
 """
 
 from __future__ import annotations
@@ -214,12 +217,27 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["SimSmall", "SimTiny"])
     p_srv.add_argument("--json", action="store_true",
                        help="print the raw snapshot as JSON")
+    p_srv.add_argument("--openmetrics", action="store_true",
+                       help="print the telemetry in OpenMetrics/"
+                       "Prometheus text format instead of the snapshot")
     p_srv.add_argument("--profile", action="store_true",
-                       help="attach the cycle profiler: every launch "
-                       "event in the trace log carries a phase digest")
+                       help="attach the per-lane profiler: every launch "
+                       "event in the trace log carries a phase digest "
+                       "(wall-clock gather/reduce/scatter on the host "
+                       "lane, cycle phases on the simulator lane)")
     p_srv.add_argument("--trace-log", metavar="PATH", default=None,
                        help="write the engine's structured event log "
                        "(enqueue/batch/launch/publish, JSONL) to PATH")
+
+    p_reg = sub.add_parser(
+        "regress",
+        help="perf-regression sentinel: re-run the deterministic "
+        "trajectory suite and diff it against the committed "
+        "BENCH_solvers.json (exit 1 on regressions)",
+    )
+    from repro.metrics.regression import add_arguments as _regress_args
+
+    _regress_args(p_reg)
 
     p_gen = sub.add_parser("generate", help="write a synthetic matrix to .mtx")
     p_gen.add_argument("--domain", required=True)
@@ -241,6 +259,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_profile(args)
     if args.command == "serve-stats":
         return _cmd_serve_stats(args)
+    if args.command == "regress":
+        from repro.metrics.regression import run as regress_run
+
+        return regress_run(args)
     if args.command == "generate":
         return _cmd_generate(args)
     raise AssertionError("unreachable")  # pragma: no cover
@@ -580,7 +602,7 @@ def _cmd_serve_stats(args) -> int:
     L = generate(args.domain, args.n_rows, args.seed)
     system = lower_triangular_system(L)
 
-    async def session() -> tuple[dict, float]:
+    async def session() -> tuple[dict, float, str | None]:
         engine = SolveEngine(
             device=device, max_batch=args.max_batch, profile=args.profile,
             execution=args.execution,
@@ -604,13 +626,22 @@ def _cmd_serve_stats(args) -> int:
             )
             err = max(err, float(np.max(np.abs(multi.x - X_true))))
         snap = engine.snapshot()
+        om = None
+        if args.openmetrics:
+            from repro.metrics.expo import render_openmetrics
+
+            om = render_openmetrics(
+                engine.telemetry, cache=engine.registry.stats()
+            )
         if args.trace_log:
             engine.trace_log.write_jsonl(args.trace_log)
         await engine.close()
-        return snap, err
+        return snap, err, om
 
-    snap, err = asyncio.run(session())
-    if args.json:
+    snap, err, om = asyncio.run(session())
+    if args.openmetrics:
+        sys.stdout.write(om)
+    elif args.json:
         print(json.dumps({
             "matrix": {"domain": args.domain, "n_rows": L.n_rows,
                        "nnz": L.nnz},

@@ -8,6 +8,12 @@ from repro.metrics.aggregate import (
     percent_where_best,
 )
 from repro.metrics.telemetry import Counter, Gauge, Histogram
+from repro.metrics.expo import (
+    OpenMetricsExporter,
+    parse_openmetrics,
+    render_metrics,
+    render_openmetrics,
+)
 
 __all__ = [
     "SpeedupSummary",
@@ -20,4 +26,8 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "OpenMetricsExporter",
+    "parse_openmetrics",
+    "render_metrics",
+    "render_openmetrics",
 ]

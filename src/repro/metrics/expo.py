@@ -1,0 +1,346 @@
+"""OpenMetrics / Prometheus text exposition for the serving telemetry.
+
+Renders the :class:`~repro.serve.telemetry.ServeTelemetry` primitives
+(and a few derived per-solver / per-transition / SLO series) in the
+`OpenMetrics text format
+<https://prometheus.io/docs/specs/om/open_metrics_spec/>`_: ``# HELP``
+and ``# TYPE`` lines per family, label support, a ``# EOF`` terminator.
+Histograms are exposed as OpenMetrics *summaries* — ``quantile`` label
+series plus ``_count``/``_sum`` — because the reservoir percentiles are
+the statistic the engine actually computes (there are no fixed buckets
+to cumulate).
+
+The output is **byte-deterministic** for a given telemetry state:
+families sort by name, series sort by label value, and floats render
+via ``repr`` (shortest round-trip).  That determinism is what makes the
+golden-file test (``tests/metrics/golden/serve_telemetry.om.txt``)
+possible, and it is also just good exporter hygiene — scrape diffs stay
+meaningful.
+
+:class:`OpenMetricsExporter` serves the rendering over a stdlib
+``http.server`` on ``GET /metrics`` for anything that wants to scrape a
+live engine; ``repro-sptrsv serve-stats --openmetrics`` prints the same
+text once for pipelines.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Iterable, Optional, Union
+
+from repro.metrics.telemetry import Counter, Gauge, Histogram
+
+__all__ = [
+    "CONTENT_TYPE",
+    "render_metrics",
+    "render_openmetrics",
+    "parse_openmetrics",
+    "OpenMetricsExporter",
+]
+
+#: Content type scrapers negotiate for this format.
+CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+#: Quantiles exposed per histogram family (matches Histogram.summary()).
+_QUANTILES = ((0.5, "p50"), (0.95, "p95"), (0.99, "p99"))
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: Union[int, float]) -> str:
+    # ints stay ints; floats use repr (shortest exact round-trip), which
+    # keeps the output byte-stable across renders of the same state
+    if isinstance(value, bool):  # bool is an int subclass; be explicit
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _labelset(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape_label(str(v))}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+class _Family:
+    """One metric family: HELP/TYPE header plus its sample lines."""
+
+    def __init__(self, name: str, kind: str, help: str) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.samples: list[tuple[str, dict, Union[int, float]]] = []
+
+    def add(self, suffix: str, labels: dict, value) -> None:
+        self.samples.append((suffix, labels, value))
+
+    def render(self, prefix: str) -> str:
+        full = prefix + self.name
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {full} {_escape_help(self.help)}")
+        lines.append(f"# TYPE {full} {self.kind}")
+        # deterministic series order: suffix, then sorted label items
+        for suffix, labels, value in sorted(
+            self.samples, key=lambda s: (s[0], sorted(s[1].items()))
+        ):
+            lines.append(
+                f"{full}{suffix}{_labelset(labels)} {_format_value(value)}"
+            )
+        return "\n".join(lines)
+
+
+def _family_for(metric: Metric, families: dict) -> _Family:
+    name = metric.name
+    if isinstance(metric, Counter):
+        kind = "counter"
+        # counters expose samples as <family>_total; a family already
+        # named *_total would double the suffix, so strip it here
+        if name.endswith("_total"):
+            name = name[: -len("_total")]
+    elif isinstance(metric, Gauge):
+        kind = "gauge"
+    else:
+        kind = "summary"
+    fam = families.get(name)
+    if fam is None:
+        fam = families[name] = _Family(name, kind, metric.help)
+    else:
+        # first registration wins for help text; kinds must agree
+        if fam.kind != kind:
+            raise ValueError(
+                f"metric family {metric.name!r} registered as both "
+                f"{fam.kind} and {kind}"
+            )
+        if not fam.help and metric.help:
+            fam.help = metric.help
+    return fam
+
+
+def _add_metric(metric: Metric, families: dict) -> None:
+    fam = _family_for(metric, families)
+    labels = dict(metric.labels)
+    if isinstance(metric, Counter):
+        fam.add("_total", labels, metric.value)
+    elif isinstance(metric, Gauge):
+        fam.add("", labels, metric.value)
+        fam.add("_peak", labels, metric.peak)
+    else:
+        summary = metric.summary()
+        for q, key in _QUANTILES:
+            fam.add("", {**labels, "quantile": repr(q)}, summary[key])
+        fam.add("_count", labels, summary["count"])
+        fam.add("_sum", labels, summary["sum"])
+
+
+def render_metrics(
+    metrics: Iterable[Metric], *, prefix: str = "", extra_families=()
+) -> str:
+    """Render bare primitives (plus pre-built families) to exposition text.
+
+    Same-named metrics merge into one family (their label sets
+    distinguish the series).  Families are emitted name-sorted and the
+    text ends with the OpenMetrics ``# EOF`` terminator.
+    """
+    families: dict[str, _Family] = {}
+    for metric in metrics:
+        _add_metric(metric, families)
+    for fam in extra_families:
+        if fam.name in families:
+            raise ValueError(f"duplicate metric family {fam.name!r}")
+        families[fam.name] = fam
+    chunks = [
+        families[name].render(prefix) for name in sorted(families)
+    ]
+    chunks.append("# EOF")
+    return "\n".join(chunks) + "\n"
+
+
+def render_openmetrics(
+    telemetry, *, prefix: str = "repro_serve_", cache: Optional[dict] = None
+) -> str:
+    """The full serving exposition: every ``telemetry.metrics()``
+    primitive plus derived families the snapshot carries outside the
+    primitives — per-solver kernel failures, per-transition fallbacks,
+    the SLO verdict gauges, and (when given) registry cache statistics.
+
+    ``telemetry`` is a :class:`~repro.serve.telemetry.ServeTelemetry`;
+    ``cache`` is ``MatrixRegistry.stats()`` if the caller has one.
+    """
+    extra = []
+
+    by_solver = telemetry.failures_by_solver()
+    fam = _Family(
+        "kernel_failures_by_solver",
+        "counter",
+        "Kernel launch failures, by solver.",
+    )
+    for solver, count in sorted(by_solver.items()):
+        fam.add("_total", {"solver": solver}, count)
+    extra.append(fam)
+
+    by_transition = telemetry.fallbacks_by_transition()
+    fam = _Family(
+        "fallback_solves_by_transition",
+        "counter",
+        "Fallback solves, by primary->fallback solver transition.",
+    )
+    for transition, count in sorted(by_transition.items()):
+        fam.add("_total", {"transition": transition}, count)
+    extra.append(fam)
+
+    slo = telemetry._slo_snapshot()
+    for name, value, help_text in (
+        ("slo_objective", slo["objective"],
+         "Configured availability objective."),
+        ("slo_availability", slo["availability"],
+         "Observed availability (1 - errors/attempts)."),
+        ("slo_error_budget_burn", slo["error_budget_burn"],
+         "Fraction of the error budget spent."),
+    ):
+        fam = _Family(name, "gauge", help_text)
+        fam.add("", {}, value)
+        extra.append(fam)
+
+    if cache is not None:
+        for key, help_text in (
+            ("entries", "Matrices resident in the registry cache."),
+            ("hits", "Registry cache hits."),
+            ("misses", "Registry cache misses."),
+            ("evictions", "Registry cache evictions."),
+            ("artifact_builds", "Derived artifacts built by the registry."),
+            ("hit_rate", "Registry cache hit rate."),
+        ):
+            if key not in cache:
+                continue
+            fam = _Family(f"cache_{key}", "gauge", help_text)
+            fam.add("", {}, cache[key])
+            extra.append(fam)
+
+    return render_metrics(
+        telemetry.metrics(), prefix=prefix, extra_families=extra
+    )
+
+
+def parse_openmetrics(text: str) -> dict:
+    """Parse exposition text back into ``{family: {series-key: value}}``.
+
+    A sanity-check inverse for tests and smoke scripts, not a full
+    OpenMetrics parser: one series key is the sample name plus its
+    rendered labelset, e.g. ``'lane_batches_total{lane="host"}'``.
+    Raises ``ValueError`` on a malformed sample line or a missing
+    ``# EOF`` terminator.
+    """
+    if not text.endswith("# EOF\n"):
+        raise ValueError("exposition text must end with '# EOF'")
+    families: dict[str, dict] = {}
+    current = None
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] in ("HELP", "TYPE"):
+                current = parts[2]
+                families.setdefault(current, {})
+            continue
+        name_and_labels, _, value = line.rpartition(" ")
+        if not name_and_labels:
+            raise ValueError(f"malformed sample line: {line!r}")
+        try:
+            parsed = int(value)
+        except ValueError:
+            parsed = float(value)  # raises ValueError if not a number
+        sample_name = name_and_labels.split("{", 1)[0]
+        if current is None or not sample_name.startswith(current):
+            raise ValueError(
+                f"sample {sample_name!r} outside its family header"
+            )
+        families[current][name_and_labels] = parsed
+    return families
+
+
+class _Handler(BaseHTTPRequestHandler):
+    def do_GET(self) -> None:  # noqa: N802 (stdlib API name)
+        if self.path.split("?", 1)[0] != "/metrics":
+            self.send_error(404, "only /metrics is served")
+            return
+        try:
+            body = self.server.render().encode("utf-8")  # type: ignore[attr-defined]
+        except Exception as exc:  # surface render bugs to the scraper
+            self.send_error(500, f"render failed: {type(exc).__name__}")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt: str, *args) -> None:
+        pass  # scrapes are high-frequency; stay quiet
+
+
+class OpenMetricsExporter:
+    """Serve a live exposition over HTTP (stdlib only).
+
+    ``render`` is any zero-argument callable returning exposition text —
+    typically ``lambda: render_openmetrics(engine.telemetry,
+    cache=engine.registry.stats())``.  ``port=0`` (the default) binds an
+    ephemeral port; read it back from :attr:`port`.  Use as a context
+    manager or call :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        render: Callable[[], str],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon_threads = True
+        self._server.render = render  # type: ignore[attr-defined]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="openmetrics-exporter",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "OpenMetricsExporter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

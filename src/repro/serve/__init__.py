@@ -32,6 +32,7 @@ from repro.serve.registry import (
     matrix_fingerprint,
 )
 from repro.serve.requests import SolveResponse
+from repro.serve.slo import SLOTracker
 from repro.serve.telemetry import ServeTelemetry
 
 __all__ = [
@@ -41,5 +42,6 @@ __all__ = [
     "matrix_fingerprint",
     "SolveEngine",
     "SolveResponse",
+    "SLOTracker",
     "ServeTelemetry",
 ]

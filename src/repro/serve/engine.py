@@ -27,9 +27,14 @@ Execution model
     profiles, and warp traces.
   - ``"auto"`` (default) — the host lane, falling back to the simulator
     ladder if the host path raises (the failure is quarantined like any
-    kernel failure).  ``profile=True`` or an ambient tracer/sanitizer/
-    profiler forces the simulator, because cycle attribution requires
-    actually simulating.
+    kernel failure).  An ambient tracer, sanitizer, or *cycle* profiler
+    forces the simulator, because cycle attribution requires actually
+    simulating.  ``profile=True`` does **not** change lanes: host-lane
+    launches get a wall-clock phase digest from a
+    :class:`~repro.obs.hostprof.HostProfiler` (gather/reduce/scatter
+    attribution), sim-lane launches a cycle digest — the same
+    ``profile`` field in both trace events, the lane decided by the
+    execution policy alone.
 * Robustness: a kernel that raises ``HazardError``/``SolverError`` on a
   matrix is recorded in telemetry and *quarantined for that matrix* —
   later requests walk the :func:`~repro.solvers.select.solver_chain`
@@ -58,6 +63,11 @@ from repro.errors import (
     SolverError,
 )
 from repro.gpu.device import SIM_SMALL, DeviceSpec
+from repro.obs.hostprof import (
+    HostProfiler,
+    active_host_profiler,
+    host_phase_digest,
+)
 from repro.obs.profiler import Profiler, profiling
 from repro.obs.report import phase_digest
 from repro.obs.tracelog import TraceLog, new_trace_id
@@ -136,9 +146,12 @@ class SolveEngine:
         #: bounded structured event log; every request gets a trace id
         #: and an enqueue → batch → launch → publish event trail
         self.trace_log = trace_log if trace_log is not None else TraceLog()
-        #: when True, every launch event carries a cycle-phase digest
-        #: (aggregate-only profiler: no slices, O(warps) overhead);
-        #: forces the simulator lane — cycle attribution requires it
+        #: when True, every launch event carries a phase digest native
+        #: to its lane: wall-clock gather/reduce/scatter for host-lane
+        #: launches, aggregate cycle phases (no slices, O(warps)
+        #: overhead) for simulator launches.  Does not affect lane
+        #: choice — only ambient sim-kind instrumentation forces the
+        #: simulator.
         self.profile = profile
         #: execution lane policy: "auto" | "host" | "sim"
         self.execution = execution
@@ -393,6 +406,7 @@ class SolveEngine:
     ) -> SolveResponse:
         latency_ms = (time.perf_counter() - req.submitted_at) * 1e3
         self.telemetry.latency_ms.observe(latency_ms)
+        self.telemetry.record_lane_latency(outcome.lane, latency_ms)
         self.telemetry.requests_completed.inc()
         self.trace_log.emit(
             "publish", trace_id=req.trace_id, solver=outcome.solver_name,
@@ -469,8 +483,11 @@ class SolveEngine:
         )
 
     def _sim_forced(self) -> bool:
-        """Cycle attribution requested — only the simulator provides it."""
-        return self.profile or instrumentation_active()
+        """Ambient cycle-level instrumentation (tracer, sanitizer, or a
+        sim-kind profiler) — only the simulator can serve it.  Note that
+        ``profile=True`` is *not* a forcing condition: the host lane
+        profiles itself at wall-clock resolution."""
+        return instrumentation_active()
 
     def _execute_host(
         self,
@@ -482,17 +499,40 @@ class SolveEngine:
     ) -> BlockOutcome:
         """Host fast lane: the registry's cached execution plan."""
         k = B.shape[1]
+        # an ambient host profiler (caller-attached) keeps collecting
+        # across blocks; otherwise profile=True gets a fresh per-launch
+        # one so the trace digest covers exactly this block
+        ambient = active_host_profiler()
+        profiler = ambient
+        if profiler is None and self.profile:
+            profiler = HostProfiler()
+        first_new = len(profiler.launches) if profiler is not None else 0
         t0 = time.perf_counter()
         plan = self.registry.plan(entry.key)
-        X = plan.solve_many(B)
+        if profiler is not None and ambient is None:
+            with profiling(profiler):
+                X = plan.solve_many(B)
+        else:
+            X = plan.solve_many(B)
         exec_ms = (time.perf_counter() - t0) * 1e3
         self.telemetry.record_lane("host", k, exec_ms=exec_ms)
-        self.trace_log.emit(
-            "launch", batch_id=batch_id, matrix=entry.key,
-            solver=HOST_LANE, lane="host", cycles=0,
-            exec_ms=round(exec_ms, 3), n_levels=plan.n_levels,
-            trace_ids=list(trace_ids),
-        )
+        fields = {
+            "batch_id": batch_id,
+            "matrix": entry.key,
+            "solver": HOST_LANE,
+            "lane": "host",
+            "cycles": 0,
+            "exec_ms": round(exec_ms, 3),
+            "n_levels": plan.n_levels,
+            "trace_ids": list(trace_ids),
+        }
+        if profiler is not None:
+            new_launches = profiler.launches[first_new:]
+            if new_launches:
+                fields["profile"] = host_phase_digest(
+                    new_launches, solver_name=HOST_LANE
+                )
+        self.trace_log.emit("launch", **fields)
         return BlockOutcome(
             X=X,
             solver_name=HOST_LANE,

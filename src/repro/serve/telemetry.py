@@ -6,6 +6,14 @@ update them from both the event loop and its worker threads.  The
 :meth:`ServeTelemetry.snapshot` dict is the single source every
 consumer reads: tests assert on it, ``benchmarks/bench_serving.py``
 prints it, and ``repro-sptrsv serve-stats`` renders it.
+
+Every primitive is constructed with exposition metadata (``help`` text,
+and ``labels`` for the per-lane families) and registered in one list, so
+the OpenMetrics renderer (:mod:`repro.metrics.expo`) walks
+:meth:`metrics` instead of reflecting over attribute names.  The
+engine's SLO view — per-lane latency percentiles plus error-budget burn
+— lives in :attr:`slo` (an :class:`repro.serve.slo.SLOTracker`) and is
+folded into the snapshot under ``"slo"``.
 """
 
 from __future__ import annotations
@@ -15,6 +23,7 @@ from collections import deque
 from typing import Optional
 
 from repro.metrics.telemetry import Counter, Gauge, Histogram
+from repro.serve.slo import SLOTracker
 
 __all__ = ["ServeTelemetry"]
 
@@ -25,26 +34,85 @@ EVENT_TAIL = 100
 class ServeTelemetry:
     """Counters and distributions for one :class:`SolveEngine`."""
 
-    def __init__(self) -> None:
-        self.requests_total = Counter("requests_total")
-        self.requests_completed = Counter("requests_completed")
-        self.requests_failed = Counter("requests_failed")
-        self.requests_timed_out = Counter("requests_timed_out")
-        self.requests_rejected = Counter("requests_rejected")
-        self.batches_total = Counter("batches_total")
-        self.batch_width = Histogram("batch_width")
-        self.latency_ms = Histogram("latency_ms")
-        self.queue_depth = Gauge("queue_depth")
-        self.fallback_solves = Counter("fallback_solves")
-        self.kernel_failures = Counter("kernel_failures")
-        self.sim_cycles = Counter("sim_cycles")
-        self.sim_exec_ms = Counter("sim_exec_ms")
-        # execution lanes: which path served each flushed block
-        self.host_lane_batches = Counter("host_lane_batches")
-        self.host_lane_rhs = Counter("host_lane_rhs")
-        self.host_exec_ms = Counter("host_exec_ms")
-        self.sim_lane_batches = Counter("sim_lane_batches")
-        self.sim_lane_rhs = Counter("sim_lane_rhs")
+    def __init__(self, *, slo: Optional[SLOTracker] = None) -> None:
+        self.requests_total = Counter(
+            "requests_total", help="Requests admitted to the engine."
+        )
+        self.requests_completed = Counter(
+            "requests_completed", help="Requests that returned a solution."
+        )
+        self.requests_failed = Counter(
+            "requests_failed", help="Requests that raised after admission."
+        )
+        self.requests_timed_out = Counter(
+            "requests_timed_out", help="Requests that hit their deadline."
+        )
+        self.requests_rejected = Counter(
+            "requests_rejected",
+            help="Requests refused at admission (queue full / unknown matrix).",
+        )
+        self.batches_total = Counter(
+            "batches_total", help="Coalesced batches flushed to a solver."
+        )
+        self.batch_width = Histogram(
+            "batch_width", help="Right-hand sides per flushed batch."
+        )
+        self.latency_ms = Histogram(
+            "latency_ms",
+            help="End-to-end request latency, admission to response "
+            "(milliseconds).",
+        )
+        self.queue_depth = Gauge(
+            "queue_depth", help="Requests waiting in the batching queue."
+        )
+        self.fallback_solves = Counter(
+            "fallback_solves",
+            help="Requests served by a fallback solver instead of their "
+            "primary.",
+        )
+        self.kernel_failures = Counter(
+            "kernel_failures",
+            help="Kernel launches that raised (solver quarantined for the "
+            "matrix).",
+        )
+        self.sim_cycles = Counter(
+            "sim_cycles", help="Modeled SIMT cycles across simulator launches."
+        )
+        self.sim_exec_ms = Counter(
+            "sim_exec_ms",
+            help="Host wall-clock spent inside simulator launches "
+            "(milliseconds).",
+        )
+        # execution lanes: which path served each flushed block.  The
+        # per-lane counters share family names and differ by label, so
+        # the exposition renders them as one labelled series each.
+        self.host_lane_batches = Counter(
+            "lane_batches",
+            help="Flushed blocks served, by execution lane.",
+            labels={"lane": "host"},
+        )
+        self.host_lane_rhs = Counter(
+            "lane_rhs",
+            help="Right-hand sides served, by execution lane.",
+            labels={"lane": "host"},
+        )
+        self.host_exec_ms = Counter(
+            "lane_exec_ms",
+            help="Host wall-clock spent executing, by lane (milliseconds; "
+            "the sim lane's modeled cost is sim_cycles/sim_exec_ms).",
+            labels={"lane": "host"},
+        )
+        self.sim_lane_batches = Counter(
+            "lane_batches",
+            help="Flushed blocks served, by execution lane.",
+            labels={"lane": "sim"},
+        )
+        self.sim_lane_rhs = Counter(
+            "lane_rhs",
+            help="Right-hand sides served, by execution lane.",
+            labels={"lane": "sim"},
+        )
+        self.slo = slo if slo is not None else SLOTracker()
         self._lock = threading.Lock()
         self._fallback_by_solver: dict[str, int] = {}
         self._failures_by_solver: dict[str, int] = {}
@@ -109,9 +177,56 @@ class ServeTelemetry:
             self.sim_lane_batches.inc()
             self.sim_lane_rhs.inc(n_rhs)
 
+    def record_lane_latency(self, lane: str, latency_ms: float) -> None:
+        """One completed request's end-to-end latency, attributed to the
+        lane that served it (feeds the per-lane SLO percentiles)."""
+        self.slo.record(lane, latency_ms)
+
+    # ------------------------------------------------------------------
+    # exposition
+    # ------------------------------------------------------------------
+    def metrics(self) -> tuple:
+        """Every primitive this object owns, for the OpenMetrics renderer.
+
+        Stable order: the construction order above, then the SLO
+        tracker's per-lane latency histograms (lane-sorted).
+        """
+        return (
+            self.requests_total,
+            self.requests_completed,
+            self.requests_failed,
+            self.requests_timed_out,
+            self.requests_rejected,
+            self.batches_total,
+            self.batch_width,
+            self.latency_ms,
+            self.queue_depth,
+            self.fallback_solves,
+            self.kernel_failures,
+            self.sim_cycles,
+            self.sim_exec_ms,
+            self.host_lane_batches,
+            self.host_lane_rhs,
+            self.host_exec_ms,
+            self.sim_lane_batches,
+            self.sim_lane_rhs,
+        ) + self.slo.metrics()
+
     # ------------------------------------------------------------------
     # snapshot
     # ------------------------------------------------------------------
+    def _slo_snapshot(self) -> dict:
+        # _admit raises *before* requests_total.inc on a reject, so the
+        # attempt denominator is admitted + rejected
+        rejected = self.requests_rejected.value
+        attempts = self.requests_total.value + rejected
+        errors = {
+            "rejected": rejected,
+            "timed_out": self.requests_timed_out.value,
+            "kernel_failures": self.kernel_failures.value,
+        }
+        return self.slo.snapshot(attempts=attempts, errors=errors)
+
     def snapshot(self, *, cache: Optional[dict] = None) -> dict:
         """JSON-friendly view of every signal, optionally with the
         registry's cache statistics merged in under ``"cache"``."""
@@ -157,8 +272,18 @@ class ServeTelemetry:
                     "rhs": self.sim_lane_rhs.value,
                 },
             },
+            "slo": self._slo_snapshot(),
             "events": events,
         }
         if cache is not None:
             snap["cache"] = cache
         return snap
+
+    # internal views the exposition layer needs beyond the primitives
+    def failures_by_solver(self) -> dict:
+        with self._lock:
+            return dict(self._failures_by_solver)
+
+    def fallbacks_by_transition(self) -> dict:
+        with self._lock:
+            return dict(self._fallback_by_solver)

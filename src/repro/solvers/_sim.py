@@ -82,13 +82,16 @@ def instrumentation_active() -> bool:
     The serving layer uses this to force the simulator lane: cycle-level
     attribution only exists when the kernel actually runs on the
     simulator, so a host fast-path solve would silently produce an empty
-    trace/profile.
+    trace/profile.  A wall-clock host profiler
+    (:class:`repro.obs.hostprof.HostProfiler`, ``kind == "host"``) does
+    NOT count — the host lane serves it itself.
     """
     if _ACTIVE_TRACER.get() is not None or _ACTIVE_SANITIZER.get() is not None:
         return True
     from repro.obs.profiler import active_profiler
 
-    return active_profiler() is not None
+    profiler = active_profiler()
+    return profiler is not None and getattr(profiler, "kind", "sim") == "sim"
 
 
 def _env_sanitizer():
@@ -119,7 +122,12 @@ def make_engine(device: DeviceSpec, *, max_cycles: int | None = None) -> SIMTEng
     engine.tracer = _ACTIVE_TRACER.get()
     from repro.obs.profiler import active_profiler
 
-    engine.profiler = active_profiler()
+    profiler = active_profiler()
+    # a host-lane (wall-clock) profiler has no cycle hooks; never hand
+    # it to a simulated engine
+    if profiler is not None and getattr(profiler, "kind", "sim") != "sim":
+        profiler = None
+    engine.profiler = profiler
     sanitizer = _ACTIVE_SANITIZER.get()
     if sanitizer is None:
         sanitizer = _env_sanitizer()

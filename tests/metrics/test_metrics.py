@@ -125,3 +125,86 @@ class TestBinning:
             )
         with pytest.raises(ExperimentError):
             bin_by_granularity(np.array([0.5, 0.6]), np.array([1.0]))
+
+
+class TestTelemetryPrimitives:
+    """Regression tests for the Histogram edge cases and the
+    exposition metadata on Counter/Gauge/Histogram."""
+
+    def test_empty_histogram_summary_is_zeroed(self):
+        from repro.metrics.telemetry import Histogram
+
+        s = Histogram("x").summary()
+        assert s == {
+            "count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0,
+            "max": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+        }
+        assert not any(np.isnan(v) for v in s.values())
+        assert Histogram("x").percentile(99) == 0.0
+
+    def test_percentile_interpolation_1_vs_2_elements(self):
+        from repro.metrics.telemetry import Histogram
+
+        one = Histogram()
+        one.observe(10.0)
+        assert one.percentile(50) == 10.0
+        assert one.percentile(0) == 10.0
+        assert one.percentile(100) == 10.0
+
+        two = Histogram()
+        two.observe(10.0)
+        two.observe(20.0)
+        # the same estimator as the single-sample case: median of two
+        # observations is their midpoint, not the lower one
+        assert two.percentile(50) == pytest.approx(15.0)
+        assert two.percentile(0) == 10.0
+        assert two.percentile(100) == 20.0
+        assert two.percentile(75) == pytest.approx(17.5)
+
+    def test_summary_matches_percentile_estimator(self):
+        from repro.metrics.telemetry import Histogram
+
+        h = Histogram()
+        for v in (10.0, 20.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["p50"] == h.percentile(50)
+        assert s["p95"] == h.percentile(95)
+        assert s["p99"] == h.percentile(99)
+        assert s["sum"] == 30.0
+
+    def test_help_and_labels_metadata(self):
+        from repro.metrics.telemetry import Counter, Gauge, Histogram
+
+        c = Counter("c", help="a counter", labels={"lane": "host"})
+        g = Gauge("g", help="a gauge")
+        h = Histogram("h", help="a histogram", labels={"lane": "sim"})
+        assert c.help == "a counter" and c.labels == {"lane": "host"}
+        assert g.help == "a gauge" and g.labels == {}
+        assert h.labels == {"lane": "sim"}
+
+    def test_metadata_survives_serve_telemetry(self):
+        from repro.serve.telemetry import ServeTelemetry
+
+        t = ServeTelemetry()
+        assert t.requests_total.help
+        assert t.host_lane_batches.labels == {"lane": "host"}
+        assert t.sim_lane_batches.labels == {"lane": "sim"}
+        # labelled lane counters share one family name
+        assert t.host_lane_batches.name == t.sim_lane_batches.name
+        metrics = t.metrics()
+        assert t.requests_total in metrics
+        assert all(m.name for m in metrics)
+
+    def test_repr_shows_name_and_value(self):
+        from repro.metrics.telemetry import Counter, Gauge, Histogram
+
+        c = Counter("hits")
+        c.inc(3)
+        assert repr(c) == "Counter(name='hits', value=3)"
+        g = Gauge("depth")
+        g.set(2)
+        assert repr(g) == "Gauge(name='depth', value=2)"
+        h = Histogram("lat")
+        h.observe(4.0)
+        assert "lat" in repr(h) and "count=1" in repr(h)

@@ -1,0 +1,174 @@
+"""Perf-regression sentinel tests: compare() semantics and CLI exits.
+
+The expensive path (actually measuring the trajectory suite) is covered
+once by ``test_cli.py``'s ``regress --quick`` smoke; here ``run_suite``
+is monkeypatched so the comparison logic and exit-code contract can be
+exercised against doctored documents in milliseconds.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.metrics import regression
+from repro.metrics.regression import (
+    BaselineError,
+    Regression,
+    compare,
+    format_report,
+)
+
+
+def doc(entries):
+    return {"schema_version": 1, "device": "SimSmall", "results": entries}
+
+
+def entry(matrix="m1", solver="S", sim_cycles=100, stats_cycles=110,
+          instructions=500, launches=1, phases=None):
+    return {
+        "matrix": matrix,
+        "solver": solver,
+        "sim_cycles": sim_cycles,
+        "stats_cycles": stats_cycles,
+        "instructions": instructions,
+        "launches": launches,
+        "phases": phases or {"compute": 0.6, "spin_wait": 0.4},
+    }
+
+
+class TestCompare:
+    def test_identical_is_clean(self):
+        base = doc([entry(), entry(matrix="m2")])
+        assert compare(base, doc([entry(), entry(matrix="m2")])) == []
+
+    def test_exact_by_default(self):
+        base = doc([entry(sim_cycles=100)])
+        cur = doc([entry(sim_cycles=101)])
+        regs = compare(base, cur)
+        assert len(regs) == 1
+        assert regs[0].field == "sim_cycles"
+        assert regs[0].baseline == 100 and regs[0].current == 101
+        assert regs[0].drift == pytest.approx(0.01)
+
+    def test_cycles_tolerance_absorbs_drift(self):
+        base = doc([entry(sim_cycles=100, stats_cycles=100)])
+        cur = doc([entry(sim_cycles=101, stats_cycles=100)])
+        assert compare(base, cur, cycles_tol=0.02) == []
+        assert compare(base, cur, cycles_tol=0.005) != []
+
+    def test_instructions_have_their_own_tolerance(self):
+        base = doc([entry(instructions=1000)])
+        cur = doc([entry(instructions=1005)])
+        assert compare(base, cur, instructions_tol=0.01) == []
+        regs = compare(base, cur)
+        assert [r.field for r in regs] == ["instructions"]
+
+    def test_phase_tolerance_is_absolute(self):
+        base = doc([entry(phases={"compute": 0.6, "spin_wait": 0.4})])
+        cur = doc([entry(phases={"compute": 0.6004, "spin_wait": 0.3996})])
+        assert compare(base, cur) == []  # default 5e-4 absorbs rounding
+        shifted = doc([entry(phases={"compute": 0.7, "spin_wait": 0.3})])
+        regs = compare(base, shifted)
+        assert {r.field for r in regs} == {
+            "phases.compute", "phases.spin_wait"
+        }
+        assert all(r.drift == pytest.approx(0.1) for r in regs)
+
+    def test_zero_baseline_counter_regression(self):
+        base = doc([entry(launches=0)])
+        cur = doc([entry(launches=2)])
+        regs = compare(base, cur)
+        assert any(
+            r.field == "launches" and r.drift == float("inf") for r in regs
+        )
+
+    def test_schema_mismatch_is_baseline_error(self):
+        base = doc([entry()])
+        cur = dict(doc([entry()]), schema_version=2)
+        with pytest.raises(BaselineError):
+            compare(base, cur)
+
+    def test_grid_mismatch_is_baseline_error(self):
+        base = doc([entry(), entry(matrix="m2")])
+        cur = doc([entry()])
+        with pytest.raises(BaselineError):
+            compare(base, cur)
+        # opt-out: compare the intersection only
+        assert compare(base, cur, require_all=False) == []
+
+    def test_report_formatting(self):
+        reg = Regression("m1", "S", "sim_cycles", 100, 110, 0.1)
+        report = format_report([reg], n_entries=4, baseline_path="B.json")
+        assert "1 regression(s)" in report
+        assert "m1 / S / sim_cycles" in report
+        assert "100 -> 110" in report
+        clean = format_report([], n_entries=4)
+        assert "OK" in clean
+
+
+class TestCLI:
+    """Exit-code contract, with run_suite monkeypatched for speed."""
+
+    def _write_baseline(self, tmp_path, document):
+        path = tmp_path / "BENCH_solvers.json"
+        path.write_text(json.dumps(document))
+        return path
+
+    def _patch_suite(self, monkeypatch, document):
+        import repro.metrics.trajectory as trajectory
+
+        monkeypatch.setattr(
+            trajectory, "run_suite", lambda matrices=None: document
+        )
+
+    def test_clean_exit_0(self, tmp_path, monkeypatch, capsys):
+        base = doc([entry()])
+        self._patch_suite(monkeypatch, doc([entry()]))
+        path = self._write_baseline(tmp_path, base)
+        assert regression.main(["--baseline", str(path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_regression_exit_1(self, tmp_path, monkeypatch, capsys):
+        base = doc([entry(sim_cycles=100)])
+        self._patch_suite(monkeypatch, doc([entry(sim_cycles=150)]))
+        path = self._write_baseline(tmp_path, base)
+        assert regression.main(["--baseline", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out and "sim_cycles" in out
+
+    def test_missing_baseline_exit_2(self, tmp_path, monkeypatch, capsys):
+        self._patch_suite(monkeypatch, doc([entry()]))
+        rc = regression.main(
+            ["--baseline", str(tmp_path / "nope.json")]
+        )
+        assert rc == 2
+        assert "baseline" in capsys.readouterr().err
+
+    def test_corrupt_baseline_exit_2(self, tmp_path, monkeypatch):
+        self._patch_suite(monkeypatch, doc([entry()]))
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert regression.main(["--baseline", str(path)]) == 2
+
+    def test_tolerance_flag_turns_1_into_0(self, tmp_path, monkeypatch):
+        base = doc([entry(sim_cycles=100, stats_cycles=100)])
+        self._patch_suite(
+            monkeypatch, doc([entry(sim_cycles=101, stats_cycles=101)])
+        )
+        path = self._write_baseline(tmp_path, base)
+        assert regression.main(["--baseline", str(path)]) == 1
+        assert regression.main(
+            ["--baseline", str(path), "--cycles-tol", "0.05"]
+        ) == 0
+
+    def test_json_verdict(self, tmp_path, monkeypatch, capsys):
+        base = doc([entry(sim_cycles=100)])
+        self._patch_suite(monkeypatch, doc([entry(sim_cycles=120)]))
+        path = self._write_baseline(tmp_path, base)
+        assert regression.main(["--baseline", str(path), "--json"]) == 1
+        verdict = json.loads(capsys.readouterr().out)
+        assert verdict["ok"] is False
+        assert verdict["regressions"][0]["field"] == "sim_cycles"
+        assert verdict["regressions"][0]["drift"] == pytest.approx(0.2)

@@ -457,7 +457,9 @@ class TestExecutionLanes:
         assert snap["cache"]["artifact_builds"] == 2
         assert snap["cache"]["hits"] > 0
 
-    def test_profile_forces_sim_lane(self):
+    def test_profile_keeps_host_lane(self):
+        # profile=True must NOT push traffic off the fast path: the
+        # host lane profiles itself at wall-clock resolution
         system = make_system(n=80, seed=23)
 
         async def main():
@@ -465,14 +467,22 @@ class TestExecutionLanes:
             engine.register(system.L, name="m")
             resp = await engine.solve("m", system.b)
             snap = engine.snapshot()
+            events = engine.trace_log.events()
             await engine.close()
-            return resp, snap
+            return resp, snap, events
 
-        resp, snap = run(main())
+        resp, snap, events = run(main())
         np.testing.assert_allclose(resp.x, system.x_true, rtol=1e-9)
-        assert resp.lane == "sim"
-        assert snap["lanes"]["host"]["batches"] == 0
-        assert snap["lanes"]["sim"]["batches"] == 1
+        assert resp.lane == "host"
+        assert snap["lanes"]["host"]["batches"] == 1
+        assert snap["lanes"]["sim"]["batches"] == 0
+        launches = [e for e in events if e["kind"] == "launch"]
+        assert launches and all("profile" in e for e in launches)
+        digest = launches[0]["profile"]
+        assert digest["lane"] == "host"
+        assert set(digest["phases"]) == {
+            "gather", "reduce", "scatter", "other"
+        }
 
     def test_ambient_tracer_forces_sim_lane(self):
         from repro.gpu.trace import Tracer

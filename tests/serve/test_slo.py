@@ -1,0 +1,122 @@
+"""SLOTracker tests: per-lane percentiles, error-budget burn, verdicts."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.serve import SLOTracker, ServeTelemetry, SolveEngine
+from tests.serve.test_engine import make_system, run
+
+
+class TestSLOTracker:
+    def test_objective_bounds(self):
+        with pytest.raises(ValueError):
+            SLOTracker(availability_objective=1.0)
+        with pytest.raises(ValueError):
+            SLOTracker(availability_objective=0.0)
+        with pytest.raises(ValueError):
+            SLOTracker(at_risk_burn=0.0)
+
+    def test_clean_snapshot(self):
+        slo = SLOTracker()
+        snap = slo.snapshot(attempts=0, errors={})
+        assert snap["availability"] == 1.0
+        assert snap["error_budget_burn"] == 0.0
+        assert snap["verdict"] == "ok"
+        assert snap["lanes"] == {}
+
+    def test_per_lane_percentiles(self):
+        slo = SLOTracker()
+        for ms in (1.0, 2.0, 3.0):
+            slo.record("host", ms)
+        slo.record("sim", 100.0)
+        lanes = slo.lane_percentiles()
+        assert sorted(lanes) == ["host", "sim"]
+        assert lanes["host"]["count"] == 3
+        assert lanes["host"]["p50"] == pytest.approx(2.0)
+        assert lanes["sim"]["count"] == 1
+        assert lanes["sim"]["p50"] == 100.0
+
+    def test_burn_math(self):
+        slo = SLOTracker(availability_objective=0.99)
+        # 1% budget; 6 bad out of 1000 = 0.6% -> burn 0.6
+        snap = slo.snapshot(
+            attempts=1000, errors={"rejected": 4, "timed_out": 2}
+        )
+        assert snap["error_total"] == 6
+        assert snap["availability"] == pytest.approx(0.994)
+        assert snap["error_budget_burn"] == pytest.approx(0.6)
+        assert snap["verdict"] == "at_risk"  # default at_risk_burn=0.5
+
+    def test_verdict_thresholds(self):
+        slo = SLOTracker(availability_objective=0.99, at_risk_burn=0.5)
+        ok = slo.snapshot(attempts=1000, errors={"rejected": 1})
+        assert ok["verdict"] == "ok"
+        breached = slo.snapshot(attempts=100, errors={"rejected": 2})
+        assert breached["error_budget_burn"] == pytest.approx(2.0)
+        assert breached["verdict"] == "breached"
+
+    def test_latency_objective_breach(self):
+        slo = SLOTracker(latency_objectives_ms={"host": 1.0})
+        slo.record("host", 50.0)
+        snap = slo.snapshot(attempts=10, errors={})
+        assert snap["latency_breaches"] == ["host"]
+        assert snap["verdict"] == "breached"
+        # a lane with no samples can't breach
+        quiet = SLOTracker(latency_objectives_ms={"sim": 0.001})
+        assert quiet.snapshot(attempts=10, errors={})["verdict"] == "ok"
+
+    def test_metrics_are_labelled_histograms(self):
+        slo = SLOTracker()
+        slo.record("host", 1.0)
+        slo.record("sim", 2.0)
+        metrics = slo.metrics()
+        assert [m.labels["lane"] for m in metrics] == ["host", "sim"]
+        assert all(m.name == "slo_latency_ms" for m in metrics)
+
+
+class TestEngineIntegration:
+    def test_snapshot_has_slo_section(self):
+        system = make_system(n=80, seed=5)
+
+        async def main():
+            engine = SolveEngine()
+            engine.register(system.L, name="m")
+            resps = await asyncio.gather(
+                *[engine.solve("m", system.b) for _ in range(4)]
+            )
+            snap = engine.snapshot()
+            await engine.close()
+            return resps, snap
+
+        resps, snap = run(main())
+        for r in resps:
+            np.testing.assert_allclose(r.x, system.x_true, rtol=1e-9)
+        slo = snap["slo"]
+        assert slo["attempts"] == 4
+        assert slo["error_total"] == 0
+        assert slo["availability"] == 1.0
+        assert slo["verdict"] == "ok"
+        assert slo["lanes"]["host"]["count"] == 4
+        assert slo["lanes"]["host"]["p50"] > 0
+
+    def test_rejections_count_as_attempts(self):
+        # _admit raises before requests_total.inc, so the SLO
+        # denominator must add rejected back in
+        t = ServeTelemetry()
+        t.requests_total.inc(8)
+        t.requests_rejected.inc(2)
+        slo = t.snapshot()["slo"]
+        assert slo["attempts"] == 10
+        assert slo["errors"]["rejected"] == 2
+        assert slo["availability"] == pytest.approx(0.8)
+
+    def test_snapshot_is_json_serializable(self):
+        import json
+
+        t = ServeTelemetry()
+        t.record_lane_latency("host", 1.5)
+        json.dumps(t.snapshot())

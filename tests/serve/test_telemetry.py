@@ -53,8 +53,9 @@ class TestHistogram:
         assert s["count"] == 4
         assert s["mean"] == pytest.approx(2.5)
         assert s["min"] == 1.0 and s["max"] == 4.0
-        assert s["p50"] == 2.0
-        assert s["p95"] == 4.0
+        # linear interpolation: rank 50/100*(4-1)=1.5 between 2 and 3
+        assert s["p50"] == pytest.approx(2.5)
+        assert s["p95"] == pytest.approx(3.85)
 
     def test_empty(self):
         s = Histogram().summary()
@@ -105,7 +106,9 @@ class TestHistogram:
         s = h.summary()
         # one lock, one sort: fields must be mutually consistent
         assert s["min"] <= s["p50"] <= s["p95"] <= s["max"]
-        assert s["p50"] == 3.0 and s["p95"] == 9.0
+        # sorted reservoir [1, 3, 5, 9]: interpolated ranks 1.5 and 2.85
+        assert s["p50"] == pytest.approx(4.0)
+        assert s["p95"] == pytest.approx(8.4)
 
 
 class TestServeTelemetry:

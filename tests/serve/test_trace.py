@@ -78,10 +78,10 @@ class TestHappyPath:
 
 
 class TestProfileDigests:
-    def test_launch_events_carry_phase_digest(self):
+    def test_sim_launch_events_carry_cycle_digest(self):
         async def run():
             system = circuit_system()
-            async with SolveEngine(profile=True) as engine:
+            async with SolveEngine(profile=True, execution="sim") as engine:
                 key = engine.register(system.L)
                 await engine.solve(key, system.b)
                 (launch,) = engine.trace_log.events(kind="launch")
@@ -91,18 +91,42 @@ class TestProfileDigests:
 
         asyncio.run(run())
 
+    def test_host_launch_events_carry_wall_clock_digest(self):
+        # profile=True no longer changes lanes: the default (auto)
+        # engine stays on the host fast path and digests wall time
+        async def run():
+            system = circuit_system()
+            async with SolveEngine(profile=True) as engine:
+                key = engine.register(system.L)
+                resp = await engine.solve(key, system.b)
+                assert resp.lane == "host"
+                (launch,) = engine.trace_log.events(kind="launch")
+                digest = launch["profile"]
+                assert digest["lane"] == "host"
+                assert digest["launches"] == 1
+                assert digest["wall_ms"] > 0
+                assert set(digest["phases"]) == {
+                    "gather", "reduce", "scatter", "other"
+                }
+                assert abs(sum(digest["phases"].values()) - 1.0) < 1e-3
+
+        asyncio.run(run())
+
     def test_profiling_does_not_change_answers(self):
         async def run():
             system = circuit_system()
-            # pin the simulator lane: profile=True forces it, so the
-            # bit-identical comparison must run the same lane unprofiled
-            async with SolveEngine(profile=False, execution="sim") as bare:
-                key = bare.register(system.L)
-                plain = await bare.solve(key, system.b)
-            async with SolveEngine(profile=True) as engine:
-                key = engine.register(system.L)
-                profiled = await engine.solve(key, system.b)
-            assert np.array_equal(plain.x, profiled.x)
+            for execution in ("auto", "sim"):
+                async with SolveEngine(
+                    profile=False, execution=execution
+                ) as bare:
+                    key = bare.register(system.L)
+                    plain = await bare.solve(key, system.b)
+                async with SolveEngine(
+                    profile=True, execution=execution
+                ) as engine:
+                    key = engine.register(system.L)
+                    profiled = await engine.solve(key, system.b)
+                assert np.array_equal(plain.x, profiled.x)
 
         asyncio.run(run())
 

@@ -357,3 +357,68 @@ class TestServeStatsTrace:
         trace = doc["snapshot"]["trace"]
         assert trace["emitted"] > 0
         assert trace["dropped"] == 0
+
+
+class TestServeStatsOpenMetrics:
+    def test_openmetrics_output(self, capsys):
+        from repro.metrics.expo import parse_openmetrics
+
+        rc = main(["serve-stats", "--domain", "circuit", "--n-rows", "200",
+                   "--requests", "4", "--rhs", "0", "--openmetrics"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out.endswith("# EOF\n")
+        families = parse_openmetrics(out)
+        assert families["repro_serve_requests"][
+            "repro_serve_requests_total"
+        ] == 4
+        assert families["repro_serve_lane_batches"][
+            'repro_serve_lane_batches_total{lane="host"}'
+        ] >= 1
+        assert "repro_serve_slo_error_budget_burn" in families
+        assert "repro_serve_cache_hits" in families
+
+
+class TestRegressCommand:
+    def test_regress_help_lists_command(self, capsys):
+        import pytest as _pytest
+
+        with _pytest.raises(SystemExit):
+            main(["--help"])
+        assert "regress" in capsys.readouterr().out
+
+    def test_regress_clean_against_doctored_baseline(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        import json
+
+        import repro.metrics.trajectory as trajectory
+
+        doc = {
+            "schema_version": 1,
+            "device": "SimSmall",
+            "results": [{
+                "matrix": "m", "solver": "S", "sim_cycles": 10,
+                "stats_cycles": 12, "instructions": 40, "launches": 1,
+                "phases": {"compute": 1.0},
+            }],
+        }
+        monkeypatch.setattr(
+            trajectory, "run_suite", lambda matrices=None: doc
+        )
+        path = tmp_path / "BENCH_solvers.json"
+        path.write_text(json.dumps(doc))
+        rc = main(["regress", "--baseline", str(path)])
+        assert rc == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_regress_quick_against_committed_baseline(self, capsys):
+        # the real thing, smallest matrix only: measures the suite and
+        # diffs it against the repo's committed baseline
+        from pathlib import Path
+
+        baseline = Path(__file__).resolve().parents[1] / "BENCH_solvers.json"
+        rc = main(["regress", "--quick", "--baseline", str(baseline)])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "within tolerance" in out
