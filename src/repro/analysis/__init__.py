@@ -15,6 +15,15 @@ It also hosts the kernel hazard analyzer (see ``docs/analysis.md``):
   double-publish);
 * :mod:`repro.analysis.lint` — AST lint for kernel sources
   (fence-before-flag, divergent blocking spins, load ordering);
+* :mod:`repro.analysis.asynclint` — AST lint for the asyncio serve
+  tier (stale reads across awaits, double publishes, lost wakeups,
+  sleep-polling loops, dropped task handles), sharing the finding
+  model and ``allow=`` pragma dialect via
+  :mod:`repro.analysis._lintcore`;
+* :mod:`repro.analysis.interleave` — deterministic interleaving
+  explorer: virtual clock, deferred executor, seeded replayable
+  schedule search with minimal-failure shrinking (the dynamic
+  counterpart of the async lint);
 * :mod:`repro.analysis.hazards` — the shared hazard taxonomy.
 """
 

@@ -1,0 +1,126 @@
+"""Shared plumbing for the source-level lints.
+
+Two AST lints live in :mod:`repro.analysis`: the kernel lint
+(:mod:`repro.analysis.lint`, rules KL001–KL003, over the simulated-GPU
+kernels) and the async-hazard lint (:mod:`repro.analysis.asynclint`,
+rules SL001–SL005, over the serve tier).  Both share one finding model,
+one ``allow=`` pragma dialect, and one file/directory driver — this
+module is that common engine, so a rule author writes only the rule.
+
+The pragma dialect, pinned by ``tests/analysis/test_lintcore.py``::
+
+    offending_line()  # <tag> allow=RULE1,RULE2 -- optional rationale
+    offending_line()  # <tag> allow=ALL -- silences every rule
+
+where ``<tag>`` is the lint's pragma tag (``kernel-lint:`` /
+``serve-lint:``).  A pragma on the flagged line or on the enclosing
+``def`` line silences the named rules for that site.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+__all__ = [
+    "LintFinding",
+    "pragma_allows",
+    "iter_lint_files",
+    "lint_paths_with",
+    "run_lint_main",
+    "walk_functions",
+]
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+    def to_json_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+def pragma_allows(
+    source_lines: list[str], lineno: int, rule: str, *, tag: str
+) -> bool:
+    """True if line ``lineno`` (1-based) carries an allow pragma for
+    ``rule`` under the given pragma ``tag`` (e.g. ``"kernel-lint:"``)."""
+    if not 1 <= lineno <= len(source_lines):
+        return False
+    line = source_lines[lineno - 1]
+    if tag not in line:
+        return False
+    directive = line.split(tag, 1)[1]
+    if "allow" not in directive:
+        return False
+    allowed = directive.split("allow", 1)[1].lstrip("=( ")
+    rules = allowed.split("--")[0].replace(",", " ").split()
+    cleaned = {r.strip(") ").upper() for r in rules}
+    return rule.upper() in cleaned or "ALL" in cleaned
+
+
+def walk_functions(
+    tree: ast.Module,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Every function definition in the module, sync and async alike."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def iter_lint_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files and directories into a sorted stream of ``*.py``."""
+    for path in paths:
+        p = Path(path)
+        if p.is_dir():
+            yield from sorted(p.rglob("*.py"))
+        else:
+            yield p
+
+
+def lint_paths_with(
+    paths: Iterable[str | Path],
+    lint_source: Callable[[str, str], list[LintFinding]],
+) -> list[LintFinding]:
+    """Run ``lint_source(source, path)`` over every file under ``paths``."""
+    findings: list[LintFinding] = []
+    for p in iter_lint_files(paths):
+        findings.extend(lint_source(p.read_text(), str(p)))
+    return findings
+
+
+def run_lint_main(
+    argv: list[str] | None,
+    *,
+    label: str,
+    default_paths: Callable[[], list[Path]],
+    lint_source: Callable[[str, str], list[LintFinding]],
+) -> int:
+    """The shared ``python -m repro.analysis.<lint>`` entry point."""
+    args = sys.argv[1:] if argv is None else list(argv)
+    targets: list[str | Path] = list(args) or list(default_paths())
+    findings = lint_paths_with(targets, lint_source)
+    for f in findings:
+        print(f.format())
+    n_files = sum(1 for _ in iter_lint_files(targets))
+    if findings:
+        print(f"{label}: {len(findings)} finding(s) in {n_files} file(s)")
+        return 1
+    print(f"{label}: clean ({n_files} file(s))")
+    return 0

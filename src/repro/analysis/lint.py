@@ -46,6 +46,13 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator
 
+from repro.analysis._lintcore import (
+    LintFinding,
+    lint_paths_with,
+    pragma_allows,
+    run_lint_main,
+)
+
 __all__ = [
     "LintFinding",
     "lint_source",
@@ -63,17 +70,6 @@ FLAG_NAMES = frozenset({"GET_VALUE", "get_value", "COUNTER", "counter"})
 VALUE_NAMES = frozenset({"X", "x", "LEFT_SUM", "left_sum"})
 
 _PRAGMA = "kernel-lint:"
-
-
-@dataclass(frozen=True)
-class LintFinding:
-    path: str
-    line: int
-    rule: str
-    message: str
-
-    def format(self) -> str:
-        return f"{self.path}:{self.line}: {self.rule} {self.message}"
 
 
 # ---------------------------------------------------------------------------
@@ -139,18 +135,7 @@ def _ctx_attrs_in(node: ast.expr) -> set[str]:
 
 def _pragma_allows(source_lines: list[str], lineno: int, rule: str) -> bool:
     """True if line ``lineno`` (1-based) carries an allow pragma for rule."""
-    if not 1 <= lineno <= len(source_lines):
-        return False
-    line = source_lines[lineno - 1]
-    if _PRAGMA not in line:
-        return False
-    directive = line.split(_PRAGMA, 1)[1]
-    if "allow" not in directive:
-        return False
-    allowed = directive.split("allow", 1)[1].lstrip("=( ")
-    rules = allowed.split("--")[0].replace(",", " ").split()
-    cleaned = {r.strip(") ").upper() for r in rules}
-    return rule.upper() in cleaned or "ALL" in cleaned
+    return pragma_allows(source_lines, lineno, rule, tag=_PRAGMA)
 
 
 # ---------------------------------------------------------------------------
@@ -477,15 +462,7 @@ def lint_file(path: str | Path) -> list[LintFinding]:
 
 
 def lint_paths(paths: Iterable[str | Path]) -> list[LintFinding]:
-    findings: list[LintFinding] = []
-    for path in paths:
-        p = Path(path)
-        if p.is_dir():
-            for f in sorted(p.rglob("*.py")):
-                findings.extend(lint_file(f))
-        else:
-            findings.extend(lint_file(p))
-    return findings
+    return lint_paths_with(paths, lint_source)
 
 
 def solver_package_paths() -> list[Path]:
@@ -496,20 +473,12 @@ def solver_package_paths() -> list[Path]:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = sys.argv[1:] if argv is None else list(argv)
-    targets: list[str | Path] = list(args) or list(solver_package_paths())
-    findings = lint_paths(targets)
-    for f in findings:
-        print(f.format())
-    n_files = sum(
-        len(list(Path(t).rglob('*.py'))) if Path(t).is_dir() else 1
-        for t in targets
+    return run_lint_main(
+        argv,
+        label="kernel lint",
+        default_paths=solver_package_paths,
+        lint_source=lint_source,
     )
-    if findings:
-        print(f"kernel lint: {len(findings)} finding(s) in {n_files} file(s)")
-        return 1
-    print(f"kernel lint: clean ({n_files} file(s))")
-    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -9,6 +9,11 @@ Usage::
     repro-sptrsv analyze --solver naive-thread --domain circuit --json
     repro-sptrsv analyze --solver syncfree --domain circuit --n-rows 200 --trace
     repro-sptrsv analyze --lint
+    repro-sptrsv analyze --serve-lint
+    repro-sptrsv check-interleavings --scenario all --schedules 50
+    repro-sptrsv check-interleavings --scenario timeout --mode systematic
+    repro-sptrsv replay events.jsonl --speed 10
+    repro-sptrsv replay events.jsonl --wall --speed 30
     repro-sptrsv profile --solver writing_first --domain circuit --n-rows 600
     repro-sptrsv profile --solver two_phase --chrome-trace trace.json
     repro-sptrsv generate --domain lp --n-rows 5000 --out lp.mtx
@@ -158,6 +163,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("--lint", action="store_true",
                       help="run the kernel lint over repro.solvers "
                       "(no matrix needed)")
+    p_an.add_argument("--serve-lint", action="store_true",
+                      help="run the async-hazard lint (SL001-SL005) over "
+                      "repro.serve (no matrix needed)")
     p_an.add_argument("--json", action="store_true",
                       help="emit the analysis as one JSON document on "
                       "stdout (machine-readable verdicts for CI and the "
@@ -239,6 +247,50 @@ def build_parser() -> argparse.ArgumentParser:
 
     _regress_args(p_reg)
 
+    p_il = sub.add_parser(
+        "check-interleavings",
+        help="run the serve-engine scenarios under the deterministic "
+        "interleaving explorer (seeded, replayable schedules); exit 1 "
+        "on any invariant violation or hang, printing the minimal "
+        "reproducing schedule",
+    )
+    p_il.add_argument("--scenario", default="all",
+                      help="scenario name or 'all' (see repro.serve."
+                      "scenarios.SCENARIOS)")
+    p_il.add_argument("--schedules", type=int, default=25,
+                      help="schedules to explore per scenario")
+    p_il.add_argument("--seed", type=int, default=0,
+                      help="base seed (random mode explores seeds "
+                      "seed..seed+schedules-1)")
+    p_il.add_argument("--mode", default="random",
+                      choices=["random", "systematic"],
+                      help="'random': independent seeded schedules; "
+                      "'systematic': bounded breadth-first enumeration "
+                      "of decision prefixes")
+    p_il.add_argument("--json", action="store_true",
+                      help="emit one JSON document of all reports")
+
+    p_rep = sub.add_parser(
+        "replay",
+        help="feed a recorded trace-log JSONL back through a solve "
+        "engine and check the replayed telemetry against the recording",
+    )
+    p_rep.add_argument("trace", help="TraceLog JSONL file (e.g. from "
+                       "serve-stats --trace-log)")
+    p_rep.add_argument("--speed", type=float, default=1.0,
+                       help="inter-arrival speed multiplier (wall mode)")
+    p_rep.add_argument("--wall", action="store_true",
+                       help="pace arrivals in real time (scaled by "
+                       "--speed) instead of the default virtual clock")
+    p_rep.add_argument("--n", type=int, default=32,
+                       help="rows of the stand-in matrices")
+    p_rep.add_argument("--batch-window", type=float, default=0.0,
+                       help="replay engine's coalescing window (s)")
+    p_rep.add_argument("--execution", default="host",
+                       choices=["auto", "host", "sim"])
+    p_rep.add_argument("--json", action="store_true",
+                       help="emit the replay report as JSON")
+
     p_gen = sub.add_parser("generate", help="write a synthetic matrix to .mtx")
     p_gen.add_argument("--domain", required=True)
     p_gen.add_argument("--n-rows", type=int, required=True)
@@ -259,6 +311,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_profile(args)
     if args.command == "serve-stats":
         return _cmd_serve_stats(args)
+    if args.command == "check-interleavings":
+        return _cmd_check_interleavings(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
     if args.command == "regress":
         from repro.metrics.regression import run as regress_run
 
@@ -396,17 +452,26 @@ def _cmd_analyze(args) -> int:
         )
         doc["lint"] = {
             "count": len(findings),
-            "findings": [
-                {
-                    "path": f.path,
-                    "line": f.line,
-                    "rule": f.rule,
-                    "message": f.message,
-                }
-                for f in findings
-            ],
+            "findings": [f.to_json_dict() for f in findings],
         }
         rc = 1 if findings else 0
+    if args.serve_lint:
+        from repro.analysis.asynclint import lint_paths, serve_package_paths
+
+        findings = lint_paths(serve_package_paths())
+        for finding in findings:
+            emit(finding.format())
+        emit(
+            f"serve lint: {len(findings)} finding(s)"
+            if findings
+            else "serve lint: clean"
+        )
+        doc["serve_lint"] = {
+            "count": len(findings),
+            "findings": [f.to_json_dict() for f in findings],
+        }
+        rc = max(rc, 1 if findings else 0)
+    if args.lint or args.serve_lint:
         if args.matrix is None and args.domain is None and args.solver is None:
             if args.json:
                 print(json.dumps(doc, indent=2))
@@ -682,6 +747,88 @@ def _cmd_serve_stats(args) -> int:
                   f"{args.trace_log}")
         print(f"max error     : {err:.3e}")
     return 0 if err < 1e-8 else 1
+
+
+def _cmd_check_interleavings(args) -> int:
+    """Explore serve-engine schedules under the deterministic scheduler.
+
+    Every scenario must satisfy the engine invariant suite (each
+    request resolved exactly once, engine idle after drain, telemetry
+    counters consistent) on every explored schedule.  A failure prints
+    the minimal reproducing choice list and its schedule trace —
+    rerunning with the same seed/choices reproduces it byte for byte.
+    """
+    import json
+
+    from repro.analysis.interleave import explore
+    from repro.serve.scenarios import SCENARIOS, engine_invariants
+
+    if args.scenario != "all" and args.scenario not in SCENARIOS:
+        print(
+            f"unknown scenario {args.scenario!r}; choose from: "
+            + ", ".join(sorted(SCENARIOS)) + ", all",
+            file=sys.stderr,
+        )
+        return 2
+    names = sorted(SCENARIOS) if args.scenario == "all" else [args.scenario]
+    invariants = engine_invariants()
+    rc = 0
+    doc = {}
+    for name in names:
+        report = explore(
+            SCENARIOS[name],
+            schedules=args.schedules,
+            seed=args.seed,
+            mode=args.mode,
+            invariants=invariants,
+        )
+        doc[name] = {
+            "mode": report.mode,
+            "n_schedules": report.n_schedules,
+            "ok": report.ok,
+            "failures": len(report.failures),
+            "minimal_choices": (
+                list(report.minimal_choices)
+                if report.minimal_choices is not None
+                else None
+            ),
+        }
+        if not args.json:
+            print(f"[{name}] {report.summary()}")
+        if not report.ok:
+            rc = 1
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    return rc
+
+
+def _cmd_replay(args) -> int:
+    """Replay a recorded trace log through a fresh engine."""
+    import json
+
+    from repro.serve.replay import replay_file
+
+    report = replay_file(
+        args.trace,
+        speed=args.speed,
+        virtual=not args.wall,
+        n=args.n,
+        batch_window=args.batch_window,
+        execution=args.execution,
+    )
+    if args.json:
+        print(json.dumps({
+            "recorded": report.recorded,
+            "replayed": report.replayed,
+            "speed": report.speed,
+            "virtual": report.virtual,
+            "n_matrices": report.n_matrices,
+            "ok": report.ok,
+            "mismatches": report.mismatches,
+        }, indent=2))
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
 
 
 def _cmd_generate(args) -> int:

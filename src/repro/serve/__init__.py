@@ -21,6 +21,14 @@ This package provides the three pieces that make that real:
   JSON-friendly snapshot consumed by tests, benchmarks and the
   ``repro-sptrsv serve-stats`` CLI.
 
+Concurrency correctness is checked from two sides: the async-hazard
+lint (``repro-sptrsv analyze --serve-lint``) statically flags engine
+anti-patterns, and the deterministic interleaving explorer
+(``repro-sptrsv check-interleavings``, scenarios in
+:mod:`repro.serve.scenarios`) replays seeded schedules against the
+engine's clock/executor seams.  Recorded trace logs can be re-driven
+with :mod:`repro.serve.replay` (``repro-sptrsv replay``).
+
 See ``docs/serving.md`` for the architecture and tuning knobs.
 """
 

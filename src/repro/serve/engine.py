@@ -55,6 +55,7 @@ from typing import Iterable, Optional
 
 import numpy as np
 
+from repro.analysis.interleave import AsyncioClock
 from repro.errors import (
     DeadlockError,
     HazardError,
@@ -126,6 +127,8 @@ class SolveEngine:
         trace_log: Optional[TraceLog] = None,
         profile: bool = False,
         execution: str = "auto",
+        clock=None,
+        executor=None,
     ) -> None:
         if max_queue <= 0:
             raise ValueError("max_queue must be positive")
@@ -156,14 +159,33 @@ class SolveEngine:
         #: execution lane policy: "auto" | "host" | "sim"
         self.execution = execution
         self._candidates = tuple(candidates) if candidates is not None else None
-        self._executor = ThreadPoolExecutor(
-            max_workers=max_workers, thread_name_prefix="repro-serve"
+        #: time source for batch windows and request deadlines.  The
+        #: default is real time; the deterministic interleaving harness
+        #: (:mod:`repro.analysis.interleave`) injects a virtual clock so
+        #: every wait becomes an explicitly scheduled event.
+        self._clock = clock if clock is not None else AsyncioClock()
+        self._owns_executor = executor is None
+        self._executor = (
+            executor
+            if executor is not None
+            else ThreadPoolExecutor(
+                max_workers=max_workers, thread_name_prefix="repro-serve"
+            )
         )
         self._pending: dict[str, list[PendingSolve]] = {}
         self._depth = 0
+        #: background flush/dispatch tasks.  The event loop keeps only
+        #: weak references to tasks (serve-lint SL005), so the engine
+        #: retains every handle until the task completes.
+        self._tasks: set["asyncio.Task"] = set()
         self._quarantine_lock = threading.Lock()
         self._quarantined: dict[str, set[str]] = {}
         self._closed = False
+        #: set when the engine goes idle while draining; created lazily
+        #: in :meth:`close` because ``asyncio.Event()`` binds the
+        #: running loop on Python 3.9 and engines are often constructed
+        #: before any loop exists.
+        self._drained: Optional["asyncio.Event"] = None
 
     # ------------------------------------------------------------------
     # public API
@@ -207,14 +229,15 @@ class SolveEngine:
         group.append(req)
         if len(group) >= self.max_batch:
             batch = self._pending.pop(entry.key)
-            asyncio.ensure_future(self._dispatch(entry, batch))
+            self._spawn(self._dispatch(entry, batch))
         elif len(group) == 1:
-            asyncio.ensure_future(self._flush_after_window(entry))
+            self._spawn(self._flush_after_window(entry))
         try:
             outcome, col = await self._await_request(req, timeout)
         finally:
             self._depth -= 1
             self.telemetry.queue_depth.set(self._depth)
+            self._notify_if_drained()
         return self._response(entry, req, outcome, col, n_rhs=1)
 
     async def solve_multi(
@@ -258,19 +281,21 @@ class SolveEngine:
                     loop, entry, B, False, trace_id, (trace_id,)
                 )
             except BaseException as exc:  # noqa: BLE001 - forwarded to caller
-                self.telemetry.requests_failed.inc()
                 if not req.future.done():
                     req.future.set_exception(exc)
+                    if not req.abandoned:
+                        self.telemetry.requests_failed.inc()
             else:
                 if not req.future.done():
                     req.future.set_result((outcome, slice(None)))
 
-        asyncio.ensure_future(run())
+        self._spawn(run())
         try:
             outcome, _ = await self._await_request(req, timeout)
         finally:
             self._depth -= 1
             self.telemetry.queue_depth.set(self._depth)
+            self._notify_if_drained()
         return self._response(
             entry, req, outcome, slice(None), n_rhs=B.shape[1]
         )
@@ -294,11 +319,36 @@ class SolveEngine:
         return snap
 
     async def close(self) -> None:
-        """Drain: wait for enqueued work, then stop the worker pool."""
+        """Drain: wait for enqueued work, then stop the worker pool.
+
+        The wait is event-driven: the last in-flight request sets
+        ``_drained`` on its way out (via :meth:`_notify_if_drained`)
+        rather than close() polling shared state on a sleep loop — the
+        busy-wait pattern serve-lint SL004 exists to flag.
+        """
         self._closed = True
-        while self._pending or self._depth:
-            await asyncio.sleep(0.001)
-        self._executor.shutdown(wait=True)
+        if self._pending or self._depth:
+            if self._drained is None:
+                self._drained = asyncio.Event()
+            await self._drained.wait()
+        if self._owns_executor:
+            self._executor.shutdown(wait=True)
+
+    def _spawn(self, coro) -> "asyncio.Task":
+        """Start background work, retaining the task handle."""
+        task = asyncio.ensure_future(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return task
+
+    def _notify_if_drained(self) -> None:
+        """Wake a draining :meth:`close` once the engine is idle."""
+        if (
+            self._drained is not None
+            and not self._pending
+            and not self._depth
+        ):
+            self._drained.set()
 
     async def __aenter__(self) -> "SolveEngine":
         return self
@@ -311,6 +361,7 @@ class SolveEngine:
     # ------------------------------------------------------------------
     def _admit(self, n: int, trace_id: str, matrix_key: str) -> None:
         if self._closed:
+            self.telemetry.requests_rejected.inc(n)
             self.trace_log.emit(
                 "reject", trace_id=trace_id, matrix=matrix_key,
                 reason="closed",
@@ -336,7 +387,7 @@ class SolveEngine:
         try:
             if deadline is None:
                 return await req.future
-            return await asyncio.wait_for(
+            return await self._clock.wait_for(
                 asyncio.shield(req.future), deadline
             )
         except asyncio.TimeoutError:
@@ -344,8 +395,11 @@ class SolveEngine:
             self.trace_log.emit(
                 "timeout", trace_id=req.trace_id, deadline_s=deadline
             )
-            # the worker will still resolve the future; consume its
-            # outcome so an eventual failure is not "never retrieved"
+            # the worker will still resolve the future; mark the
+            # request abandoned so late failures are not double-counted
+            # against it, and consume its outcome so an eventual
+            # failure is not "never retrieved"
+            req.abandoned = True
             req.future.add_done_callback(_discard_outcome)
             raise RequestTimeoutError(
                 f"solve did not complete within {deadline} s "
@@ -354,14 +408,18 @@ class SolveEngine:
 
     async def _flush_after_window(self, entry: RegisteredMatrix) -> None:
         if self.batch_window > 0:
-            await asyncio.sleep(self.batch_window)
+            await self._clock.sleep(self.batch_window)
         else:
             # one full event-loop tick: everything already scheduled
             # (e.g. the rest of an asyncio.gather) gets to enqueue first
-            await asyncio.sleep(0)
+            await self._clock.sleep(0)
         batch = self._pending.pop(entry.key, [])
         if batch:
             await self._dispatch(entry, batch)
+        # a batch of fully timed-out requests drops depth to zero while
+        # its group is still pending; the pop above is then the last
+        # step of the drain
+        self._notify_if_drained()
 
     async def _dispatch(
         self, entry: RegisteredMatrix, batch: list[PendingSolve]
@@ -386,10 +444,16 @@ class SolveEngine:
                 loop, entry, B, width > 1, batch_id, trace_ids
             )
         except BaseException as exc:  # noqa: BLE001 - forwarded to callers
-            self.telemetry.requests_failed.inc(width)
+            n_failed = 0
             for req in batch:
                 if not req.future.done():
                     req.future.set_exception(exc)
+                    if not req.abandoned:
+                        n_failed += 1
+            # abandoned (timed-out) requests are already accounted as
+            # requests_timed_out; counting them failed as well would
+            # break total == completed + failed + timed_out
+            self.telemetry.requests_failed.inc(n_failed)
             return
         for col, req in enumerate(batch):
             if not req.future.done():

@@ -54,6 +54,10 @@ class PendingSolve:
     future: "asyncio.Future"
     submitted_at: float
     trace_id: str = ""
+    #: set when the caller gave up (deadline) but the worker is still
+    #: running; late publishes to an abandoned request must not count
+    #: it failed/completed a second time after ``requests_timed_out``
+    abandoned: bool = False
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,134 @@
+"""The shared lint engine: pragma dialect, finding model, file driver."""
+
+import ast
+
+from repro.analysis._lintcore import (
+    LintFinding,
+    iter_lint_files,
+    lint_paths_with,
+    pragma_allows,
+    run_lint_main,
+    walk_functions,
+)
+
+TAG = "kernel-lint:"
+
+
+def _allows(line: str, rule: str, tag: str = TAG) -> bool:
+    return pragma_allows([line], 1, rule, tag=tag)
+
+
+class TestPragmaParser:
+    def test_plain_allow(self):
+        assert _allows("x = 1  # kernel-lint: allow=KL002", "KL002")
+
+    def test_other_rule_not_allowed(self):
+        assert not _allows("x = 1  # kernel-lint: allow=KL002", "KL001")
+
+    def test_multiple_rules_comma_separated(self):
+        line = "x = 1  # kernel-lint: allow=KL001,KL003"
+        assert _allows(line, "KL001")
+        assert _allows(line, "KL003")
+        assert not _allows(line, "KL002")
+
+    def test_multiple_rules_with_spaces(self):
+        line = "x = 1  # kernel-lint: allow=KL001, KL003"
+        assert _allows(line, "KL003")
+
+    def test_all_silences_everything(self):
+        line = "x = 1  # kernel-lint: allow=ALL"
+        assert _allows(line, "KL001")
+        assert _allows(line, "SL004")
+
+    def test_rationale_after_double_dash(self):
+        line = "x = 1  # kernel-lint: allow=KL002 -- benchmarked spin"
+        assert _allows(line, "KL002")
+        # words of the rationale never count as rule names
+        assert not _allows(
+            "x = 1  # kernel-lint: allow=KL002 -- KL001 discussed", "KL001"
+        )
+
+    def test_case_insensitive_rule(self):
+        assert _allows("x = 1  # kernel-lint: allow=kl002", "KL002")
+
+    def test_wrong_tag_is_inert(self):
+        assert not _allows(
+            "x = 1  # serve-lint: allow=KL002", "KL002", tag=TAG
+        )
+        assert _allows(
+            "x = 1  # serve-lint: allow=SL004", "SL004", tag="serve-lint:"
+        )
+
+    def test_no_allow_keyword(self):
+        assert not _allows("x = 1  # kernel-lint: see docs", "KL001")
+
+    def test_out_of_range_line(self):
+        assert not pragma_allows(["x = 1"], 7, "KL001", tag=TAG)
+        assert not pragma_allows(["x = 1"], 0, "KL001", tag=TAG)
+
+
+class TestFinding:
+    def test_format_is_path_line_rule(self):
+        f = LintFinding(path="a.py", line=3, rule="SL001", message="boom")
+        assert f.format() == "a.py:3: SL001 boom"
+
+    def test_json_dict_round_trip(self):
+        f = LintFinding(path="a.py", line=3, rule="SL001", message="boom")
+        assert f.to_json_dict() == {
+            "path": "a.py", "line": 3, "rule": "SL001", "message": "boom",
+        }
+
+
+class TestDriver:
+    def test_walk_functions_sees_async_defs(self):
+        tree = ast.parse(
+            "def f():\n    pass\n\nasync def g():\n    pass\n"
+        )
+        names = {fn.name for fn in walk_functions(tree)}
+        assert names == {"f", "g"}
+
+    def test_iter_lint_files_expands_directories(self, tmp_path):
+        (tmp_path / "b.py").write_text("x = 1\n")
+        (tmp_path / "a.py").write_text("x = 1\n")
+        (tmp_path / "notes.txt").write_text("not python\n")
+        files = list(iter_lint_files([tmp_path]))
+        assert [f.name for f in files] == ["a.py", "b.py"]
+
+    def test_lint_paths_with_runs_rule_per_file(self, tmp_path):
+        (tmp_path / "one.py").write_text("bad = 1\n")
+        (tmp_path / "two.py").write_text("fine = 1\n")
+
+        def rule(source, path):
+            if "bad" in source:
+                return [LintFinding(path=path, line=1, rule="XX001",
+                                    message="bad name")]
+            return []
+
+        findings = lint_paths_with([tmp_path], rule)
+        assert len(findings) == 1
+        assert findings[0].path.endswith("one.py")
+
+    def test_run_lint_main_exit_codes(self, tmp_path, capsys):
+        (tmp_path / "one.py").write_text("bad = 1\n")
+
+        def rule(source, path):
+            if "bad" in source:
+                return [LintFinding(path=path, line=1, rule="XX001",
+                                    message="bad name")]
+            return []
+
+        rc = run_lint_main(
+            [str(tmp_path)], label="test lint",
+            default_paths=lambda: [], lint_source=rule,
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "XX001" in out and "1 finding(s)" in out
+
+        (tmp_path / "one.py").write_text("fine = 1\n")
+        rc = run_lint_main(
+            [str(tmp_path)], label="test lint",
+            default_paths=lambda: [], lint_source=rule,
+        )
+        assert rc == 0
+        assert "clean" in capsys.readouterr().out

@@ -422,3 +422,73 @@ class TestRegressCommand:
         out = capsys.readouterr().out
         assert rc == 0, out
         assert "within tolerance" in out
+
+
+class TestServeLint:
+    def test_analyze_serve_lint_clean(self, capsys):
+        rc = main(["analyze", "--serve-lint"])
+        assert rc == 0
+        assert "serve lint: clean" in capsys.readouterr().out
+
+    def test_analyze_both_lints_json(self, capsys):
+        import json
+
+        rc = main(["analyze", "--lint", "--serve-lint", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["lint"]["count"] == 0
+        assert doc["serve_lint"]["count"] == 0
+
+
+class TestCheckInterleavings:
+    def test_all_scenarios_pass(self, capsys):
+        rc = main(["check-interleavings", "--scenario", "all",
+                   "--schedules", "3", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "all invariants held" in out
+        assert "[coalesce]" in out and "[timeout]" in out
+
+    def test_systematic_mode_json(self, capsys):
+        import json
+
+        rc = main(["check-interleavings", "--scenario", "timeout",
+                   "--mode", "systematic", "--schedules", "5", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["timeout"]["ok"] is True
+        assert doc["timeout"]["mode"] == "systematic"
+
+    def test_unknown_scenario_rejected(self, capsys):
+        rc = main(["check-interleavings", "--scenario", "bogus"])
+        assert rc == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestReplayCommand:
+    def test_record_then_replay(self, tmp_path, capsys):
+        trace = tmp_path / "events.jsonl"
+        rc = main(["serve-stats", "--n-rows", "200", "--requests", "4",
+                   "--rhs", "2", "--execution", "host",
+                   "--trace-log", str(trace)])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["replay", str(trace)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "matches the recording" in out
+
+    def test_replay_json(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "events.jsonl"
+        main(["serve-stats", "--n-rows", "200", "--requests", "3",
+              "--rhs", "0", "--execution", "host",
+              "--trace-log", str(trace)])
+        capsys.readouterr()
+        rc = main(["replay", str(trace), "--json", "--speed", "8"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert doc["ok"] is True
+        assert doc["recorded"]["requests"] == 3
+        assert doc["replayed"]["total"] == 3
