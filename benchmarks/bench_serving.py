@@ -18,9 +18,23 @@ Two measurements:
   (``benchmarks/_output/serving_host_vs_sim.json``, stable keys and
   ordering) that CI uploads.
 
+* **Cluster scaling**: the same pipelined multi-RHS workload pushed
+  through an N-worker :class:`~repro.serve.cluster.ShardRouter` for
+  each N in ``REPRO_BENCH_CLUSTER_WORKERS`` (default ``1,2,4``),
+  compared on solves/sec against the 1-worker cluster (so process/pipe
+  overhead is priced into both sides).  Residuals must stay <= 1e-10
+  and no shared-memory segment may leak at any size.  The scaling
+  floors (>= 1.6x at 2 workers, >= 2.5x at 4) only apply when the host
+  actually has that many cores — on a 1-CPU container the workers
+  time-slice one core and no speedup is possible, so the floors are
+  gated on ``os.cpu_count()``.  Artifact:
+  ``benchmarks/_output/serving_cluster_scaling.json``.
+
 Smoke-sized by default; scale with ``REPRO_BENCH_SERVE_ROWS`` /
 ``REPRO_BENCH_SERVE_REQUESTS`` and ``REPRO_BENCH_LANE_DOMAINS`` /
-``REPRO_BENCH_LANE_REQUESTS`` / ``REPRO_BENCH_LANE_ROWS``.
+``REPRO_BENCH_LANE_REQUESTS`` / ``REPRO_BENCH_LANE_ROWS`` and
+``REPRO_BENCH_CLUSTER_WORKERS`` / ``REPRO_BENCH_CLUSTER_ROWS`` /
+``REPRO_BENCH_CLUSTER_REQUESTS`` / ``REPRO_BENCH_CLUSTER_RHS``.
 """
 
 from __future__ import annotations
@@ -53,6 +67,17 @@ LANE_REQUESTS = int(os.environ.get("REPRO_BENCH_LANE_REQUESTS", "8"))
 #: machinery, thread handoff) dominates the host lane's wall clock and
 #: the comparison measures the harness, not the solvers.
 LANE_ROWS = int(os.environ.get("REPRO_BENCH_LANE_ROWS", "600"))
+#: Worker counts of the cluster-scaling sweep.
+CLUSTER_WORKERS = tuple(
+    int(w)
+    for w in os.environ.get("REPRO_BENCH_CLUSTER_WORKERS", "1,2,4").split(",")
+)
+CLUSTER_ROWS = int(os.environ.get("REPRO_BENCH_CLUSTER_ROWS", "600"))
+#: Pipelined multi-RHS submits per matrix per sweep point.
+CLUSTER_REQUESTS = int(os.environ.get("REPRO_BENCH_CLUSTER_REQUESTS", "8"))
+CLUSTER_RHS = int(os.environ.get("REPRO_BENCH_CLUSTER_RHS", "8"))
+#: Distinct matrices (shard keys) of the cluster workload.
+CLUSTER_MATRICES = int(os.environ.get("REPRO_BENCH_CLUSTER_MATRICES", "4"))
 
 
 def _serving_session():
@@ -238,4 +263,137 @@ def test_host_vs_sim_lanes(benchmark, output_dir):
 
     benchmark.extra_info["speedups"] = {
         d: doc["domains"][d]["measured"]["speedup"] for d in LANE_DOMAINS
+    }
+
+
+def _cluster_session(n_workers: int) -> dict:
+    """One pipelined workload through an ``n_workers`` cluster.
+
+    Every matrix gets ``CLUSTER_REQUESTS`` pipelined ``CLUSTER_RHS``-wide
+    submits; wall clock covers submit-to-drain (registration and warmup
+    excluded).  Returns throughput, worst residual and leak audit.
+    """
+    from repro.serve.arena import leaked_segments
+    from repro.serve.cluster import ShardRouter
+
+    systems = [
+        lower_triangular_system(generate("circuit", CLUSTER_ROWS, seed))
+        for seed in range(CLUSTER_MATRICES)
+    ]
+    total_rhs = CLUSTER_MATRICES * CLUSTER_REQUESTS * CLUSTER_RHS
+    with ShardRouter(
+        n_workers=n_workers, execution="host", request_timeout=300.0
+    ) as router:
+        keys = [
+            router.register(s.L, name=f"bench-{i}")
+            for i, s in enumerate(systems)
+        ]
+        shards = {router.worker_for(k) for k in keys}
+        work = []
+        for key, s in zip(keys, systems):
+            B = np.column_stack(
+                [(r + 1.0) * s.b for r in range(CLUSTER_RHS)]
+            )
+            X_true = np.column_stack(
+                [(r + 1.0) * s.x_true for r in range(CLUSTER_RHS)]
+            )
+            work.append((key, B, X_true))
+        # warmup: every worker JITs its plan path before the clock runs
+        for key, B, _ in work:
+            router.solve_multi(key, B)
+        t0 = time.perf_counter()
+        futs = [
+            (router.submit(key, B), X_true)
+            for _ in range(CLUSTER_REQUESTS)
+            for key, B, X_true in work
+        ]
+        residual = 0.0
+        for fut, X_true in futs:
+            resp = fut.result(timeout=300.0)
+            residual = max(residual, float(np.max(np.abs(resp.x - X_true))))
+        wall = time.perf_counter() - t0
+    return {
+        "workers": n_workers,
+        "shards_used": len(shards),
+        "wall_s": wall,
+        "solves_per_sec": total_rhs / wall,
+        "residual": residual,
+        "leaked_segments": leaked_segments(),
+    }
+
+
+def test_cluster_scaling(benchmark, output_dir):
+    """Sharded-cluster throughput sweep over worker counts.
+
+    Correctness (residual, zero leaked segments) is asserted at every
+    size unconditionally; the scaling floors only where the host has
+    enough cores for the workers to actually run in parallel.
+    """
+    results = run_once(
+        benchmark,
+        lambda: [_cluster_session(w) for w in CLUSTER_WORKERS],
+    )
+    by_workers = {r["workers"]: r for r in results}
+    base = by_workers[min(by_workers)]
+
+    doc = {
+        "config": {
+            "domain": "circuit",
+            "matrices": CLUSTER_MATRICES,
+            "n_rows": CLUSTER_ROWS,
+            "requests_per_matrix": CLUSTER_REQUESTS,
+            "rhs_per_request": CLUSTER_RHS,
+            "cpu_count": os.cpu_count(),
+        },
+        "sweep": [],
+    }
+    lines = ["sharded-cluster scaling", ""]
+    for r in results:
+        speedup = r["solves_per_sec"] / base["solves_per_sec"]
+        doc["sweep"].append({
+            "workers": r["workers"],
+            "shards_used": r["shards_used"],
+            "solves_per_sec": round(r["solves_per_sec"], 1),
+            "speedup_vs_1": round(speedup, 2),
+            "residual": f"{r['residual']:.3e}",
+            "leaked_segments": len(r["leaked_segments"]),
+        })
+        lines.append(
+            f"{r['workers']:>2} worker(s): {r['solves_per_sec']:9.1f} "
+            f"solves/s ({speedup:5.2f}x vs 1) | "
+            f"resid {r['residual']:.1e} | "
+            f"{len(r['leaked_segments'])} leaked"
+        )
+
+        # unconditional proof obligations
+        assert r["residual"] <= 1e-10
+        assert not r["leaked_segments"], (
+            f"{r['workers']} workers leaked {r['leaked_segments']}"
+        )
+
+    cores = os.cpu_count() or 1
+    floors = {2: 1.6, 4: 2.5}
+    for workers, floor in floors.items():
+        r = by_workers.get(workers)
+        if r is None or cores < workers:
+            continue  # sweep skipped the size, or host can't parallelize
+        speedup = r["solves_per_sec"] / base["solves_per_sec"]
+        assert speedup >= floor, (
+            f"{workers} workers only {speedup:.2f}x vs 1 "
+            f"(floor {floor}x, {cores} cores)"
+        )
+
+    report = "\n".join(lines)
+    print()
+    print(report)
+    (output_dir / "serving_cluster.txt").write_text(report + "\n")
+    (output_dir / "serving_cluster_scaling.json").write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    )
+
+    benchmark.extra_info["scaling"] = {
+        str(r["workers"]): round(
+            r["solves_per_sec"] / base["solves_per_sec"], 2
+        )
+        for r in results
     }

@@ -21,6 +21,9 @@ Usage::
     repro-sptrsv serve-stats --execution host --requests 32
     repro-sptrsv serve-stats --profile --trace-log events.jsonl
     repro-sptrsv serve-stats --openmetrics
+    repro-sptrsv serve-cluster --workers 2 --matrices 3 --requests 8
+    repro-sptrsv serve-cluster --workers 2 --chaos-kill --openmetrics
+    repro-sptrsv replay events.jsonl --workers 2
     repro-sptrsv regress
     repro-sptrsv regress --quick --cycles-tol 0.01
 """
@@ -237,6 +240,40 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the engine's structured event log "
                        "(enqueue/batch/launch/publish, JSONL) to PATH")
 
+    p_cl = sub.add_parser(
+        "serve-cluster",
+        help="run a synthetic session through the multi-process sharded "
+        "serve tier (ShardRouter + shard workers, zero-copy plans) and "
+        "print the fleet snapshot",
+    )
+    p_cl.add_argument("--workers", type=int, default=2,
+                      help="shard worker processes to spawn")
+    p_cl.add_argument("--matrices", type=int, default=3,
+                      help="distinct matrices to register (sharded by "
+                      "content fingerprint)")
+    p_cl.add_argument("--domain", default="circuit")
+    p_cl.add_argument("--n-rows", type=int, default=400)
+    p_cl.add_argument("--seed", type=int, default=0)
+    p_cl.add_argument("--requests", type=int, default=8,
+                      help="pipelined single-RHS solves per matrix")
+    p_cl.add_argument("--rhs", type=int, default=4,
+                      help="width of the one multi-RHS solve per matrix "
+                      "(0 to skip)")
+    p_cl.add_argument("--max-batch", type=int, default=32)
+    p_cl.add_argument("--execution", default="host",
+                      choices=["auto", "host", "sim"],
+                      help="worker engines' execution lane")
+    p_cl.add_argument("--chaos-kill", action="store_true",
+                      help="SIGKILL one worker mid-session and verify "
+                      "the router respawns it and answers stay correct")
+    p_cl.add_argument("--timeout", type=float, default=60.0,
+                      help="per-request deadline (s)")
+    p_cl.add_argument("--json", action="store_true",
+                      help="print the fleet snapshot as JSON")
+    p_cl.add_argument("--openmetrics", action="store_true",
+                      help="print the fleet roll-up in OpenMetrics text "
+                      "format instead of the snapshot")
+
     p_reg = sub.add_parser(
         "regress",
         help="perf-regression sentinel: re-run the deterministic "
@@ -288,6 +325,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="replay engine's coalescing window (s)")
     p_rep.add_argument("--execution", default="host",
                        choices=["auto", "host", "sim"])
+    p_rep.add_argument("--workers", type=int, default=0,
+                       help="replay through an N-worker sharded cluster "
+                       "instead of one in-process engine (always "
+                       "wall-paced; 0 = in-process)")
     p_rep.add_argument("--json", action="store_true",
                        help="emit the replay report as JSON")
 
@@ -311,6 +352,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_profile(args)
     if args.command == "serve-stats":
         return _cmd_serve_stats(args)
+    if args.command == "serve-cluster":
+        return _cmd_serve_cluster(args)
     if args.command == "check-interleavings":
         return _cmd_check_interleavings(args)
     if args.command == "replay":
@@ -749,6 +792,141 @@ def _cmd_serve_stats(args) -> int:
     return 0 if err < 1e-8 else 1
 
 
+def _cmd_serve_cluster(args) -> int:
+    """Drive the sharded multi-process serve tier end to end.
+
+    Registers ``--matrices`` distinct synthetic systems with a
+    :class:`~repro.serve.cluster.ShardRouter` (each plan built once,
+    published to shared memory, adopted zero-copy by its shard worker),
+    fires pipelined single- and multi-RHS solves against every matrix,
+    verifies every answer against the manufactured solution, and prints
+    the fleet-wide roll-up.  ``--chaos-kill`` SIGKILLs one worker
+    mid-session and asserts the router respawns it and keeps answering
+    correctly.  Exits non-zero on a bad residual or a leaked
+    shared-memory segment.
+    """
+    import json
+
+    from repro.datasets import generate
+    from repro.errors import WorkerDiedError
+    from repro.serve.arena import leaked_segments
+    from repro.serve.cluster import ShardRouter
+    from repro.sparse import lower_triangular_system
+
+    emit = (lambda *a, **k: None) if (args.json or args.openmetrics) else print
+    systems = [
+        lower_triangular_system(
+            generate(args.domain, args.n_rows, args.seed + i)
+        )
+        for i in range(max(args.matrices, 1))
+    ]
+
+    err = 0.0
+    deaths_seen = 0
+    with ShardRouter(
+        n_workers=args.workers,
+        execution=args.execution,
+        max_batch=args.max_batch,
+        request_timeout=args.timeout,
+    ) as router:
+        keys = [
+            router.register(s.L, name=f"cli-{i}")
+            for i, s in enumerate(systems)
+        ]
+        for i, key in enumerate(keys):
+            emit(f"matrix {i}     : {key[:12]}… -> {router.worker_for(key)}")
+
+        def fire() -> list:
+            """Pipeline every request, then pair futures with truths."""
+            futs = []
+            for key, s in zip(keys, systems):
+                for _ in range(max(args.requests, 0)):
+                    futs.append(
+                        (router.submit(key, s.b, single=True), s.x_true)
+                    )
+                if args.rhs > 0:
+                    B = np.column_stack(
+                        [(r + 1.0) * s.b for r in range(args.rhs)]
+                    )
+                    X_true = np.column_stack(
+                        [(r + 1.0) * s.x_true for r in range(args.rhs)]
+                    )
+                    futs.append((router.submit(key, B), X_true))
+            return futs
+
+        def drain(futs: list, *, tolerate_deaths: bool) -> float:
+            worst = 0.0
+            nonlocal deaths_seen
+            for fut, truth in futs:
+                try:
+                    resp = fut.result(timeout=args.timeout)
+                except WorkerDiedError:
+                    if not tolerate_deaths:
+                        raise
+                    deaths_seen += 1
+                    continue
+                worst = max(worst, float(np.max(np.abs(resp.x - truth))))
+            return worst
+
+        err = max(err, drain(fire(), tolerate_deaths=False))
+        if args.chaos_kill:
+            import time
+
+            victim = router.worker_for(keys[0])
+            futs = fire()
+            router.kill_worker(victim)
+            # in-flight requests on the victim fail with WorkerDiedError;
+            # the router respawns the shard, so a retry must succeed
+            # (the respawn runs in the reader thread — poll briefly)
+            err = max(err, drain(futs, tolerate_deaths=True))
+            for _ in range(100):
+                try:
+                    err = max(err, drain(fire(), tolerate_deaths=False))
+                    break
+                except WorkerDiedError:
+                    time.sleep(0.2)
+            else:  # pragma: no cover - respawn never landed
+                raise WorkerDiedError(
+                    f"cluster did not recover after killing {victim}"
+                )
+            emit(f"chaos         : killed {victim}, {deaths_seen} "
+                 f"request(s) failed in flight, retries all correct")
+        snap = router.snapshot()
+        om = router.openmetrics() if args.openmetrics else None
+    leaked = leaked_segments()
+
+    if args.openmetrics:
+        sys.stdout.write(om)
+    elif args.json:
+        print(json.dumps({
+            "snapshot": snap,
+            "max_error": err,
+            "chaos_kill": bool(args.chaos_kill),
+            "in_flight_failures": deaths_seen,
+            "leaked_segments": leaked,
+        }, indent=2))
+    else:
+        fleet, rt = snap["fleet"], snap["router"]
+        req = fleet["requests"]
+        print(f"workers       : {rt['workers']} "
+              f"({', '.join(sorted(snap['workers']))})")
+        print(f"requests      : {req['total']} total, "
+              f"{req['completed']} completed, {req['failed']} failed")
+        print(f"batches       : {fleet['batches']['total']} "
+              f"(width mean {fleet['batches']['width']['mean']:.1f})")
+        print(f"latency (p95) : {fleet['latency_ms']['p95']:.2f} ms "
+              "(count-weighted across workers)")
+        print(f"deaths        : {rt['worker_deaths']} worker death(s), "
+              f"{rt['respawns']} respawn(s)")
+        print(f"arena         : {rt['arena']['resident']} plan segment(s), "
+              f"{rt['arena']['resident_bytes']} bytes shared")
+        print(f"slabs         : {rt['slabs']['created']} created, "
+              f"{rt['slabs']['reused']} reused")
+        print(f"leaked shm    : {len(leaked)}")
+        print(f"max error     : {err:.3e}")
+    return 0 if err < 1e-8 and not leaked else 1
+
+
 def _cmd_check_interleavings(args) -> int:
     """Explore serve-engine schedules under the deterministic scheduler.
 
@@ -815,6 +993,7 @@ def _cmd_replay(args) -> int:
         n=args.n,
         batch_window=args.batch_window,
         execution=args.execution,
+        workers=args.workers,
     )
     if args.json:
         print(json.dumps({
@@ -823,6 +1002,7 @@ def _cmd_replay(args) -> int:
             "speed": report.speed,
             "virtual": report.virtual,
             "n_matrices": report.n_matrices,
+            "workers": report.workers,
             "ok": report.ok,
             "mismatches": report.mismatches,
         }, indent=2))

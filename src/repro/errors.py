@@ -23,6 +23,8 @@ __all__ = [
     "UnknownMatrixError",
     "QueueFullError",
     "RequestTimeoutError",
+    "ClusterError",
+    "WorkerDiedError",
 ]
 
 
@@ -117,3 +119,18 @@ class RequestTimeoutError(ServeError):
 
     The underlying executor work is not interrupted (threads cannot be
     cancelled); the result is discarded when it arrives."""
+
+
+class ClusterError(ServeError):
+    """Base class for failures in the multi-worker serve cluster
+    (:mod:`repro.serve.cluster`): protocol violations, arena segment
+    corruption, a worker pool that cannot be (re)started."""
+
+
+class WorkerDiedError(ClusterError):
+    """A shard worker process died with requests in flight.
+
+    In-flight requests on the dead worker fail with this error; the
+    router respawns the worker (re-attaching its shard's shared-memory
+    plans, never rebuilding them) and subsequent requests are served
+    normally.  Callers may simply retry."""

@@ -14,6 +14,7 @@ from repro.metrics.expo import (
     render_metrics,
     render_openmetrics,
 )
+from repro.metrics.fleet import fleet_openmetrics, fleet_rollup
 
 __all__ = [
     "SpeedupSummary",
@@ -30,4 +31,6 @@ __all__ = [
     "parse_openmetrics",
     "render_metrics",
     "render_openmetrics",
+    "fleet_openmetrics",
+    "fleet_rollup",
 ]

@@ -20,6 +20,12 @@ This package provides the three pieces that make that real:
   depth, batch width, cache hit-rate, fallback counts; one
   JSON-friendly snapshot consumed by tests, benchmarks and the
   ``repro-sptrsv serve-stats`` CLI.
+* :class:`~repro.serve.cluster.ShardRouter` — a multi-process sharded
+  tier on top of the engine: matrices are consistent-hash-sharded onto
+  worker processes, execution plans are built once and shared zero-copy
+  through :class:`~repro.serve.arena.PlanArena` shared-memory segments,
+  dead workers respawn with their shard replayed from the published
+  handles (``repro-sptrsv serve-cluster``).
 
 Concurrency correctness is checked from two sides: the async-hazard
 lint (``repro-sptrsv analyze --serve-lint``) statically flags engine
@@ -32,6 +38,8 @@ with :mod:`repro.serve.replay` (``repro-sptrsv replay``).
 See ``docs/serving.md`` for the architecture and tuning knobs.
 """
 
+from repro.serve.arena import PlanArena, PlanHandle, SlabPool
+from repro.serve.cluster import ClusterResponse, ShardRouter
 from repro.serve.engine import SolveEngine
 from repro.serve.registry import (
     DEFAULT_MEMORY_BUDGET,
@@ -40,13 +48,20 @@ from repro.serve.registry import (
     matrix_fingerprint,
 )
 from repro.serve.requests import SolveResponse
+from repro.serve.shardproto import HashRing
 from repro.serve.slo import SLOTracker
 from repro.serve.telemetry import ServeTelemetry
 
 __all__ = [
     "DEFAULT_MEMORY_BUDGET",
+    "ClusterResponse",
+    "HashRing",
     "MatrixRegistry",
+    "PlanArena",
+    "PlanHandle",
     "RegisteredMatrix",
+    "ShardRouter",
+    "SlabPool",
     "matrix_fingerprint",
     "SolveEngine",
     "SolveResponse",

@@ -307,8 +307,12 @@ class SolveEngine:
             return frozenset(self._quarantined.get(entry.key, ()))
 
     def snapshot(self) -> dict:
-        """Telemetry + cache statistics + quarantine state, one dict."""
-        snap = self.telemetry.snapshot(cache=self.registry.stats())
+        """Telemetry + registry statistics + quarantine state, one dict."""
+        stats = self.registry.stats()
+        snap = self.telemetry.snapshot(cache=stats)
+        # "cache" (inside the telemetry snapshot) predates the registry
+        # growing non-cache state; "registry" is the canonical key.
+        snap["registry"] = stats
         with self._quarantine_lock:
             snap["quarantined"] = {
                 key: sorted(names)

@@ -112,11 +112,13 @@ class MatrixRegistry:
         *,
         memory_budget: int = DEFAULT_MEMORY_BUDGET,
         device: DeviceSpec = SIM_SMALL,
+        shard_id: Optional[int] = None,
     ) -> None:
         if memory_budget <= 0:
             raise ServeError("memory_budget must be positive")
         self.memory_budget = memory_budget
         self.device = device
+        self.shard_id = shard_id
         self._lock = threading.RLock()
         self._entries: "OrderedDict[str, RegisteredMatrix]" = OrderedDict()
         self._names: dict[str, str] = {}  # display name -> key
@@ -127,6 +129,7 @@ class MatrixRegistry:
         self._registrations = 0
         self._dedup_hits = 0
         self._artifact_builds = 0
+        self._adopted_plans = 0
 
     # ------------------------------------------------------------------
     # registration and lookup
@@ -243,6 +246,24 @@ class MatrixRegistry:
                 self._hits += 1
             return entry._plan
 
+    def adopt_plan(self, ref: str, plan: ExecutionPlan) -> None:
+        """Install an externally built plan on an entry (no build cost).
+
+        Shard workers use this to wire in plans whose arrays live in a
+        shared-memory arena segment: the router paid the inspector cost
+        once, the worker adopts the zero-copy reconstruction instead of
+        rebuilding.  Counted separately from :meth:`plan` builds so the
+        stats distinguish local inspector work from adopted artifacts.
+        An already-planned entry keeps its plan (first one wins — both
+        were built from the same fingerprint, so they are equivalent).
+        """
+        with self._lock:
+            entry = self._lookup(ref)
+            if entry._plan is None:
+                entry._plan = plan
+                self._adopted_plans += 1
+                self._enforce_budget(keep=entry.key)
+
     def verdict(self, ref: str, solver: str = "capellini") -> ScheduleReport:
         """Static schedule-verifier report for one solver family."""
         with self._lock:
@@ -272,7 +293,7 @@ class MatrixRegistry:
         with self._lock:
             hits, misses = self._hits, self._misses
             lookups = hits + misses
-            return {
+            stats = {
                 "entries": len(self._entries),
                 "resident_bytes": sum(
                     e.nbytes for e in self._entries.values()
@@ -285,7 +306,11 @@ class MatrixRegistry:
                 "registrations": self._registrations,
                 "dedup_hits": self._dedup_hits,
                 "artifact_builds": self._artifact_builds,
+                "adopted_plans": self._adopted_plans,
             }
+            if self.shard_id is not None:
+                stats["shard"] = self.shard_id
+            return stats
 
     def _enforce_budget(self, *, keep: str) -> None:
         """Evict least-recently-used entries until within budget.

@@ -24,6 +24,15 @@ registry keys), so replay registers one deterministic stand-in system
 per distinct key under the recorded key as its registration *name* —
 request routing, coalescing, and batch shapes are reproduced; numeric
 content is synthetic.
+
+A recording can also be replayed through the sharded cluster
+(``replay_file(..., workers=N)`` / ``repro-sptrsv replay --workers N``):
+the same stand-ins register through a
+:class:`~repro.serve.cluster.ShardRouter`, requests fan out to the
+shard workers as pipelined submits, and the replayed counts come from
+the fleet roll-up instead of one engine's telemetry.  Cluster replay is
+always wall-paced (worker processes share no virtual clock); ``speed``
+still scales the recorded gaps.
 """
 
 from __future__ import annotations
@@ -37,6 +46,7 @@ from typing import Iterable, Optional
 import numpy as np
 
 from repro.analysis.interleave import AsyncioClock, VirtualClock
+from repro.metrics.fleet import fleet_rollup
 from repro.serve.engine import SolveEngine
 from repro.sparse.csr import CSRMatrix
 
@@ -44,6 +54,7 @@ __all__ = [
     "ReplayReport",
     "load_events",
     "replay_events",
+    "replay_events_cluster",
     "replay_file",
     "stand_in_matrix",
     "trace_counts",
@@ -122,13 +133,17 @@ class ReplayReport:
     virtual: bool
     n_matrices: int
     mismatches: list[str] = field(default_factory=list)
+    workers: int = 0
 
     @property
     def ok(self) -> bool:
         return not self.mismatches
 
     def summary(self) -> str:
-        mode = "virtual clock" if self.virtual else f"wall x{self.speed:g}"
+        if self.workers:
+            mode = f"cluster of {self.workers} worker(s), wall x{self.speed:g}"
+        else:
+            mode = "virtual clock" if self.virtual else f"wall x{self.speed:g}"
         lines = [
             f"replayed {self.recorded['requests']} request(s) "
             f"({self.recorded['rhs']} rhs) over {self.n_matrices} "
@@ -212,6 +227,44 @@ async def replay_events(
     }
 
 
+def replay_events_cluster(
+    events: list[dict],
+    router,
+    *,
+    speed: float = 1.0,
+) -> dict:
+    """Re-issue the recorded enqueues through a
+    :class:`~repro.serve.cluster.ShardRouter` as pipelined submits;
+    returns fleet-level request telemetry (roll-up across workers)."""
+    import time
+
+    enqueues = [e for e in events if e.get("kind") == "enqueue"]
+    futures = []
+    prev_ts: Optional[float] = None
+    for e in enqueues:
+        ts = float(e.get("ts", 0.0))
+        if prev_ts is not None and ts > prev_ts:
+            time.sleep((ts - prev_ts) / speed)
+        prev_ts = ts
+        key = e["matrix"]
+        n_rhs = int(e.get("n_rhs", 1))
+        n = router._registry.get(key).matrix.n_rows
+        futures.append(
+            router.submit(
+                key, np.ones((n, n_rhs)), single=n_rhs == 1
+            )
+        )
+    for fut in futures:
+        try:
+            fut.result(timeout=router.request_timeout)
+        except Exception:  # noqa: BLE001 - accounted in worker telemetry
+            pass
+    fleet = fleet_rollup(router.worker_snapshots())
+    counts = dict(fleet["requests"])
+    counts["batches"] = fleet["batches"]["total"]
+    return counts
+
+
 def replay_file(
     path: str | Path,
     *,
@@ -220,14 +273,41 @@ def replay_file(
     n: int = 32,
     batch_window: float = 0.0,
     execution: str = "host",
+    workers: int = 0,
 ) -> ReplayReport:
-    """Replay a TraceLog JSONL recording end to end."""
+    """Replay a TraceLog JSONL recording end to end.
+
+    ``workers=0`` (default) replays through one in-process engine;
+    ``workers=N`` replays through an ``N``-worker sharded cluster.
+    """
     events = load_events(path)
     recorded = trace_counts(events)
     keys = []
     for e in events:
         if e.get("kind") == "enqueue" and e["matrix"] not in keys:
             keys.append(e["matrix"])
+
+    if workers > 0:
+        from repro.serve.cluster import ShardRouter
+
+        with ShardRouter(
+            n_workers=workers,
+            execution=execution,
+            batch_window=batch_window,
+            request_timeout=None,
+        ) as router:
+            for i, key in enumerate(keys):
+                router.register(stand_in_matrix(n, i), name=key)
+            replayed = replay_events_cluster(events, router, speed=speed)
+        return ReplayReport(
+            recorded=recorded,
+            replayed=replayed,
+            speed=speed,
+            virtual=False,
+            n_matrices=len(keys),
+            mismatches=_compare(recorded, replayed),
+            workers=workers,
+        )
 
     async def run() -> dict:
         clock = VirtualClock() if virtual else AsyncioClock()

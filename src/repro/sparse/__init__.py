@@ -31,12 +31,14 @@ from repro.sparse.triangular import (
     make_unit_lower_triangular,
     strict_lower_part,
 )
+from repro.sparse.fingerprint import content_fingerprint
 from repro.sparse.io_mm import read_matrix_market, write_matrix_market
 
 __all__ = [
     "COOMatrix",
     "CSCMatrix",
     "CSRMatrix",
+    "content_fingerprint",
     "coo_to_csr",
     "csc_to_csr",
     "csr_to_coo",

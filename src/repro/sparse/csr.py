@@ -14,12 +14,12 @@ otherwise surface as a wrong *solution*, which is much harder to debug.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.errors import SparseFormatError
+from repro.sparse.fingerprint import content_fingerprint
 
 __all__ = ["CSRMatrix"]
 
@@ -147,17 +147,16 @@ class CSRMatrix:
         Two matrices with equal structure and values share a fingerprint
         regardless of object identity, so it is the right key for any
         cache of derived artifacts (execution plans, level schedules,
-        registry entries).  Computed once and memoized — the arrays are
-        immutable by convention.
+        registry entries, shard routing).  Delegates to the one
+        canonical routine in :mod:`repro.sparse.fingerprint`; computed
+        once and memoized — the arrays are immutable by convention.
         """
         cached = self.__dict__.get("_fingerprint")
         if cached is None:
-            h = hashlib.blake2b(digest_size=16)
-            h.update(f"{self.n_rows}x{self.n_cols}:{self.nnz};".encode())
-            h.update(self.row_ptr.tobytes())
-            h.update(self.col_idx.tobytes())
-            h.update(self.values.tobytes())
-            cached = h.hexdigest()
+            cached = content_fingerprint(
+                self.n_rows, self.n_cols,
+                self.row_ptr, self.col_idx, self.values,
+            )
             object.__setattr__(self, "_fingerprint", cached)
         return cached
 

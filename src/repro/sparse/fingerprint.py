@@ -1,0 +1,49 @@
+"""The canonical content-fingerprint routine for sparse matrices.
+
+Every content-addressed cache in the system — the registry's entry
+table, the host solver's plan cache, the serve cluster's shard router —
+keys on the same blake2b digest over a matrix's shape and CSR arrays.
+Keeping the byte recipe in exactly one place is what guarantees those
+caches can never disagree on identity: if shard routing hashed one
+serialization and plan caching another, a worker could own a shard it
+can never find plans for.
+
+:meth:`repro.sparse.csr.CSRMatrix.content_fingerprint` and
+:func:`repro.serve.registry.matrix_fingerprint` both delegate here.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["DIGEST_SIZE", "content_fingerprint"]
+
+#: Digest size in bytes (hex fingerprints are twice this length).
+DIGEST_SIZE = 16
+
+
+def content_fingerprint(
+    n_rows: int,
+    n_cols: int,
+    row_ptr: np.ndarray,
+    col_idx: np.ndarray,
+    values: np.ndarray,
+) -> str:
+    """Blake2b hex digest of a CSR matrix's shape and arrays.
+
+    The recipe (shape/nnz header, then the raw bytes of ``row_ptr``,
+    ``col_idx``, ``values`` in that order) is a stability contract:
+    changing it invalidates every content-addressed artifact at once.
+    Arrays must already be in canonical dtype (``int64`` indices,
+    ``float64`` values, C-contiguous) — :class:`~repro.sparse.csr.
+    CSRMatrix` normalizes them at construction.
+    """
+    nnz = len(col_idx)
+    h = hashlib.blake2b(digest_size=DIGEST_SIZE)
+    h.update(f"{n_rows}x{n_cols}:{nnz};".encode())
+    h.update(row_ptr.tobytes())
+    h.update(col_idx.tobytes())
+    h.update(values.tobytes())
+    return h.hexdigest()

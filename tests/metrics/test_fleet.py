@@ -1,0 +1,146 @@
+"""Fleet roll-up of per-shard serving snapshots."""
+
+from repro.metrics import parse_openmetrics
+from repro.metrics.fleet import fleet_openmetrics, fleet_rollup
+
+
+def worker_snap(
+    *,
+    total=10,
+    completed=10,
+    failed=0,
+    p95=4.0,
+    count=10,
+    hits=8,
+    misses=2,
+    verdict="ok",
+    objective=0.99,
+    errors=0,
+    host_rhs=10,
+):
+    summary = {
+        "count": count, "sum": p95 * count, "mean": p95,
+        "min": p95 / 2, "max": p95 * 2,
+        "p50": p95 / 2, "p95": p95, "p99": p95 * 1.5,
+    }
+    return {
+        "requests": {
+            "total": total, "completed": completed, "failed": failed,
+            "timed_out": 0, "rejected": 0,
+        },
+        "batches": {"total": 4, "width": dict(summary)},
+        "latency_ms": dict(summary),
+        "queue": {"depth": 1, "peak": 3},
+        "fallbacks": {
+            "solves": 1, "kernel_failures": 0,
+            "by_transition": {"Capellini->LevelSet": 1},
+            "failures_by_solver": {},
+        },
+        "sim": {"cycles": 100, "exec_ms": 0.5},
+        "lanes": {
+            "host": {"batches": 4, "rhs": host_rhs, "exec_ms": 1.0},
+            "sim": {"batches": 0, "rhs": 0},
+        },
+        "registry": {
+            "entries": 2, "resident_bytes": 1000, "hits": hits,
+            "misses": misses, "evictions": 0, "registrations": 2,
+            "artifact_builds": 0, "adopted_plans": 2,
+        },
+        "slo": {
+            "objective": objective, "attempts": total,
+            "error_total": errors, "verdict": verdict,
+        },
+    }
+
+
+class TestRollup:
+    def test_counters_sum(self):
+        fleet = fleet_rollup({
+            "shard-0": worker_snap(total=10, completed=9, failed=1),
+            "shard-1": worker_snap(total=6, completed=6),
+        })
+        assert fleet["workers"] == 2
+        assert fleet["requests"]["total"] == 16
+        assert fleet["requests"]["completed"] == 15
+        assert fleet["requests"]["failed"] == 1
+        assert fleet["batches"]["total"] == 8
+        assert fleet["lanes"]["host"]["rhs"] == 20
+        assert fleet["registry"]["adopted_plans"] == 4
+        assert fleet["fallbacks"]["by_transition"] == {
+            "Capellini->LevelSet": 2
+        }
+
+    def test_ratios_recomputed_not_averaged(self):
+        # one shard all hits, one all misses with 3x the lookups: a
+        # naive mean of hit rates would say 50%, the truth is 25%
+        fleet = fleet_rollup({
+            "a": worker_snap(hits=10, misses=0),
+            "b": worker_snap(hits=0, misses=30),
+        })
+        assert fleet["registry"]["hit_rate"] == 10 / 40
+
+    def test_quantiles_count_weighted(self):
+        fleet = fleet_rollup({
+            "a": worker_snap(p95=10.0, count=30),
+            "b": worker_snap(p95=2.0, count=10),
+        })
+        assert fleet["latency_ms"]["p95"] == (10.0 * 30 + 2.0 * 10) / 40
+        assert fleet["latency_ms"]["count"] == 40
+        assert fleet["latency_ms"]["max"] == 20.0
+
+    def test_slo_worst_verdict_and_recomputed_availability(self):
+        fleet = fleet_rollup({
+            "a": worker_snap(total=90, errors=0, verdict="ok"),
+            "b": worker_snap(total=10, errors=5, verdict="breached"),
+        })
+        assert fleet["slo"]["verdict"] == "breached"
+        assert fleet["slo"]["availability"] == 1.0 - 5 / 100
+        assert fleet["slo"]["error_budget_burn"] > 0
+
+    def test_empty_fleet(self):
+        fleet = fleet_rollup({})
+        assert fleet["workers"] == 0
+        assert fleet["requests"]["total"] == 0
+        assert fleet["latency_ms"]["count"] == 0
+        assert fleet["slo"]["verdict"] == "ok"
+        assert fleet["slo"]["availability"] == 1.0
+
+
+class TestOpenMetrics:
+    def test_per_worker_series_and_fleet_gauges(self):
+        text = fleet_openmetrics({
+            "shard-0": worker_snap(total=10),
+            "shard-1": worker_snap(total=6),
+        })
+        families = parse_openmetrics(text)
+        req = families["repro_fleet_requests"]
+        assert req['repro_fleet_requests_total{worker="shard-0"}'] == 10
+        assert req['repro_fleet_requests_total{worker="shard-1"}'] == 6
+        workers = families["repro_fleet_workers"]
+        assert workers["repro_fleet_workers"] == 2
+
+    def test_router_block_rendered_when_given(self):
+        router = {
+            "requests": 16, "worker_deaths": 1, "respawns": 1,
+            "arena": {"resident": 2, "resident_bytes": 4096},
+            "slabs": {"segments": 3, "reused": 5},
+        }
+        text = fleet_openmetrics(
+            {"shard-0": worker_snap()}, router=router
+        )
+        families = parse_openmetrics(text)
+        assert families["repro_fleet_router_respawns"][
+            "repro_fleet_router_respawns_total"
+        ] == 1
+        assert families["repro_fleet_arena_bytes"][
+            "repro_fleet_arena_bytes"
+        ] == 4096
+        assert families["repro_fleet_slab_reuses"][
+            "repro_fleet_slab_reuses_total"
+        ] == 5
+
+    def test_deterministic_rendering(self):
+        workers = {"b": worker_snap(), "a": worker_snap(total=3)}
+        assert fleet_openmetrics(workers) == fleet_openmetrics(
+            dict(reversed(list(workers.items())))
+        )

@@ -1,0 +1,252 @@
+"""ShardRouter: multi-process sharded serving with zero-copy plans.
+
+Spawning workers is the expensive part (a fresh interpreter imports
+numpy per worker), so most tests share one module-scoped router; the
+chaos/respawn and shutdown-audit tests build their own so they can
+kill and close freely.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ClusterError, UnknownMatrixError, WorkerDiedError
+from repro.serve.arena import leaked_segments
+from repro.serve.cluster import ShardRouter
+from repro.sparse.triangular import lower_triangular_system
+
+from tests.conftest import random_unit_lower
+
+N = 120
+
+
+def distinct_shard_systems(router, count=2, max_candidates=24):
+    """Register candidate systems until ``count`` distinct shard owners
+    are covered (two keys can legitimately hash onto one worker).
+    Returns ``[(key, system), ...]`` with pairwise-distinct owners."""
+    picked = {}
+    for seed in range(max_candidates):
+        L = random_unit_lower(N, 0.1, seed=seed)
+        system = lower_triangular_system(L)
+        key = router.register(L, name=f"sys-{seed}")
+        owner = router.worker_for(key)
+        if owner not in picked:
+            picked[owner] = (key, system)
+        if len(picked) >= count:
+            return [picked[node] for node in sorted(picked)]
+    raise AssertionError(
+        f"no {count} distinct shards among {max_candidates} candidates"
+    )
+
+
+@pytest.fixture(scope="module")
+def router():
+    with ShardRouter(n_workers=2, execution="host",
+                     request_timeout=60.0) as r:
+        yield r
+
+
+@pytest.fixture(scope="module")
+def sharded(router):
+    return distinct_shard_systems(router)
+
+
+class TestRoutingAndSolving:
+    def test_matrices_land_on_distinct_shards(self, router, sharded):
+        owners = {router.worker_for(key) for key, _ in sharded}
+        assert len(owners) == 2
+        assert owners <= set(router.nodes)
+
+    def test_register_is_idempotent(self, router, sharded):
+        key, system = sharded[0]
+        assert router.register(system.L) == key
+
+    def test_single_rhs_solve_each_shard(self, router, sharded):
+        for key, system in sharded:
+            resp = router.solve(key, system.b)
+            assert resp.x.shape == system.b.shape
+            np.testing.assert_allclose(
+                resp.x, system.x_true, rtol=1e-9, atol=1e-12
+            )
+            assert resp.worker == router.worker_for(key)
+            assert resp.n_rhs == 1
+            assert resp.lane == "host"
+
+    def test_multi_rhs_solve(self, router, sharded):
+        key, system = sharded[0]
+        k = 3
+        B = np.column_stack([(r + 1.0) * system.b for r in range(k)])
+        X_true = np.column_stack(
+            [(r + 1.0) * system.x_true for r in range(k)]
+        )
+        resp = router.solve_multi(key, B)
+        assert resp.x.shape == (N, k)
+        np.testing.assert_allclose(resp.x, X_true, rtol=1e-9, atol=1e-12)
+
+    def test_large_rhs_travels_by_slab(self, router, sharded):
+        key, system = sharded[0]
+        k = 1 + router.inline_max // (N * 8)  # force the slab path
+        B = np.column_stack([(r + 1.0) * system.b for r in range(k)])
+        X_true = np.column_stack(
+            [(r + 1.0) * system.x_true for r in range(k)]
+        )
+        def slab_traffic():
+            s = router.router_stats()["slabs"]
+            return s["created"] + s["reused"]
+
+        before = slab_traffic()
+        resp = router.solve_multi(key, B)
+        np.testing.assert_allclose(resp.x, X_true, rtol=1e-9, atol=1e-12)
+        assert slab_traffic() > before
+
+    def test_pipelined_submits_across_shards(self, router, sharded):
+        futs = [
+            (router.submit(key, system.b, single=True), system)
+            for _ in range(8)
+            for key, system in sharded
+        ]
+        for fut, system in futs:
+            np.testing.assert_allclose(
+                fut.result(timeout=60.0).x, system.x_true,
+                rtol=1e-9, atol=1e-12,
+            )
+
+    def test_unknown_matrix_rejected_router_side(self, router):
+        with pytest.raises(UnknownMatrixError):
+            router.solve("never-registered", np.ones(N))
+
+    def test_bad_shape_rejected(self, router, sharded):
+        key, _ = sharded[0]
+        with pytest.raises(ClusterError):
+            router.submit(key, np.ones((N + 1, 1)))
+
+    def test_ping_all_workers(self, router):
+        replies = router.ping()
+        assert set(replies) == set(router.nodes)
+
+
+class TestTelemetry:
+    def test_snapshot_shape_and_rollup(self, router, sharded):
+        for key, system in sharded:
+            router.solve(key, system.b)
+        snap = router.snapshot()
+        assert set(snap) == {"workers", "fleet", "router"}
+        assert set(snap["workers"]) == set(router.nodes)
+        fleet = snap["fleet"]
+        assert fleet["workers"] == 2
+        assert fleet["requests"]["total"] >= 2
+        assert fleet["requests"]["total"] == sum(
+            w["requests"]["total"] for w in snap["workers"].values()
+        )
+        # workers adopted the router-built plans instead of rebuilding
+        assert fleet["registry"]["adopted_plans"] >= 2
+        rt = snap["router"]
+        assert rt["workers"] == 2
+        assert rt["arena"]["resident"] >= 2
+        assert sum(rt["shard_keys"].values()) >= 2
+
+    def test_worker_snapshot_has_shard_id(self, router):
+        snaps = router.worker_snapshots()
+        shards = {
+            s["registry"]["shard"] for s in snaps.values()
+        }
+        assert shards == {0, 1}
+
+    def test_openmetrics_renders_fleet_series(self, router):
+        text = router.openmetrics()
+        assert "repro_fleet_workers 2" in text
+        assert 'worker="shard-0"' in text
+        assert "repro_fleet_router_requests_total" in text
+
+
+class TestFailureRecovery:
+    def test_kill_mid_stream_respawns_and_recovers(self):
+        with ShardRouter(n_workers=2, execution="host",
+                         request_timeout=60.0) as router:
+            (key, system), _ = distinct_shard_systems(router)
+            victim = router.worker_for(key)
+
+            futs = [
+                router.submit(key, system.b, single=True)
+                for _ in range(16)
+            ]
+            router.kill_worker(victim)
+            outcomes = {"ok": 0, "died": 0}
+            for fut in futs:
+                try:
+                    resp = fut.result(timeout=60.0)
+                except WorkerDiedError:
+                    outcomes["died"] += 1
+                else:
+                    outcomes["ok"] += 1
+                    np.testing.assert_allclose(
+                        resp.x, system.x_true, rtol=1e-9, atol=1e-12
+                    )
+            # the kill landed mid-stream: something must have died
+            assert outcomes["died"] >= 1
+
+            # respawn happens in the reader thread; retry until it lands
+            deadline = time.monotonic() + 60.0
+            while True:
+                try:
+                    resp = router.solve(key, system.b)
+                    break
+                except WorkerDiedError:
+                    if time.monotonic() > deadline:  # pragma: no cover
+                        raise
+                    time.sleep(0.1)
+            np.testing.assert_allclose(
+                resp.x, system.x_true, rtol=1e-9, atol=1e-12
+            )
+            assert resp.worker == victim  # same node name, new process
+            stats = router.router_stats()
+            assert stats["worker_deaths"] >= 1
+            assert stats["respawns"] >= 1
+            assert set(router.nodes) == {"shard-0", "shard-1"}
+
+    def test_no_respawn_retires_worker_and_rehomes_keys(self):
+        with ShardRouter(n_workers=2, execution="host",
+                         request_timeout=60.0, respawn=False) as router:
+            (key, system), _ = distinct_shard_systems(router)
+            victim = router.worker_for(key)
+            router.kill_worker(victim)
+            deadline = time.monotonic() + 60.0
+            while victim in router.nodes:
+                if time.monotonic() > deadline:  # pragma: no cover
+                    raise AssertionError("worker never retired")
+                time.sleep(0.05)
+            # the survivor inherited the dead shard's keys
+            resp = router.solve(key, system.b)
+            np.testing.assert_allclose(
+                resp.x, system.x_true, rtol=1e-9, atol=1e-12
+            )
+            assert resp.worker != victim
+            assert len(router.nodes) == 1
+
+    def test_close_leaves_no_shared_memory(self):
+        # other routers (the module fixture) may be live: audit only
+        # the segments this router adds
+        before = set(leaked_segments())
+        with ShardRouter(n_workers=2, execution="host",
+                         request_timeout=60.0) as router:
+            L = random_unit_lower(N, 0.1, seed=3)
+            system = lower_triangular_system(L)
+            key = router.register(L)
+            # exercise both inline and slab payloads before closing
+            router.solve(key, system.b)
+            router.solve_multi(key, np.column_stack([system.b] * 8))
+            assert set(leaked_segments()) - before  # segments existed
+        assert set(leaked_segments()) - before == set()
+
+    def test_submit_after_close_rejected(self):
+        router = ShardRouter(n_workers=1, execution="host")
+        L = random_unit_lower(N, 0.1, seed=4)
+        key = router.register(L)
+        router.close()
+        with pytest.raises(ClusterError):
+            router.submit(key, np.ones(N))
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ClusterError):
+            ShardRouter(n_workers=0)

@@ -566,3 +566,26 @@ class TestExecutionLanes:
 
         launches = run(main())
         assert launches and all(e["lane"] == "host" for e in launches)
+
+
+class TestSnapshotRegistry:
+    def test_snapshot_includes_registry_stats(self):
+        """ISSUE 7 satellite: snapshot() must expose the registry's
+        stats() under "registry" (with "cache" kept as the legacy
+        alias), so fleet roll-ups see shard cache behaviour."""
+        system = make_system(n=80, seed=33)
+
+        async def main():
+            engine = SolveEngine(execution="host")
+            engine.register(system.L, name="m")
+            await engine.solve("m", system.b)
+            snap = engine.snapshot()
+            stats = engine.registry.stats()
+            await engine.close()
+            return snap, stats
+
+        snap, stats = run(main())
+        assert snap["registry"] == stats
+        assert snap["cache"] == snap["registry"]  # back-compat alias
+        assert snap["registry"]["entries"] == 1
+        assert "adopted_plans" in snap["registry"]

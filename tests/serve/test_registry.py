@@ -234,3 +234,122 @@ class TestConcurrentRegistration:
             t.join()
         assert all(f is results[0] for f in results)
         assert reg.stats()["artifact_builds"] == 1
+
+
+class TestAdoptPlan:
+    def test_adopted_plan_is_served_and_counted(self):
+        reg = MatrixRegistry(shard_id=3)
+        L = random_unit_lower(60, 0.1, seed=50)
+        key = reg.register(L)
+        donor = MatrixRegistry()
+        plan = donor.plan(donor.register(L))
+        reg.adopt_plan(key, plan)
+        assert reg.plan(key) is plan  # no rebuild
+        stats = reg.stats()
+        assert stats["adopted_plans"] == 1
+        assert stats["artifact_builds"] == 0
+        assert stats["shard"] == 3
+
+    def test_first_plan_wins(self):
+        reg = MatrixRegistry()
+        L = random_unit_lower(60, 0.1, seed=51)
+        key = reg.register(L)
+        local = reg.plan(key)
+        donor = MatrixRegistry()
+        reg.adopt_plan(key, donor.plan(donor.register(L)))
+        assert reg.plan(key) is local
+        assert reg.stats()["adopted_plans"] == 0
+
+    def test_unsharded_stats_omit_shard_key(self):
+        assert "shard" not in MatrixRegistry().stats()
+
+
+class TestEvictionRacingPlan:
+    """ISSUE 7 satellite: LRU eviction racing plan(ref).
+
+    A shard worker resolves plans while registrations on the same
+    registry evict old entries.  Every plan() call must either return
+    a usable plan or raise UnknownMatrixError — never corrupt state,
+    deadlock, or hand out a half-built artifact.
+    """
+
+    def test_plan_after_eviction_raises_unknown(self):
+        probe = MatrixRegistry()
+        mats = [random_unit_lower(80, 0.1, seed=s) for s in (60, 61, 62)]
+        costs = [entry_cost(probe, probe.register(m)) for m in mats]
+        budget = costs[1] + costs[2] + costs[0] - 1
+        reg = MatrixRegistry(memory_budget=budget)
+        k0 = reg.register(mats[0])
+        plan0 = reg.plan(k0)  # built while resident
+        reg.register(mats[1])
+        reg.register(mats[2])  # k0 (and its plan) evicted
+        assert k0 not in reg
+        with pytest.raises(UnknownMatrixError):
+            reg.plan(k0)
+        # the already-returned plan object stays usable after eviction
+        from repro.sparse.triangular import lower_triangular_system
+
+        system = lower_triangular_system(mats[0])
+        np.testing.assert_allclose(
+            plan0.solve(system.b), system.x_true, rtol=1e-9, atol=1e-12
+        )
+
+    def test_concurrent_plan_and_evicting_registrations(self):
+        from repro.sparse.triangular import lower_triangular_system
+
+        target = random_unit_lower(80, 0.1, seed=70)
+        system = lower_triangular_system(target)
+        fillers = [
+            random_unit_lower(80, 0.1, seed=s) for s in range(71, 87)
+        ]
+        probe = MatrixRegistry()
+        cost = entry_cost(probe, probe.register(target))
+        # room for ~3 entries: filler churn keeps evicting the target
+        reg = MatrixRegistry(memory_budget=3 * cost + 1)
+        key = reg.register(target)
+        outcomes = {"plan": 0, "unknown": 0}
+        errors: list[BaseException] = []
+        stop = threading.Event()
+        barrier = threading.Barrier(3)
+
+        def solver_thread():
+            barrier.wait()
+            for _ in range(200):
+                try:
+                    plan = reg.plan(key)
+                except UnknownMatrixError:
+                    outcomes["unknown"] += 1
+                    reg.register(target)  # re-admit, as a worker would
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+                else:
+                    outcomes["plan"] += 1
+                    np.testing.assert_allclose(
+                        plan.solve(system.b), system.x_true,
+                        rtol=1e-9, atol=1e-12,
+                    )
+
+        def churn_thread():
+            barrier.wait()
+            i = 0
+            while not stop.is_set():
+                reg.register(fillers[i % len(fillers)])
+                i += 1
+
+        threads = [
+            threading.Thread(target=solver_thread),
+            threading.Thread(target=churn_thread),
+        ]
+        for t in threads:
+            t.start()
+        barrier.wait()
+        threads[0].join(timeout=120)
+        stop.set()
+        threads[1].join(timeout=120)
+        assert not any(t.is_alive() for t in threads), "deadlocked"
+        assert errors == []
+        assert outcomes["plan"] >= 1  # made progress despite churn
+        stats = reg.stats()
+        assert stats["evictions"] >= 1  # churn actually evicted
+        # settled accounting: resident bytes within budget afterwards
+        assert reg.resident_bytes <= reg.memory_budget or len(reg) == 1

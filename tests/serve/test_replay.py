@@ -116,3 +116,24 @@ class TestReplayFile:
         assert report.ok
         assert report.recorded["requests"] == 0
         assert report.replayed["total"] == 0
+
+
+class TestClusterReplay:
+    def test_replay_through_sharded_cluster(self, tmp_path):
+        trace = tmp_path / "events.jsonl"
+        record_session(str(trace), requests=5, rhs=2)
+        report = replay_file(trace, workers=2, speed=1000.0)
+        assert report.workers == 2
+        assert not report.virtual  # cluster replay is wall-paced only
+        assert report.ok, report.summary()
+        assert report.replayed["total"] == report.recorded["requests"]
+        assert "cluster of 2 worker(s)" in report.summary()
+
+    def test_cluster_replay_leaves_no_shared_memory(self, tmp_path):
+        from repro.serve.arena import leaked_segments
+
+        trace = tmp_path / "events.jsonl"
+        record_session(str(trace), requests=3, rhs=0)
+        before = set(leaked_segments())
+        replay_file(trace, workers=1, speed=1000.0)
+        assert set(leaked_segments()) - before == set()

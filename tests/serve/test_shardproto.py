@@ -1,0 +1,143 @@
+"""Frame protocol and consistent-hash ring for the sharded serve tier."""
+
+import multiprocessing
+
+import pytest
+
+from repro.errors import ClusterError, RequestTimeoutError
+from repro.serve.shardproto import (
+    HashRing,
+    OP_SOLVE,
+    pack_frame,
+    recv_frame,
+    send_frame,
+    unpack_frame,
+)
+
+
+class TestFrames:
+    def test_pack_unpack_round_trip(self):
+        header = {"op": OP_SOLVE, "rid": 7, "shape": [4, 2]}
+        body = b"\x00\x01payload\xff"
+        got_header, got_body = unpack_frame(pack_frame(header, body))
+        assert got_header == header
+        assert got_body == body
+
+    def test_empty_body(self):
+        header, body = unpack_frame(pack_frame({"op": "ping"}))
+        assert header == {"op": "ping"}
+        assert body == b""
+
+    def test_short_frame_rejected(self):
+        with pytest.raises(ClusterError):
+            unpack_frame(b"\x00\x01")
+
+    def test_length_mismatch_rejected(self):
+        frame = pack_frame({"op": "ping"}, b"1234")
+        with pytest.raises(ClusterError):
+            unpack_frame(frame[:-1])
+        with pytest.raises(ClusterError):
+            unpack_frame(frame + b"x")
+
+    def test_corrupt_prefix_rejected(self):
+        # absurd header length must not trigger a huge allocation
+        bad = (1 << 31).to_bytes(4, "big") + (0).to_bytes(4, "big")
+        with pytest.raises(ClusterError):
+            unpack_frame(bad)
+
+    def test_non_object_header_rejected(self):
+        import json
+        import struct
+
+        raw = json.dumps([1, 2]).encode()
+        frame = struct.pack("!II", len(raw), 0) + raw
+        with pytest.raises(ClusterError):
+            unpack_frame(frame)
+
+    def test_undecodable_header_rejected(self):
+        import struct
+
+        raw = b"\xff\xfenot json"
+        frame = struct.pack("!II", len(raw), 0) + raw
+        with pytest.raises(ClusterError):
+            unpack_frame(frame)
+
+    def test_send_recv_over_pipe(self):
+        parent, child = multiprocessing.Pipe()
+        send_frame(parent, {"op": "ping", "rid": 1}, b"abc")
+        header, body = recv_frame(child, timeout=5.0)
+        assert header == {"op": "ping", "rid": 1}
+        assert body == b"abc"
+        parent.close()
+        child.close()
+
+    def test_recv_timeout(self):
+        parent, child = multiprocessing.Pipe()
+        with pytest.raises(RequestTimeoutError):
+            recv_frame(child, timeout=0.05)
+        parent.close()
+        child.close()
+
+    def test_recv_eof_on_closed_peer(self):
+        parent, child = multiprocessing.Pipe()
+        parent.close()
+        with pytest.raises(EOFError):
+            recv_frame(child)
+        child.close()
+
+
+class TestHashRing:
+    KEYS = [f"key-{i:04d}" for i in range(400)]
+
+    def test_empty_ring_raises(self):
+        with pytest.raises(ClusterError):
+            HashRing().node_for("k")
+
+    def test_invalid_replicas(self):
+        with pytest.raises(ClusterError):
+            HashRing(replicas=0)
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["only"])
+        assert ring.distribution(self.KEYS) == {"only": len(self.KEYS)}
+
+    def test_mapping_is_deterministic(self):
+        r1 = HashRing(["a", "b", "c"])
+        r2 = HashRing(["c", "a", "b"])  # insertion order irrelevant
+        for key in self.KEYS:
+            assert r1.node_for(key) == r2.node_for(key)
+
+    def test_distribution_roughly_uniform(self):
+        ring = HashRing(["a", "b", "c", "d"])
+        counts = ring.distribution(self.KEYS)
+        assert sum(counts.values()) == len(self.KEYS)
+        # 64 vnodes/worker: no shard should be empty or hog everything
+        assert min(counts.values()) > 0
+        assert max(counts.values()) < len(self.KEYS) * 0.6
+
+    def test_remove_moves_only_the_dead_nodes_keys(self):
+        ring = HashRing(["a", "b", "c"])
+        before = {k: ring.node_for(k) for k in self.KEYS}
+        ring.remove("b")
+        for key, owner in before.items():
+            if owner == "b":
+                assert ring.node_for(key) in ("a", "c")
+            else:
+                # consistent hashing: survivors keep their keys
+                assert ring.node_for(key) == owner
+
+    def test_add_back_restores_mapping(self):
+        ring = HashRing(["a", "b", "c"])
+        before = {k: ring.node_for(k) for k in self.KEYS}
+        ring.remove("b")
+        ring.add("b")
+        assert {k: ring.node_for(k) for k in self.KEYS} == before
+
+    def test_membership_and_nodes(self):
+        ring = HashRing(["a"])
+        assert "a" in ring and "b" not in ring
+        ring.add("b")
+        assert ring.nodes == ("a", "b")
+        assert len(ring) == 2
+        ring.remove("missing")  # no-op
+        assert len(ring) == 2

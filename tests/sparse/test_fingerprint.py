@@ -1,0 +1,53 @@
+"""One canonical content fingerprint for every cache in the system."""
+
+import numpy as np
+
+from repro.serve import matrix_fingerprint
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.fingerprint import DIGEST_SIZE, content_fingerprint
+
+from tests.conftest import random_unit_lower
+
+
+class TestUnification:
+    def test_all_entry_points_agree(self):
+        """ISSUE 7 satellite: the registry helper, the CSRMatrix method
+        and the module-level routine must be the same digest — shard
+        routing and plan caching key on it interchangeably."""
+        L = random_unit_lower(50, 0.1, seed=1)
+        direct = content_fingerprint(
+            L.n_rows, L.n_cols, L.row_ptr, L.col_idx, L.values
+        )
+        assert L.content_fingerprint() == direct
+        assert matrix_fingerprint(L) == direct
+
+    def test_hex_length_matches_digest_size(self):
+        L = random_unit_lower(10, 0.2, seed=2)
+        assert len(matrix_fingerprint(L)) == 2 * DIGEST_SIZE
+
+    def test_deterministic_across_equal_content(self):
+        a = random_unit_lower(40, 0.1, seed=3)
+        b = random_unit_lower(40, 0.1, seed=3)
+        assert a is not b
+        assert matrix_fingerprint(a) == matrix_fingerprint(b)
+
+    def test_sensitive_to_values_and_structure(self):
+        L = random_unit_lower(40, 0.1, seed=4)
+        base = matrix_fingerprint(L)
+        bumped = CSRMatrix(
+            n_rows=L.n_rows,
+            n_cols=L.n_cols,
+            row_ptr=L.row_ptr.copy(),
+            col_idx=L.col_idx.copy(),
+            values=np.where(
+                np.arange(len(L.values)) == 0, 2.0, L.values
+            ),
+        )
+        assert matrix_fingerprint(bumped) != base
+        other = random_unit_lower(40, 0.1, seed=5)
+        assert matrix_fingerprint(other) != base
+
+    def test_memoized_on_the_instance(self):
+        L = random_unit_lower(30, 0.1, seed=6)
+        first = L.content_fingerprint()
+        assert L.content_fingerprint() is first  # cached string object

@@ -492,3 +492,51 @@ class TestReplayCommand:
         assert doc["ok"] is True
         assert doc["recorded"]["requests"] == 3
         assert doc["replayed"]["total"] == 3
+
+
+class TestServeCluster:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve-cluster"])
+        assert args.workers == 2
+        assert args.matrices == 3
+        assert not args.chaos_kill
+
+    def test_session_round_trip(self, capsys):
+        rc = main([
+            "serve-cluster", "--workers", "1", "--matrices", "2",
+            "--n-rows", "150", "--requests", "2", "--rhs", "2",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "workers       : 1" in out
+        assert "leaked shm    : 0" in out
+
+    def test_json_document(self, capsys):
+        import json
+
+        rc = main([
+            "serve-cluster", "--workers", "1", "--matrices", "1",
+            "--n-rows", "120", "--requests", "1", "--rhs", "0",
+            "--json",
+        ])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["leaked_segments"] == []
+        assert doc["max_error"] < 1e-8
+        assert doc["snapshot"]["fleet"]["workers"] == 1
+
+    def test_replay_workers_flag(self, tmp_path, capsys):
+        trace = tmp_path / "events.jsonl"
+        rc = main([
+            "serve-stats", "--n-rows", "150", "--requests", "3",
+            "--rhs", "0", "--execution", "host",
+            "--trace-log", str(trace),
+        ])
+        capsys.readouterr()
+        assert rc == 0
+        rc = main([
+            "replay", str(trace), "--workers", "1", "--speed", "1000",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "cluster of 1 worker(s)" in out
