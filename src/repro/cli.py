@@ -21,8 +21,12 @@ Usage::
     repro-sptrsv serve-stats --execution host --requests 32
     repro-sptrsv serve-stats --profile --trace-log events.jsonl
     repro-sptrsv serve-stats --openmetrics
+    repro-sptrsv serve-stats --spans --workers 2 --requests 8
     repro-sptrsv serve-cluster --workers 2 --matrices 3 --requests 8
     repro-sptrsv serve-cluster --workers 2 --chaos-kill --openmetrics
+    repro-sptrsv serve-cluster --chrome-trace fleet.json --trace-log fleet.jsonl
+    repro-sptrsv serve-top --demo --iterations 3
+    repro-sptrsv serve-top --url http://127.0.0.1:9100/metrics
     repro-sptrsv replay events.jsonl --workers 2
     repro-sptrsv regress
     repro-sptrsv regress --quick --cycles-tol 0.01
@@ -239,6 +243,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--trace-log", metavar="PATH", default=None,
                        help="write the engine's structured event log "
                        "(enqueue/batch/launch/publish, JSONL) to PATH")
+    p_srv.add_argument("--spans", action="store_true",
+                       help="drive the session through a small sharded "
+                       "cluster with distributed tracing on and print "
+                       "per-hop latency attribution (p50/p99 per hop) "
+                       "plus captured slow-request exemplars")
+    p_srv.add_argument("--workers", type=int, default=2,
+                       help="shard workers for --spans mode")
+    p_srv.add_argument("--slow-ms", type=float, default=None,
+                       help="explicit slow-request threshold for --spans "
+                       "(default: adaptive p95 of root durations)")
 
     p_cl = sub.add_parser(
         "serve-cluster",
@@ -273,6 +287,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_cl.add_argument("--openmetrics", action="store_true",
                       help="print the fleet roll-up in OpenMetrics text "
                       "format instead of the snapshot")
+    p_cl.add_argument("--trace-log", metavar="PATH", default=None,
+                      help="write the merged fleet trace (router spans + "
+                      "every worker's event log, tracelog/2 JSONL) to "
+                      "PATH")
+    p_cl.add_argument("--chrome-trace", metavar="PATH", default=None,
+                      help="write the session's distributed spans as one "
+                      "multi-process Chrome/Perfetto trace (one pid row "
+                      "per worker, flow arrows router->worker) to PATH")
+
+    p_top = sub.add_parser(
+        "serve-top",
+        help="live terminal dashboard over a fleet OpenMetrics "
+        "exposition ('top' for the sharded serve tier)",
+    )
+    p_top.add_argument("--url", default=None,
+                       help="scrape this /metrics endpoint (e.g. an "
+                       "OpenMetricsExporter in front of a router)")
+    p_top.add_argument("--demo", action="store_true",
+                       help="spawn a small in-process demo cluster and "
+                       "dashboard it (no endpoint needed)")
+    p_top.add_argument("--interval", type=float, default=1.0,
+                       help="seconds between refreshes")
+    p_top.add_argument("--iterations", type=int, default=0,
+                       help="frames to render before exiting "
+                       "(0 = until interrupted)")
+    p_top.add_argument("--workers", type=int, default=2,
+                       help="demo cluster worker processes")
+    p_top.add_argument("--matrices", type=int, default=2,
+                       help="demo cluster registered matrices")
+    p_top.add_argument("--n-rows", type=int, default=250)
+    p_top.add_argument("--requests", type=int, default=4,
+                       help="demo solves fired per refresh")
+    p_top.add_argument("--domain", default="circuit")
+    p_top.add_argument("--seed", type=int, default=0)
 
     p_reg = sub.add_parser(
         "regress",
@@ -354,6 +402,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_serve_stats(args)
     if args.command == "serve-cluster":
         return _cmd_serve_cluster(args)
+    if args.command == "serve-top":
+        return _cmd_serve_top(args)
     if args.command == "check-interleavings":
         return _cmd_check_interleavings(args)
     if args.command == "replay":
@@ -706,6 +756,8 @@ def _cmd_serve_stats(args) -> int:
     from repro.serve import SolveEngine
     from repro.sparse import lower_triangular_system
 
+    if args.spans:
+        return _serve_stats_spans(args)
     device = SIM_SMALL if args.device == "SimSmall" else SIM_TINY
     L = generate(args.domain, args.n_rows, args.seed)
     system = lower_triangular_system(L)
@@ -789,6 +841,95 @@ def _cmd_serve_stats(args) -> int:
             print(f"trace log     : {tr['retained']} event(s) -> "
                   f"{args.trace_log}")
         print(f"max error     : {err:.3e}")
+    return 0 if err < 1e-8 else 1
+
+
+def _serve_stats_spans(args) -> int:
+    """Tail-latency attribution: which hop makes slow requests slow?
+
+    Drives a short session through a small sharded cluster with
+    distributed tracing on, then prints per-hop latency percentiles
+    (router enqueue/send, worker deserialize/plan/solve/reply) and the
+    captured slow-request exemplars with their dominant hop.
+    """
+    import json
+
+    from repro.datasets import generate
+    from repro.serve.cluster import ShardRouter
+    from repro.sparse import lower_triangular_system
+
+    execution = "host" if args.execution == "auto" else args.execution
+    systems = [
+        lower_triangular_system(
+            generate(args.domain, args.n_rows, args.seed + i)
+        )
+        for i in range(2)
+    ]
+    err = 0.0
+    with ShardRouter(
+        n_workers=max(args.workers, 1),
+        execution=execution,
+        max_batch=args.max_batch,
+        slow_ms=args.slow_ms,
+    ) as router:
+        keys = [
+            router.register(s.L, name=f"span-{i}")
+            for i, s in enumerate(systems)
+        ]
+        futs = []
+        for key, s in zip(keys, systems):
+            for _ in range(max(args.requests, 0)):
+                futs.append((router.submit(key, s.b, single=True), s.x_true))
+            if args.rhs > 0:
+                B = np.column_stack(
+                    [(r + 1.0) * s.b for r in range(args.rhs)]
+                )
+                X_true = np.column_stack(
+                    [(r + 1.0) * s.x_true for r in range(args.rhs)]
+                )
+                futs.append((router.submit(key, B), X_true))
+        for fut, truth in futs:
+            resp = fut.result(timeout=60.0)
+            err = max(err, float(np.max(np.abs(resp.x - truth))))
+        # the ping drains every worker's buffered spans and feeds the
+        # clock aligner, so the stats below cover the whole session
+        router.ping()
+        hops = router.hop_stats()
+        exemplars = router.exemplars()
+        span_stats = router.router_stats()["spans"]
+
+    if args.json:
+        print(json.dumps({
+            "hops": hops,
+            "exemplars": [
+                {k: v for k, v in ex.items() if k != "spans"}
+                for ex in exemplars
+            ],
+            "spans": span_stats,
+            "max_error": err,
+        }, indent=2))
+        return 0 if err < 1e-8 else 1
+
+    print(f"spans         : {span_stats['spans']} across "
+          f"{span_stats['traces']} trace(s)")
+    name_w = max((len(h) for h in hops), default=3)
+    print(f"{'hop'.ljust(name_w)}  {'count':>6}  {'p50 ms':>9}  "
+          f"{'p99 ms':>9}  {'max ms':>9}")
+    for hop in sorted(hops):
+        hs = hops[hop]
+        print(f"{hop.ljust(name_w)}  {hs['count']:>6}  "
+              f"{hs['p50_ms']:>9.3f}  {hs['p99_ms']:>9.3f}  "
+              f"{hs['max_ms']:>9.3f}")
+    print(f"slow threshold: {span_stats['slow_threshold_ms']:.3f} ms "
+          f"({'explicit' if args.slow_ms is not None else 'adaptive p95'})")
+    if exemplars:
+        print(f"exemplars     : {len(exemplars)} captured")
+        for ex in exemplars:
+            print(f"  {ex['trace_id']}  {ex['total_ms']:9.3f} ms  "
+                  f"dominant hop: {ex['dominant_hop']}")
+    else:
+        print("exemplars     : none captured")
+    print(f"max error     : {err:.3e}")
     return 0 if err < 1e-8 else 1
 
 
@@ -891,6 +1032,18 @@ def _cmd_serve_cluster(args) -> int:
                 )
             emit(f"chaos         : killed {victim}, {deaths_seen} "
                  f"request(s) failed in flight, retries all correct")
+        # ping before snapshotting: drains every worker's buffered
+        # spans and feeds the clock aligner, so the exported traces and
+        # the spans block in router_stats() cover the whole session
+        router.ping()
+        if args.trace_log:
+            n_events = router.write_trace_jsonl(args.trace_log)
+            emit(f"trace log     : {n_events} event(s) -> {args.trace_log}")
+        if args.chrome_trace:
+            doc = router.write_chrome_trace(args.chrome_trace)
+            emit(f"chrome trace  : {doc['otherData']['spans']} span(s), "
+                 f"{len(doc['otherData']['processes'])} process row(s) -> "
+                 f"{args.chrome_trace}")
         snap = router.snapshot()
         om = router.openmetrics() if args.openmetrics else None
     leaked = leaked_segments()
@@ -925,6 +1078,83 @@ def _cmd_serve_cluster(args) -> int:
         print(f"leaked shm    : {len(leaked)}")
         print(f"max error     : {err:.3e}")
     return 0 if err < 1e-8 and not leaked else 1
+
+
+def _cmd_serve_top(args) -> int:
+    """Live fleet dashboard (``top`` for the sharded serve tier).
+
+    Two sources: ``--url`` scrapes any OpenMetrics endpoint that
+    renders the fleet exposition; ``--demo`` spawns a small in-process
+    cluster, fires a trickle of solves each refresh, and dashboards its
+    own exposition.  Frames repaint in place on a TTY and print
+    sequentially when piped.
+    """
+    import time
+
+    from repro.metrics.dashboard import render_dashboard
+    from repro.metrics.expo import parse_openmetrics
+
+    if not args.url and not args.demo:
+        print("serve-top needs --url URL or --demo", file=sys.stderr)
+        return 2
+
+    clear = "\x1b[2J\x1b[H" if sys.stdout.isatty() else ""
+
+    def paint(text: str, frame: int) -> None:
+        dashboard = render_dashboard(parse_openmetrics(text))
+        if clear:
+            sys.stdout.write(clear + dashboard)
+        else:
+            if frame:
+                sys.stdout.write("\n")
+            sys.stdout.write(dashboard)
+        sys.stdout.flush()
+
+    frames = range(args.iterations) if args.iterations > 0 else iter(int, 1)
+    if args.url:
+        from urllib.request import urlopen
+
+        try:
+            for frame, _ in enumerate(frames):
+                if frame:
+                    time.sleep(args.interval)
+                with urlopen(args.url) as resp:
+                    paint(resp.read().decode("utf-8"), frame)
+        except KeyboardInterrupt:
+            pass
+        return 0
+
+    from repro.datasets import generate
+    from repro.serve.cluster import ShardRouter
+    from repro.sparse import lower_triangular_system
+
+    systems = [
+        lower_triangular_system(
+            generate(args.domain, args.n_rows, args.seed + i)
+        )
+        for i in range(max(args.matrices, 1))
+    ]
+    with ShardRouter(n_workers=max(args.workers, 1)) as router:
+        keys = [
+            router.register(s.L, name=f"top-{i}")
+            for i, s in enumerate(systems)
+        ]
+        try:
+            for frame, _ in enumerate(frames):
+                if frame:
+                    time.sleep(args.interval)
+                futs = [
+                    router.submit(key, s.b, single=True)
+                    for key, s in zip(keys, systems)
+                    for _ in range(max(args.requests, 1))
+                ]
+                for fut in futs:
+                    fut.result(timeout=60.0)
+                router.ping()  # span drain + clock samples
+                paint(router.openmetrics(), frame)
+        except KeyboardInterrupt:
+            pass
+    return 0
 
 
 def _cmd_check_interleavings(args) -> int:

@@ -23,6 +23,7 @@ __all__ = [
     "UnknownMatrixError",
     "QueueFullError",
     "RequestTimeoutError",
+    "TraceSchemaError",
     "ClusterError",
     "WorkerDiedError",
 ]
@@ -119,6 +120,14 @@ class RequestTimeoutError(ServeError):
 
     The underlying executor work is not interrupted (threads cannot be
     cancelled); the result is discarded when it arrives."""
+
+
+class TraceSchemaError(ServeError):
+    """A TraceLog JSONL dump declares a schema this build cannot read.
+
+    Raised by :func:`repro.serve.replay.load_events` when the header
+    line's ``schema`` tag is unknown — a clear signal to upgrade (or
+    re-record) instead of a ``KeyError`` deep inside replay."""
 
 
 class ClusterError(ServeError):

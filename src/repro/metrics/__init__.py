@@ -11,10 +11,13 @@ from repro.metrics.telemetry import Counter, Gauge, Histogram
 from repro.metrics.expo import (
     OpenMetricsExporter,
     parse_openmetrics,
+    parse_openmetrics_full,
     render_metrics,
     render_openmetrics,
+    render_parsed,
 )
 from repro.metrics.fleet import fleet_openmetrics, fleet_rollup
+from repro.metrics.dashboard import render_dashboard
 
 __all__ = [
     "SpeedupSummary",
@@ -29,8 +32,11 @@ __all__ = [
     "Histogram",
     "OpenMetricsExporter",
     "parse_openmetrics",
+    "parse_openmetrics_full",
     "render_metrics",
     "render_openmetrics",
+    "render_parsed",
+    "render_dashboard",
     "fleet_openmetrics",
     "fleet_rollup",
 ]

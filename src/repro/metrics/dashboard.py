@@ -1,0 +1,210 @@
+"""Terminal fleet dashboard rendered from OpenMetrics exposition text.
+
+``repro-sptrsv serve-top`` is ``top`` for the sharded serve tier: it
+scrapes the fleet exposition (``ShardRouter.openmetrics()`` or any
+``/metrics`` endpoint rendering :func:`repro.metrics.fleet.
+fleet_openmetrics`), parses it with :func:`repro.metrics.expo.
+parse_openmetrics`, and renders one screenful — fleet headline (workers,
+availability, error-budget burn), a per-worker table, and the per-hop
+latency attribution table fed by the distributed tracer.
+
+Deliberately dependency-free: plain strings, fixed-width columns, ASCII
+meters.  The renderer consumes only the *exposition*, never a live
+router object, so the same code paints a dashboard for a remote fleet
+scraped over HTTP and for an in-process demo cluster.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Optional, Union
+
+__all__ = ["render_dashboard", "FLEET_PREFIX"]
+
+#: Family-name prefix the fleet exposition renders with.
+FLEET_PREFIX = "repro_fleet_"
+
+_LABEL_RE = re.compile(r'(\w+)="((?:[^"\\]|\\.)*)"')
+
+
+def _split_series(key: str) -> tuple[str, dict]:
+    """Sample name + label dict from a flat parse_openmetrics key."""
+    brace = key.find("{")
+    if brace < 0:
+        return key, {}
+    return key[:brace], {
+        k: v.replace('\\"', '"').replace("\\n", "\n").replace("\\\\", "\\")
+        for k, v in _LABEL_RE.findall(key[brace:])
+    }
+
+
+def _samples(
+    families: dict, family: str
+) -> list[tuple[str, dict, Union[int, float]]]:
+    """Flattened ``(sample_name, labels, value)`` rows of one family."""
+    out = []
+    for key, value in (families.get(family) or {}).items():
+        name, labels = _split_series(key)
+        out.append((name, labels, value))
+    return out
+
+
+def _pick(
+    families: dict,
+    family: str,
+    *,
+    sample: Optional[str] = None,
+    **want: str,
+) -> Optional[Union[int, float]]:
+    """First sample of ``family`` whose name and labels match.
+
+    ``sample`` defaults to the family name itself (the plain gauge
+    sample; counters need ``sample=family + "_total"``), which also
+    keeps gauge ``_peak`` companions out of the way.
+    """
+    target = family if sample is None else sample
+    for name, labels, value in _samples(families, family):
+        if name != target:
+            continue
+        if all(labels.get(k) == v for k, v in want.items()):
+            return value
+    return None
+
+
+def _meter(fraction: float, width: int) -> str:
+    fraction = min(1.0, max(0.0, fraction))
+    filled = int(round(fraction * width))
+    return "[" + "#" * filled + "-" * (width - filled) + "]"
+
+
+def _fmt(value: Optional[Union[int, float]], spec: str = "g") -> str:
+    if value is None:
+        return "-"
+    return format(value, spec)
+
+
+def _table(
+    headers: Iterable[str], rows: Iterable[Iterable[str]]
+) -> list[str]:
+    """Fixed-width text table (first column left-, rest right-aligned)."""
+    headers = list(headers)
+    rows = [list(r) for r in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells):
+        parts = [cells[0].ljust(widths[0])]
+        parts.extend(c.rjust(w) for c, w in zip(cells[1:], widths[1:]))
+        return "  ".join(parts).rstrip()
+
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rows)
+    return out
+
+
+def render_dashboard(
+    families: dict, *, width: int = 72, prefix: str = FLEET_PREFIX
+) -> str:
+    """One dashboard frame from parsed fleet exposition.
+
+    ``families`` is :func:`repro.metrics.expo.parse_openmetrics` output;
+    unknown/missing families render as ``-`` rather than raising, so a
+    partially-instrumented fleet (tracing off, old workers) still paints.
+    """
+    def fam(name: str) -> str:
+        return prefix + name
+
+    lines: list[str] = []
+    workers = _pick(families, fam("workers"))
+    availability = _pick(families, fam("availability"))
+    burn = _pick(families, fam("error_budget_burn"))
+    rhs = _pick(families, fam("rhs_served"),
+                sample=fam("rhs_served") + "_total")
+    routed = _pick(families, fam("router_requests"),
+                   sample=fam("router_requests") + "_total")
+    deaths = _pick(families, fam("router_worker_deaths"),
+                   sample=fam("router_worker_deaths") + "_total")
+
+    lines.append("repro-sptrsv fleet".center(width).rstrip())
+    lines.append("=" * width)
+    meter_w = max(10, width - 40)
+    if availability is not None:
+        lines.append(
+            f"availability {availability:8.4%} "
+            f"{_meter(availability, meter_w)}"
+        )
+    if burn is not None:
+        lines.append(
+            f"budget burn  {burn:8.2%} {_meter(burn, meter_w)}"
+        )
+    lines.append(
+        f"workers {_fmt(workers)}   routed {_fmt(routed)}   "
+        f"rhs served {_fmt(rhs)}   worker deaths {_fmt(deaths)}"
+    )
+
+    # ------------------------------------------------------------------
+    # per-worker table
+    # ------------------------------------------------------------------
+    worker_names = sorted({
+        labels["worker"]
+        for name, labels, _ in _samples(families, fam("requests"))
+        if name == fam("requests") + "_total" and "worker" in labels
+    })
+    if worker_names:
+        lines.append("")
+        rows = []
+        for w in worker_names:
+            total = _pick(families, fam("requests"),
+                          sample=fam("requests") + "_total", worker=w)
+            done = _pick(families, fam("requests_completed"),
+                         sample=fam("requests_completed") + "_total",
+                         worker=w)
+            failed = _pick(families, fam("requests_failed"),
+                           sample=fam("requests_failed") + "_total",
+                           worker=w)
+            p95 = _pick(families, fam("latency_p95_ms"), worker=w)
+            entries = _pick(families, fam("registry_entries"), worker=w)
+            rows.append([
+                w, _fmt(total), _fmt(done), _fmt(failed),
+                _fmt(p95, ".3f") if p95 is not None else "-",
+                _fmt(entries),
+            ])
+        lines.extend(_table(
+            ["worker", "reqs", "done", "fail", "p95 ms", "matrices"],
+            rows,
+        ))
+
+    # ------------------------------------------------------------------
+    # per-hop latency attribution (present when tracing is on)
+    # ------------------------------------------------------------------
+    hops = sorted({
+        labels["hop"]
+        for name, labels, _ in _samples(families, fam("hop_spans"))
+        if name == fam("hop_spans") + "_total" and "hop" in labels
+    })
+    if hops:
+        lines.append("")
+        rows = []
+        for hop in hops:
+            count = _pick(families, fam("hop_spans"),
+                          sample=fam("hop_spans") + "_total", hop=hop)
+            p50 = _pick(families, fam("hop_latency_ms"),
+                        hop=hop, quantile="p50")
+            p99 = _pick(families, fam("hop_latency_ms"),
+                        hop=hop, quantile="p99")
+            rows.append([
+                hop, _fmt(count),
+                _fmt(p50, ".3f") if p50 is not None else "-",
+                _fmt(p99, ".3f") if p99 is not None else "-",
+            ])
+        lines.extend(_table(["hop", "spans", "p50 ms", "p99 ms"], rows))
+        exemplars = _pick(families, fam("slow_exemplars"))
+        threshold = _pick(families, fam("slow_threshold_ms"))
+        if exemplars is not None:
+            lines.append(
+                f"slow exemplars {_fmt(exemplars)} "
+                f"(threshold {_fmt(threshold, '.3f')} ms)"
+            )
+    return "\n".join(lines) + "\n"

@@ -36,6 +36,8 @@ __all__ = [
     "render_metrics",
     "render_openmetrics",
     "parse_openmetrics",
+    "parse_openmetrics_full",
+    "render_parsed",
     "OpenMetricsExporter",
 ]
 
@@ -273,6 +275,140 @@ def parse_openmetrics(text: str) -> dict:
             )
         families[current][name_and_labels] = parsed
     return families
+
+
+def _unescape(text: str) -> str:
+    """Inverse of :func:`_escape_help` / :func:`_escape_label`."""
+    out = []
+    i = 0
+    while i < len(text):
+        c = text[i]
+        if c == "\\" and i + 1 < len(text):
+            nxt = text[i + 1]
+            if nxt == "n":
+                out.append("\n")
+                i += 2
+                continue
+            if nxt in ("\\", '"'):
+                out.append(nxt)
+                i += 2
+                continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def _parse_labelset(text: str) -> dict:
+    """Parse the interior of a rendered labelset (quote- and
+    escape-aware, so label values may contain ``,``, ``}`` or ``\\"``)."""
+    labels: dict = {}
+    i = 0
+    n = len(text)
+    while i < n:
+        eq = text.find("=", i)
+        if eq < 0 or eq + 1 >= n or text[eq + 1] != '"':
+            raise ValueError(f"malformed labelset: {text!r}")
+        key = text[i:eq]
+        j = eq + 2
+        start = j
+        while j < n:
+            if text[j] == "\\":
+                j += 2
+                continue
+            if text[j] == '"':
+                break
+            j += 1
+        if j >= n:
+            raise ValueError(f"unterminated label value in {text!r}")
+        labels[key] = _unescape(text[start:j])
+        i = j + 1
+        if i < n:
+            if text[i] != ",":
+                raise ValueError(f"malformed labelset: {text!r}")
+            i += 1
+    return labels
+
+
+def _parse_value(text: str) -> Union[int, float]:
+    # mirror _format_value: ints render bare, floats via repr — so an
+    # int-looking token *was* an int, anything else parses as float
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)
+
+
+def parse_openmetrics_full(text: str) -> dict:
+    """Lossless parse of exposition text produced by this module.
+
+    Returns ``{family: {"kind", "help", "samples": [(suffix, labels,
+    value), ...]}}`` — everything :class:`_Family` knows, recovered from
+    the text, so :func:`render_parsed` can re-render the exposition
+    **byte-identically**.  Unlike :func:`parse_openmetrics` (a flat
+    sanity-check view) this keeps label *structure* and HELP/TYPE
+    metadata; values parse as ``int`` when they rendered bare and
+    ``float`` otherwise, matching the renderer's type split.
+    """
+    if not text.endswith("# EOF\n"):
+        raise ValueError("exposition text must end with '# EOF'")
+    families: dict[str, dict] = {}
+
+    def family(name: str) -> dict:
+        return families.setdefault(
+            name, {"kind": "gauge", "help": "", "samples": []}
+        )
+
+    current = None
+    for line in text.splitlines():
+        if not line or line == "# EOF":
+            continue
+        if line.startswith("# HELP "):
+            name, _, help_text = line[len("# HELP "):].partition(" ")
+            family(name)["help"] = _unescape(help_text)
+            current = name
+            continue
+        if line.startswith("# TYPE "):
+            name, _, kind = line[len("# TYPE "):].partition(" ")
+            family(name)["kind"] = kind.strip()
+            current = name
+            continue
+        if line.startswith("#"):
+            continue
+        name_and_labels, _, value_text = line.rpartition(" ")
+        if not name_and_labels:
+            raise ValueError(f"malformed sample line: {line!r}")
+        if "{" in name_and_labels:
+            sample_name, labels_text = name_and_labels.split("{", 1)
+            if not labels_text.endswith("}"):
+                raise ValueError(f"malformed sample line: {line!r}")
+            labels = _parse_labelset(labels_text[:-1])
+        else:
+            sample_name, labels = name_and_labels, {}
+        if current is None or not sample_name.startswith(current):
+            raise ValueError(
+                f"sample {sample_name!r} outside its family header"
+            )
+        family(current)["samples"].append(
+            (sample_name[len(current):], labels, _parse_value(value_text))
+        )
+    return families
+
+
+def render_parsed(families: dict, *, prefix: str = "") -> str:
+    """Re-render :func:`parse_openmetrics_full` output.
+
+    ``render_parsed(parse_openmetrics_full(text)) == text`` for any
+    exposition this module rendered — the round-trip property the
+    byte-determinism tests pin down.  Family names in ``families``
+    already carry their original prefix, so ``prefix`` defaults empty.
+    """
+    fams = []
+    for name, info in families.items():
+        fam = _Family(name, info.get("kind", "gauge"), info.get("help", ""))
+        for suffix, labels, value in info.get("samples", ()):
+            fam.add(suffix, dict(labels), value)
+        fams.append(fam)
+    return render_metrics([], prefix=prefix, extra_families=fams)
 
 
 class _Handler(BaseHTTPRequestHandler):

@@ -258,5 +258,26 @@ def fleet_openmetrics(
               slabs.get("segments", 0))
         counter("slab_reuses", "Slab acquisitions served from the pool.",
                 slabs.get("reused", 0))
+        # distributed-tracing attribution: one series pair per hop name
+        # (ShardRouter.router_stats()["spans"], absent with tracing off)
+        spans = router.get("spans") or {}
+        for hop in sorted(spans.get("hops") or {}):
+            hs = spans["hops"][hop]
+            counter("hop_spans", "Trace spans collected, by hop.",
+                    hs.get("count", 0), hop=hop)
+            for q in ("p50", "p99"):
+                gauge("hop_latency_ms",
+                      "Per-hop span latency, by hop and quantile "
+                      "(milliseconds).",
+                      hs.get(f"{q}_ms", 0.0), hop=hop, quantile=q)
+        if spans:
+            counter("trace_spans", "Trace spans collected in total.",
+                    spans.get("spans", 0))
+            gauge("slow_exemplars",
+                  "Slow-request exemplars currently captured.",
+                  spans.get("exemplars", 0))
+            gauge("slow_threshold_ms",
+                  "Active slow-request threshold (milliseconds).",
+                  spans.get("slow_threshold_ms", 0.0))
 
     return render_metrics(metrics, prefix=prefix)

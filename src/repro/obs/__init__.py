@@ -51,10 +51,24 @@ from repro.obs.hostprof import (
     active_host_profiler,
     host_phase_digest,
 )
-from repro.obs.chrome import PHASE_COLORS, chrome_trace, write_chrome_trace
+from repro.obs.chrome import (
+    PHASE_COLORS,
+    chrome_trace,
+    spans_chrome_trace,
+    write_chrome_trace,
+    write_trace_doc,
+)
 from repro.obs.flame import phase_bar, render_flame
 from repro.obs.report import phase_digest, profile_json
-from repro.obs.tracelog import TraceLog, new_trace_id
+from repro.obs.tracelog import TRACELOG_SCHEMA, TraceLog, new_trace_id
+from repro.obs.disttrace import (
+    ClockAligner,
+    Span,
+    SpanContext,
+    SpanRecorder,
+    TraceCollector,
+    new_span_id,
+)
 
 __all__ = [
     "COMPUTE",
@@ -81,11 +95,20 @@ __all__ = [
     "host_phase_digest",
     "chrome_trace",
     "write_chrome_trace",
+    "spans_chrome_trace",
+    "write_trace_doc",
     "PHASE_COLORS",
     "render_flame",
     "phase_bar",
     "profile_json",
     "phase_digest",
     "TraceLog",
+    "TRACELOG_SCHEMA",
     "new_trace_id",
+    "SpanContext",
+    "Span",
+    "SpanRecorder",
+    "ClockAligner",
+    "TraceCollector",
+    "new_span_id",
 ]

@@ -27,7 +27,13 @@ from repro.obs.profile import (
     SolveProfile,
 )
 
-__all__ = ["chrome_trace", "write_chrome_trace", "PHASE_COLORS"]
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "spans_chrome_trace",
+    "write_trace_doc",
+    "PHASE_COLORS",
+]
 
 #: Trace-viewer reserved color names per phase (green / red / orange /
 #: blue-grey / grey in the default palette).
@@ -108,8 +114,120 @@ def write_chrome_trace(
     so identical solves produce byte-identical files — the property the
     golden test pins down.
     """
-    doc = chrome_trace(profile)
+    return write_trace_doc(chrome_trace(profile), path)
+
+
+def write_trace_doc(doc: dict, path: Union[str, "object"]) -> dict:
+    """Write any Trace Event Format document deterministically."""
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, indent=1, sort_keys=True)
         fh.write("\n")
     return doc
+
+
+def _span_processes(spans) -> list:
+    """Process rows in display order: the router first, workers after
+    (sorted), so the fleet trace reads top-down in request direction."""
+    names = {s.get("process") or "?" for s in spans}
+    ordered = []
+    if "router" in names:
+        ordered.append("router")
+    ordered.extend(sorted(names - {"router"}))
+    return ordered
+
+
+def spans_chrome_trace(spans, *, clocks=None) -> dict:
+    """Distributed spans as one multi-process Trace Event document.
+
+    ``spans`` are finished span dicts (see
+    :class:`repro.obs.disttrace.Span`) already aligned onto one clock.
+    Each distinct ``process`` gets its own ``pid`` row (metadata
+    ``process_name`` events pin the labels), every span becomes one
+    complete (``"ph": "X"``) slice, and each parent→child edge that
+    crosses a process boundary becomes a flow arrow (``"s"``/``"f"``
+    events bound by the child's span id) — the router→worker hop renders
+    as an arrow from the request span into the worker's first span.
+    Wall-clock seconds map to trace microseconds.
+    """
+    spans = [
+        s for s in spans
+        if isinstance(s.get("start"), (int, float))
+        and isinstance(s.get("end"), (int, float))
+    ]
+    processes = _span_processes(spans)
+    pid_of = {name: pid for pid, name in enumerate(processes)}
+    base = min((s["start"] for s in spans), default=0.0)
+    by_id = {s["span_id"]: s for s in spans if s.get("span_id")}
+
+    events: list[dict] = []
+    for name in processes:
+        events.append({
+            "ph": "M",
+            "name": "process_name",
+            "pid": pid_of[name],
+            "tid": 0,
+            "args": {"name": name},
+        })
+        events.append({
+            "ph": "M",
+            "name": "process_sort_index",
+            "pid": pid_of[name],
+            "tid": 0,
+            "args": {"sort_index": pid_of[name]},
+        })
+    for s in spans:
+        pid = pid_of[s.get("process") or "?"]
+        ts = (s["start"] - base) * 1e6
+        args = {
+            "trace_id": s.get("trace_id"),
+            "span_id": s.get("span_id"),
+            "parent_id": s.get("parent_id"),
+        }
+        args.update(s.get("attrs") or {})
+        events.append({
+            "ph": "X",
+            "name": s.get("name", "?"),
+            "cat": "span",
+            "pid": pid,
+            "tid": 0,
+            "ts": ts,
+            "dur": max(0.0, (s["end"] - s["start"]) * 1e6),
+            "args": args,
+        })
+        parent = by_id.get(s.get("parent_id") or "")
+        if parent is not None and parent.get("process") != s.get("process"):
+            # cross-process causal edge: arrow from the parent's row at
+            # the child's start time into the child's slice
+            flow = {
+                "name": "request",
+                "cat": "flow",
+                "id": s["span_id"],
+                "tid": 0,
+                "ts": ts,
+            }
+            events.append(dict(
+                flow, ph="s", pid=pid_of[parent.get("process") or "?"]
+            ))
+            events.append(dict(flow, ph="f", bp="e", pid=pid))
+    events.sort(
+        key=lambda e: (
+            e["ph"] != "M",  # metadata first
+            e.get("ts", -1.0),
+            e["pid"],
+            e["ph"],
+            e["name"],
+        )
+    )
+    trace_ids = {s.get("trace_id") for s in spans if s.get("trace_id")}
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock": "router wall clock; remote spans offset-aligned "
+            "from health-check exchanges (1 trace us = 1 wall us)",
+            "processes": {name: pid_of[name] for name in processes},
+            "spans": len(spans),
+            "traces": len(trace_ids),
+            "clock_offsets": clocks or {},
+        },
+    }

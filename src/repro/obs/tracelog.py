@@ -28,7 +28,13 @@ import uuid
 from collections import deque
 from typing import IO, Optional, Union
 
-__all__ = ["TraceLog", "new_trace_id"]
+__all__ = ["TraceLog", "TRACELOG_SCHEMA", "new_trace_id"]
+
+#: Schema tag stamped as the first line of every JSONL export.  ``/2``
+#: added the header itself plus distributed ``span`` events; readers
+#: (``repro.serve.replay.load_events``) accept headerless ``/1`` dumps
+#: for backward compatibility and reject unknown versions loudly.
+TRACELOG_SCHEMA = "tracelog/2"
 
 
 def new_trace_id() -> str:
@@ -112,19 +118,23 @@ class TraceLog:
 
     # ------------------------------------------------------------------
     def to_jsonl(self) -> str:
-        """Retained events as newline-delimited JSON."""
-        return "\n".join(
+        """Retained events as newline-delimited JSON, preceded by the
+        ``{"schema": "tracelog/2"}`` header line."""
+        lines = [json.dumps({"schema": TRACELOG_SCHEMA}, sort_keys=True)]
+        lines.extend(
             json.dumps(e, sort_keys=True, default=str) for e in self.events()
         )
+        return "\n".join(lines)
 
     def write_jsonl(self, path_or_file: Union[str, IO[str]]) -> int:
-        """Write the retained events as JSONL; returns the event count."""
+        """Write the schema header + retained events as JSONL; returns
+        the event count (the header line is not an event)."""
         events = self.events()
-        text = "\n".join(
+        lines = [json.dumps({"schema": TRACELOG_SCHEMA}, sort_keys=True)]
+        lines.extend(
             json.dumps(e, sort_keys=True, default=str) for e in events
         )
-        if text:
-            text += "\n"
+        text = "\n".join(lines) + "\n"
         if hasattr(path_or_file, "write"):
             path_or_file.write(text)
         else:

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
@@ -51,6 +52,13 @@ from repro.errors import (
     WorkerDiedError,
 )
 from repro.metrics.fleet import fleet_openmetrics, fleet_rollup
+from repro.obs.disttrace import (
+    ClockAligner,
+    SpanContext,
+    SpanRecorder,
+    TraceCollector,
+)
+from repro.obs.tracelog import TRACELOG_SCHEMA, new_trace_id
 from repro.serve.arena import PlanArena, PlanHandle, SegmentCache, Slab, SlabPool
 from repro.serve.registry import MatrixRegistry
 from repro.serve.shardproto import (
@@ -60,6 +68,9 @@ from repro.serve.shardproto import (
     OP_RESULT,
     OP_SNAPSHOT,
     OP_SOLVE,
+    OP_TRACE,
+    SPAN_CONTEXT_KEY,
+    SPANS_KEY,
     HashRing,
     send_frame,
     unpack_frame,
@@ -158,6 +169,7 @@ async def _worker_serve(conn, worker_id: int, config: dict) -> None:
     )
     arena = PlanArena()
     slabs = SegmentCache()
+    recorder = SpanRecorder(f"shard-{worker_id}", trace_log=engine.trace_log)
     recv_pool = ThreadPoolExecutor(
         max_workers=1, thread_name_prefix=f"repro-shard{worker_id}-recv"
     )
@@ -167,24 +179,54 @@ async def _worker_serve(conn, worker_id: int, config: dict) -> None:
     tasks: set = set()
 
     async def reply(header: dict, body: bytes = b"") -> None:
+        # every reply piggybacks whatever finished spans are buffered —
+        # traces ship on existing frames, never on their own RPC
+        header.setdefault(SPANS_KEY, recorder.drain())
         await loop.run_in_executor(send_pool, send_frame, conn, header, body)
 
     async def handle_solve(header: dict, body: bytes) -> None:
         rid = header["rid"]
+        ctx = SpanContext.from_wire(header.get(SPAN_CONTEXT_KEY))
+        trace_id = ctx.trace_id if ctx else None
+        parent_id = ctx.span_id if ctx else None
         try:
             key = header["key"]
             n, k = header["shape"]
             slab_name = header.get("slab")
-            if slab_name is not None:
-                B = slabs.ndarray(slab_name, (n, k))
-            else:
-                B = np.frombuffer(body, dtype=np.float64).reshape(n, k)
-            if header.get("single") and k == 1:
-                resp = await engine.solve(key, np.ascontiguousarray(B[:, 0]))
-                X = resp.x.reshape(n, 1)
-            else:
-                resp = await engine.solve_multi(key, B)
-                X = resp.x.reshape(n, k)
+            with recorder.span(
+                "deserialize", trace_id=trace_id, parent_id=parent_id,
+                attrs={"inline": slab_name is None, "n_rhs": k},
+            ) as sp:
+                if slab_name is not None:
+                    B = slabs.ndarray(slab_name, (n, k))
+                else:
+                    B = np.frombuffer(body, dtype=np.float64).reshape(n, k)
+                trace_id = sp.trace_id  # minted here if the router sent none
+            with recorder.span(
+                "plan", trace_id=trace_id, parent_id=parent_id,
+                attrs={"matrix": key[:12]},
+            ):
+                # cache-hot after adoption; a slow span here means the
+                # shard rebuilt or re-fetched plan state mid-request
+                engine.registry.plan(key)
+            with recorder.span(
+                "solve", trace_id=trace_id, parent_id=parent_id,
+            ) as solve_span:
+                if header.get("single") and k == 1:
+                    resp = await engine.solve(
+                        key, np.ascontiguousarray(B[:, 0]),
+                        trace_id=trace_id,
+                    )
+                    X = resp.x.reshape(n, 1)
+                else:
+                    resp = await engine.solve_multi(
+                        key, B, trace_id=trace_id
+                    )
+                    X = resp.x.reshape(n, k)
+                solve_span.attrs.update(
+                    lane=resp.lane, solver=resp.solver_name,
+                    batch_width=resp.batch_width,
+                )
             meta = {
                 "solver": resp.solver_name,
                 "lane": resp.lane,
@@ -194,19 +236,32 @@ async def _worker_serve(conn, worker_id: int, config: dict) -> None:
                 "cycles": resp.cycles,
                 "trace_id": resp.trace_id,
             }
+            # the reply span covers serialization / slab write-back and
+            # finishes *before* the frame is sent so it ships with this
+            # very reply (the pipe flight itself is the remainder of the
+            # router's root span)
             if slab_name is not None:
                 # B has been fully consumed: reuse the request slab for
                 # the solution (same shape) — zero new segments
-                out = slabs.ndarray(slab_name, (n, k))
-                out[...] = X
+                with recorder.span(
+                    "reply", trace_id=trace_id, parent_id=parent_id,
+                    attrs={"via": "slab"},
+                ):
+                    out = slabs.ndarray(slab_name, (n, k))
+                    out[...] = X
                 await reply({
                     "op": OP_RESULT, "rid": rid, "ok": True,
                     "slab": slab_name, "meta": meta,
                 })
             else:
+                with recorder.span(
+                    "reply", trace_id=trace_id, parent_id=parent_id,
+                    attrs={"via": "inline"},
+                ):
+                    payload = np.ascontiguousarray(X).tobytes()
                 await reply(
                     {"op": OP_RESULT, "rid": rid, "ok": True, "meta": meta},
-                    np.ascontiguousarray(X).tobytes(),
+                    payload,
                 )
         except BaseException as exc:  # noqa: BLE001 - forwarded to router
             await reply({
@@ -228,12 +283,24 @@ async def _worker_serve(conn, worker_id: int, config: dict) -> None:
             tasks.add(task)
             task.add_done_callback(tasks.discard)
         elif op == OP_REGISTER:
+            ctx = SpanContext.from_wire(header.get(SPAN_CONTEXT_KEY))
+            reg_trace = ctx.trace_id if ctx else None
+            reg_parent = ctx.span_id if ctx else None
             try:
-                attached = arena.attach(PlanHandle.from_json(header["handle"]))
-                key = engine.register(
-                    attached.matrix, name=header.get("name") or None
-                )
-                registry.adopt_plan(key, attached.plan)
+                with recorder.span(
+                    "arena-attach", trace_id=reg_trace, parent_id=reg_parent,
+                ) as sp:
+                    attached = arena.attach(
+                        PlanHandle.from_json(header["handle"])
+                    )
+                    reg_trace = sp.trace_id
+                with recorder.span(
+                    "registry-plan", trace_id=reg_trace, parent_id=reg_parent,
+                ):
+                    key = engine.register(
+                        attached.matrix, name=header.get("name") or None
+                    )
+                    registry.adopt_plan(key, attached.plan)
                 await reply({"op": OP_RESULT, "rid": rid, "ok": True,
                              "key": key})
             except BaseException as exc:  # noqa: BLE001 - forwarded
@@ -242,12 +309,19 @@ async def _worker_serve(conn, worker_id: int, config: dict) -> None:
                     "error": type(exc).__name__, "message": str(exc),
                 })
         elif op == OP_PING:
+            # the reply's wall-clock stamp is the worker half of the
+            # router's NTP-style offset estimate; buffered spans drain
+            # on the same frame (health checks double as trace flushes)
             await reply({"op": OP_RESULT, "rid": rid, "ok": True,
                          "pong": True, "pid": os.getpid(),
-                         "worker_id": worker_id})
+                         "worker_id": worker_id, "wall": time.time()})
         elif op == OP_SNAPSHOT:
             await reply({"op": OP_RESULT, "rid": rid, "ok": True,
                          "snapshot": _jsonable(engine.snapshot())})
+        elif op == OP_TRACE:
+            await reply({"op": OP_RESULT, "rid": rid, "ok": True,
+                         "events": _jsonable(engine.trace_log.events()),
+                         "summary": _jsonable(engine.trace_log.summary())})
         elif op == OP_CLOSE:
             running = False
             if tasks:
@@ -283,7 +357,7 @@ class _WorkerHandle:
         self.reader: Optional[threading.Thread] = None
         self.send_lock = threading.Lock()
         self.pending_lock = threading.Lock()
-        # rid -> (future, slab-or-None, shape, single)
+        # rid -> (future, slab-or-None, shape, single, root-span-or-None)
         self.pending: dict = {}
         self.keys: set = set()  # fingerprints registered on this worker
         self.closing = False
@@ -314,6 +388,9 @@ class ShardRouter:
         respawn: bool = True,
         ring_replicas: int = 64,
         spawn_timeout: float = 60.0,
+        tracing: bool = True,
+        slow_ms: Optional[float] = None,
+        exemplar_capacity: int = 32,
     ) -> None:
         if n_workers <= 0:
             raise ClusterError("n_workers must be positive")
@@ -344,6 +421,23 @@ class ShardRouter:
         self._respawns = 0
         self._worker_deaths = 0
         self._requests = 0
+        # distributed tracing: the aligner always runs (ping exchanges
+        # feed it either way); the recorder/collector pair only with
+        # tracing on, so `tracing=False` is the zero-overhead baseline
+        # the overhead benchmark compares against
+        self.tracing = tracing
+        self._aligner = ClockAligner()
+        self._collector: Optional[TraceCollector] = None
+        self._recorder: Optional[SpanRecorder] = None
+        if tracing:
+            self._collector = TraceCollector(
+                aligner=self._aligner,
+                slow_ms=slow_ms,
+                exemplar_capacity=exemplar_capacity,
+            )
+            self._recorder = SpanRecorder(
+                "router", sink=self._collector.record
+            )
         try:
             for wid in range(n_workers):
                 handle = _WorkerHandle(wid)
@@ -451,11 +545,24 @@ class ShardRouter:
         handle: PlanHandle,
         name: Optional[str],
     ) -> None:
-        self._request(
-            worker,
-            {"op": OP_REGISTER, "handle": handle.to_json(), "name": name},
-            timeout=self.spawn_timeout,
-        )
+        header = {
+            "op": OP_REGISTER, "handle": handle.to_json(), "name": name,
+        }
+        root = None
+        if self._recorder is not None:
+            root = self._recorder.start(
+                "register",
+                attrs={"matrix": handle.key[:12], "worker": worker.node},
+            )
+            header[SPAN_CONTEXT_KEY] = root.context.to_wire()
+        try:
+            self._request(worker, header, timeout=self.spawn_timeout)
+        except BaseException as exc:
+            if root is not None:
+                self._recorder.finish(root, error=type(exc).__name__)
+            raise
+        if root is not None:
+            self._recorder.finish(root, ok=True)
         worker.keys.add(handle.key)
 
     def worker_for(self, ref: str) -> str:
@@ -508,25 +615,58 @@ class ShardRouter:
             "shape": [int(B.shape[0]), int(B.shape[1])],
             "single": bool(single),
         }
+        # root span of the whole request: minted here, propagated to the
+        # worker in the frame header, finished when the reply lands (or
+        # the request fails) — its duration is the end-to-end latency
+        root = None
+        if self._recorder is not None:
+            root = self._recorder.start(
+                "request",
+                trace_id=new_trace_id(),
+                attrs={
+                    "matrix": entry.key[:12],
+                    "n_rhs": int(B.shape[1]),
+                    "worker": worker.node,
+                },
+            )
+            header[SPAN_CONTEXT_KEY] = root.context.to_wire()
         body = b""
         slab: Optional[Slab] = None
+        enq = None
+        if root is not None:
+            enq = self._recorder.start(
+                "enqueue", trace_id=root.trace_id, parent_id=root.span_id
+            )
         if B.nbytes <= self.inline_max:
             body = B.tobytes()
+            via = "inline"
         else:
             slab = self._slabs.acquire(B.nbytes)
             slab.ndarray(B.shape)[...] = B
             header["slab"] = slab.name
+            via = "slab"
+        if enq is not None:
+            self._recorder.finish(enq, via=via, bytes=int(B.nbytes))
         fut: "Future[ClusterResponse]" = Future()
         with worker.pending_lock:
-            worker.pending[rid] = (fut, slab, B.shape, single)
+            worker.pending[rid] = (fut, slab, B.shape, single, root)
         try:
-            with worker.send_lock:
-                send_frame(worker.conn, header, body)
+            if root is not None:
+                with self._recorder.span(
+                    "send", trace_id=root.trace_id, parent_id=root.span_id
+                ):
+                    with worker.send_lock:
+                        send_frame(worker.conn, header, body)
+            else:
+                with worker.send_lock:
+                    send_frame(worker.conn, header, body)
         except (OSError, BrokenPipeError) as exc:
             with worker.pending_lock:
                 worker.pending.pop(rid, None)
             if slab is not None:
                 self._slabs.release(slab)
+            if root is not None:
+                self._recorder.finish(root, error="WorkerDiedError")
             raise WorkerDiedError(
                 f"worker {worker.node} pipe is down: {exc}"
             ) from exc
@@ -587,12 +727,18 @@ class ShardRouter:
     def _complete(
         self, worker: _WorkerHandle, header: dict, body: bytes
     ) -> None:
+        # piggybacked worker spans ride on *every* reply (solve results,
+        # control-plane acks, ping drains); ingest them even when nobody
+        # waits on the rid anymore
+        spans = header.pop(SPANS_KEY, None)
+        if spans and self._collector is not None:
+            self._collector.record_remote(spans, node=worker.node)
         rid = header.get("rid")
         with worker.pending_lock:
             pending = worker.pending.pop(rid, None)
         if pending is None:
             return  # reply to a request nobody is waiting on anymore
-        fut, slab, shape, single = pending
+        fut, slab, shape, single, root = pending
         if not header.get("ok"):
             if slab is not None:
                 self._slabs.release(slab)
@@ -600,6 +746,10 @@ class ShardRouter:
                 header.get("error", "ClusterError"),
                 header.get("message", "worker error"),
             )
+            if root is not None:
+                self._recorder.finish(
+                    root, error=header.get("error", "ClusterError")
+                )
             if not fut.done():
                 fut.set_exception(exc)
             return
@@ -614,6 +764,15 @@ class ShardRouter:
         else:
             X = np.frombuffer(body, dtype=np.float64).reshape(shape).copy()
         x = X[:, 0] if single else X
+        trace_id = meta.get("trace_id", "")
+        if root is not None:
+            trace_id = trace_id or root.trace_id
+            self._recorder.finish(
+                root,
+                ok=True,
+                lane=meta.get("lane", ""),
+                solver=meta.get("solver", ""),
+            )
         response = ClusterResponse(
             x=x,
             solver_name=meta.get("solver", ""),
@@ -625,7 +784,7 @@ class ShardRouter:
             latency_ms=float(meta.get("latency_ms", 0.0)),
             cycles=int(meta.get("cycles", 0)),
             lane=meta.get("lane", ""),
-            trace_id=meta.get("trace_id", ""),
+            trace_id=trace_id,
         )
         if not fut.done():
             fut.set_result(response)
@@ -643,9 +802,11 @@ class ShardRouter:
         with worker.pending_lock:
             pending = list(worker.pending.values())
             worker.pending.clear()
-        for fut, slab, _shape, _single in pending:
+        for fut, slab, _shape, _single, root in pending:
             if slab is not None:
                 self._slabs.release(slab)
+            if root is not None and self._recorder is not None:
+                self._recorder.finish(root, error=type(exc).__name__)
             if not fut.done():
                 fut.set_exception(exc)
 
@@ -742,7 +903,7 @@ class ShardRouter:
         header = dict(header, rid=rid)
         fut: Future = Future()
         with worker.pending_lock:
-            worker.pending[rid] = (fut, None, (0, 0), False)
+            worker.pending[rid] = (fut, None, (0, 0), False, None)
         try:
             with worker.send_lock:
                 send_frame(worker.conn, header)
@@ -772,15 +933,125 @@ class ShardRouter:
             )
         if not workers:
             raise ClusterError(f"no such worker {node!r}")
-        return {
-            w.node: self._request(w, {"op": OP_PING}, timeout=5.0)
-            for w in workers
-        }
+        out = {}
+        for w in workers:
+            t_send = time.time()
+            reply = self._request(w, {"op": OP_PING}, timeout=5.0)
+            t_recv = time.time()
+            # each exchange is one NTP-style clock sample; the reply
+            # also drained the worker's buffered spans (see _complete)
+            wall = reply.get("wall")
+            if isinstance(wall, (int, float)):
+                self._aligner.observe(w.node, t_send, float(wall), t_recv)
+            out[w.node] = reply
+        return out
 
     @property
     def nodes(self) -> tuple:
         with self._lock:
             return tuple(sorted(self._workers))
+
+    # ------------------------------------------------------------------
+    # distributed tracing
+    # ------------------------------------------------------------------
+    @property
+    def collector(self) -> Optional[TraceCollector]:
+        """The router-side trace collector (``None`` with tracing off)."""
+        return self._collector
+
+    def _require_tracing(self) -> TraceCollector:
+        if self._collector is None:
+            raise ClusterError(
+                "distributed tracing is disabled "
+                "(construct ShardRouter with tracing=True)"
+            )
+        return self._collector
+
+    def hop_stats(self) -> dict:
+        """Per-hop latency attribution (p50/p99/... per span name)."""
+        return self._require_tracing().hop_stats()
+
+    def span_tree(self, trace_id: str) -> Optional[dict]:
+        """One request's reassembled causal span tree (or ``None``)."""
+        return self._require_tracing().tree(trace_id)
+
+    def exemplars(self) -> list:
+        """Captured slow-request exemplars (full span trees)."""
+        return self._require_tracing().exemplars()
+
+    def chrome_trace(self) -> dict:
+        """Every collected span as one multi-process Chrome trace doc
+        (one ``pid`` row per process, flow arrows router→worker)."""
+        return self._require_tracing().chrome_trace()
+
+    def write_chrome_trace(self, path) -> dict:
+        """Write :meth:`chrome_trace` to ``path``; returns the doc."""
+        from repro.obs.chrome import write_trace_doc
+
+        return write_trace_doc(self.chrome_trace(), path)
+
+    def trace_events(self, node: Optional[str] = None) -> dict:
+        """Each worker's raw TraceLog events, keyed by node name."""
+        with self._lock:
+            workers = (
+                list(self._workers.values())
+                if node is None
+                else [w for n, w in self._workers.items() if n == node]
+            )
+        if not workers:
+            raise ClusterError(f"no such worker {node!r}")
+        out = {}
+        for w in workers:
+            try:
+                reply = self._request(w, {"op": OP_TRACE}, timeout=10.0)
+            except ReproError:  # pragma: no cover - dead mid-drain
+                continue
+            out[w.node] = reply.get("events", [])
+        return out
+
+    def write_trace_jsonl(self, path) -> int:
+        """Merged fleet trace as one ``tracelog/2`` JSONL file.
+
+        Router spans (tagged ``worker="router"``) first, then every
+        worker's TraceLog events tagged with their node name — one file
+        ``repro-sptrsv replay`` and offline tooling can read end to end.
+        Returns the number of event lines written (header excluded).
+        """
+        import json
+
+        lines = [json.dumps({"schema": TRACELOG_SCHEMA}, sort_keys=True)]
+        count = 0
+        if self._collector is not None:
+            for span in self._collector.all_spans():
+                if span.get("process") != "router":
+                    continue  # worker spans come from their own TraceLog
+                record = {
+                    "kind": "span",
+                    "ts": span.get("start"),
+                    "worker": "router",
+                    "trace_id": span.get("trace_id"),
+                    "span": span.get("name"),
+                    "span_id": span.get("span_id"),
+                    "parent_id": span.get("parent_id"),
+                    "start": span.get("start"),
+                    "end": span.get("end"),
+                    "duration_ms": span.get("duration_ms"),
+                }
+                attrs = span.get("attrs")
+                if isinstance(attrs, dict):
+                    for k, v in attrs.items():
+                        record.setdefault(k, v)
+                lines.append(json.dumps(record, sort_keys=True, default=str))
+                count += 1
+        for node, events in sorted(self.trace_events().items()):
+            for event in events:
+                if isinstance(event, dict):
+                    event = dict(event, worker=node)
+                lines.append(json.dumps(event, sort_keys=True, default=str))
+                count += 1
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + "\n")
+        return count
 
     def router_stats(self) -> dict:
         with self._rid_lock:
@@ -792,7 +1063,7 @@ class ShardRouter:
             shard_keys = {
                 w.node: len(w.keys) for w in self._workers.values()
             }
-        return {
+        stats = {
             "workers": n_workers,
             "requests": requests,
             "worker_deaths": deaths,
@@ -802,6 +1073,9 @@ class ShardRouter:
             "arena": self._arena.stats(),
             "slabs": self._slabs.stats(),
         }
+        if self._collector is not None:
+            stats["spans"] = self._collector.stats()
+        return stats
 
     def worker_snapshots(self) -> dict:
         """Per-worker engine snapshots, keyed by node name."""

@@ -200,12 +200,16 @@ class SolveEngine:
         b: np.ndarray,
         *,
         timeout: Optional[float] = None,
+        trace_id: Optional[str] = None,
     ) -> SolveResponse:
         """Solve ``L x = b`` for one right-hand side.
 
         Concurrent calls against the same matrix coalesce into one
         batched SpTRSM launch; the response reports the width of the
-        batch this request rode on.
+        batch this request rode on.  ``trace_id`` adopts a caller-minted
+        id (the cluster router propagates its own through the frame
+        header, so one id joins router spans, this engine's trace log,
+        and the response); by default a fresh id is minted here.
         """
         entry = self.registry.get(ref)
         b = np.ascontiguousarray(b, dtype=np.float64)
@@ -213,7 +217,7 @@ class SolveEngine:
             raise SolverError(
                 f"b has shape {b.shape}, expected ({entry.matrix.n_rows},)"
             )
-        trace_id = new_trace_id()
+        trace_id = trace_id or new_trace_id()
         self._admit(1, trace_id, entry.key)
         self.trace_log.emit(
             "enqueue", trace_id=trace_id, matrix=entry.key, n_rhs=1,
@@ -246,11 +250,13 @@ class SolveEngine:
         B: np.ndarray,
         *,
         timeout: Optional[float] = None,
+        trace_id: Optional[str] = None,
     ) -> SolveResponse:
         """Solve ``L X = B`` for a block of right-hand sides.
 
         Dispatched immediately (a multi-RHS request is already a batch);
         rides the same fallback ladder and telemetry as ``solve``.
+        ``trace_id`` adopts a caller-minted id (see :meth:`solve`).
         """
         entry = self.registry.get(ref)
         B = np.ascontiguousarray(B, dtype=np.float64)
@@ -261,7 +267,7 @@ class SolveEngine:
                 f"B must have shape ({entry.matrix.n_rows}, k>=1), "
                 f"got {B.shape}"
             )
-        trace_id = new_trace_id()
+        trace_id = trace_id or new_trace_id()
         self._admit(1, trace_id, entry.key)
         self.trace_log.emit(
             "enqueue", trace_id=trace_id, matrix=entry.key,

@@ -46,11 +46,13 @@ from typing import Iterable, Optional
 import numpy as np
 
 from repro.analysis.interleave import AsyncioClock, VirtualClock
+from repro.errors import TraceSchemaError
 from repro.metrics.fleet import fleet_rollup
 from repro.serve.engine import SolveEngine
 from repro.sparse.csr import CSRMatrix
 
 __all__ = [
+    "KNOWN_SCHEMAS",
     "ReplayReport",
     "load_events",
     "replay_events",
@@ -60,15 +62,37 @@ __all__ = [
     "trace_counts",
 ]
 
+#: JSONL schema tags this build can replay.  ``tracelog/1`` is the
+#: original headerless format (a dump with no ``schema`` line is read
+#: as /1); ``tracelog/2`` added the header and ``span`` events.
+KNOWN_SCHEMAS = frozenset({"tracelog/1", "tracelog/2"})
+
 
 def load_events(path: str | Path) -> list[dict]:
-    """Parse a TraceLog JSONL dump (blank lines ignored)."""
+    """Parse a TraceLog JSONL dump (blank lines ignored).
+
+    A leading ``{"schema": ...}`` header line is validated against
+    :data:`KNOWN_SCHEMAS` and stripped from the returned events; an
+    unknown schema raises :class:`~repro.errors.TraceSchemaError` with
+    the offending tag, instead of a ``KeyError`` later in replay.
+    Headerless dumps (pre-``tracelog/2`` recordings) stay accepted.
+    """
     events = []
     with Path(path).open() as fh:
         for line in fh:
             line = line.strip()
-            if line:
-                events.append(json.loads(line))
+            if not line:
+                continue
+            record = json.loads(line)
+            if isinstance(record, dict) and "schema" in record:
+                schema = record["schema"]
+                if schema not in KNOWN_SCHEMAS:
+                    raise TraceSchemaError(
+                        f"{path}: unknown trace schema {schema!r}; this "
+                        "build reads " + ", ".join(sorted(KNOWN_SCHEMAS))
+                    )
+                continue  # header line, not an event
+            events.append(record)
     return events
 
 

@@ -35,8 +35,11 @@ __all__ = [
     "OP_PING",
     "OP_PONG",
     "OP_SNAPSHOT",
+    "OP_TRACE",
     "OP_CLOSE",
     "OP_OK",
+    "SPAN_CONTEXT_KEY",
+    "SPANS_KEY",
     "pack_frame",
     "unpack_frame",
     "send_frame",
@@ -49,11 +52,21 @@ OP_REGISTER = "register"   # adopt a published plan (body: none)
 OP_SOLVE = "solve"         # solve a block (body: inline RHS, or empty)
 OP_PING = "ping"           # health check
 OP_SNAPSHOT = "snapshot"   # return engine snapshot
+OP_TRACE = "trace"         # return the worker's TraceLog events
 OP_CLOSE = "close"         # drain and exit
 # ... and worker -> router.
 OP_RESULT = "result"       # solve result (body: inline solution, or empty)
 OP_PONG = "pong"           # health-check reply
 OP_OK = "ok"               # generic ack (register/snapshot/close replies)
+
+# Distributed-tracing header fields.  Both are *optional* and versioned
+# at the payload level (repro.obs.disttrace.SpanContext.to_wire carries
+# a "v" tag): a receiver that predates them sees unknown JSON keys and
+# ignores them, an old sender simply omits them — the frame layout
+# itself never changes, which is what keeps the protocol
+# backward-compatible across mixed-version router/worker pairs.
+SPAN_CONTEXT_KEY = "span"  # request headers: the caller's span context
+SPANS_KEY = "spans"        # reply headers: finished spans piggybacked back
 
 _PREFIX = struct.Struct("!II")
 

@@ -144,3 +144,121 @@ class TestOpenMetrics:
         assert fleet_openmetrics(workers) == fleet_openmetrics(
             dict(reversed(list(workers.items())))
         )
+
+
+def router_stats_with_spans():
+    """Router stats dict shaped like ``ShardRouter.router_stats()``
+    with tracing on (the ``spans`` block the hop series render from)."""
+    return {
+        "requests": 16, "worker_deaths": 1, "respawns": 1,
+        "arena": {"resident": 2, "resident_bytes": 4096},
+        "slabs": {"segments": 3, "reused": 5},
+        "spans": {
+            "traces": 4, "spans": 20, "dropped_traces": 0,
+            "exemplars": 1, "slow_threshold_ms": 7.25,
+            "hops": {
+                "solve": {"count": 4, "p50_ms": 1.5, "p99_ms": 3.75,
+                          "mean_ms": 2.0, "max_ms": 4.0},
+                "send": {"count": 4, "p50_ms": 0.5, "p99_ms": 0.75,
+                         "mean_ms": 0.5, "max_ms": 1.0},
+            },
+            "clocks": {},
+        },
+    }
+
+
+class TestHopSeries:
+    def test_hop_attribution_rendered_from_spans_block(self):
+        text = fleet_openmetrics(
+            {"shard-0": worker_snap()}, router=router_stats_with_spans()
+        )
+        families = parse_openmetrics(text)
+        hop = families["repro_fleet_hop_spans"]
+        assert hop['repro_fleet_hop_spans_total{hop="solve"}'] == 4
+        assert hop['repro_fleet_hop_spans_total{hop="send"}'] == 4
+        lat = families["repro_fleet_hop_latency_ms"]
+        assert lat[
+            'repro_fleet_hop_latency_ms{hop="solve",quantile="p50"}'
+        ] == 1.5
+        assert lat[
+            'repro_fleet_hop_latency_ms{hop="solve",quantile="p99"}'
+        ] == 3.75
+        assert families["repro_fleet_slow_exemplars"][
+            "repro_fleet_slow_exemplars"
+        ] == 1
+        assert families["repro_fleet_slow_threshold_ms"][
+            "repro_fleet_slow_threshold_ms"
+        ] == 7.25
+
+    def test_tracing_off_renders_no_hop_series(self):
+        router = router_stats_with_spans()
+        del router["spans"]
+        text = fleet_openmetrics({"shard-0": worker_snap()}, router=router)
+        families = parse_openmetrics(text)
+        assert "repro_fleet_hop_spans" not in families
+        assert "repro_fleet_slow_exemplars" not in families
+
+
+class TestExpositionRoundTrip:
+    """The full parser inverts the renderer byte-for-byte — what a
+    remote scraper reconstructs is exactly what the fleet exported."""
+
+    def test_parse_render_round_trip_is_byte_identical(self):
+        from repro.metrics import parse_openmetrics_full, render_parsed
+
+        text = fleet_openmetrics(
+            {
+                "shard-0": worker_snap(total=10, failed=1, p95=4.5),
+                "shard-1": worker_snap(total=6),
+            },
+            router=router_stats_with_spans(),
+        )
+        families = parse_openmetrics_full(text)
+        assert render_parsed(families) == text
+
+    def test_full_parse_preserves_labels_and_types(self):
+        from repro.metrics import parse_openmetrics_full
+
+        text = fleet_openmetrics(
+            {"shard-0": worker_snap(total=10, p95=4.5)},
+            router=router_stats_with_spans(),
+        )
+        families = parse_openmetrics_full(text)
+        lat = families["repro_fleet_hop_latency_ms"]
+        assert lat["kind"] == "gauge"
+        samples = {
+            (suffix, tuple(sorted(labels.items()))): value
+            for suffix, labels, value in lat["samples"]
+        }
+        key = ("", (("hop", "solve"), ("quantile", "p50")))
+        assert samples[key] == 1.5
+        assert isinstance(samples[key], float)
+        hop = families["repro_fleet_hop_spans"]
+        counts = {
+            tuple(sorted(labels.items())): value
+            for suffix, labels, value in hop["samples"]
+            if suffix == "_total"
+        }
+        assert counts[(("hop", "solve"),)] == 4
+        assert isinstance(counts[(("hop", "solve"),)], int)
+
+    def test_round_trip_survives_label_escaping(self):
+        from repro.metrics import parse_openmetrics_full, render_parsed
+        from repro.metrics.telemetry import Gauge
+
+        from repro.metrics.expo import render_metrics
+
+        g = Gauge(
+            "odd", help='values with "quotes" and \\ slashes',
+            labels={"path": 'a\\b "c"\nd'},
+        )
+        g.set(1.25)
+        text = render_metrics([g], prefix="repro_fleet_")
+        families = parse_openmetrics_full(text)
+        assert render_parsed(families) == text
+        ((_, labels, value),) = [
+            s for s in families["repro_fleet_odd"]["samples"]
+            if s[0] == ""
+        ]
+        assert labels == {"path": 'a\\b "c"\nd'}
+        assert value == 1.25

@@ -7,7 +7,7 @@ import threading
 
 import pytest
 
-from repro.obs import TraceLog, new_trace_id
+from repro.obs import TRACELOG_SCHEMA, TraceLog, new_trace_id
 
 
 class TestTraceIds:
@@ -78,18 +78,19 @@ class TestSerialization:
         log.emit("enqueue", trace_id="abc", n_rhs=1)
         log.emit("publish", trace_id="abc", latency_ms=1.5)
         path = tmp_path / "events.jsonl"
-        assert log.write_jsonl(str(path)) == 2
+        assert log.write_jsonl(str(path)) == 2  # header is not an event
         lines = path.read_text().splitlines()
-        assert len(lines) == 2
-        parsed = [json.loads(line) for line in lines]
+        assert len(lines) == 3
+        assert json.loads(lines[0]) == {"schema": TRACELOG_SCHEMA}
+        parsed = [json.loads(line) for line in lines[1:]]
         assert parsed[0]["kind"] == "enqueue"
         assert parsed[1]["latency_ms"] == 1.5
         assert log.to_jsonl() == "\n".join(lines)
 
-    def test_empty_log_writes_empty_file(self, tmp_path):
+    def test_empty_log_writes_header_only_file(self, tmp_path):
         path = tmp_path / "empty.jsonl"
         assert TraceLog().write_jsonl(str(path)) == 0
-        assert path.read_text() == ""
+        assert json.loads(path.read_text()) == {"schema": TRACELOG_SCHEMA}
 
 
 class TestThreadSafety:

@@ -186,3 +186,55 @@ class TestSegmentCache:
         cache.close_all()
         pool.close()
         assert leaked_segments() == []
+
+
+class TestInstrumentedRefcounts:
+    """Ambient observability contexts (the tracer the engines pick up,
+    the cycle/host profilers) must not perturb the arena's attach/detach
+    refcounting or leak shared-memory segments — the shm-leak audit,
+    re-run with every instrumentation layer switched on."""
+
+    def test_attach_detach_refcounts_under_ambient_contexts(self):
+        from repro.gpu.trace import Tracer
+        from repro.obs.profiler import profiling
+        from repro.solvers._sim import tracing
+
+        key, L, plan = published_plan()
+        system = lower_triangular_system(L)
+        with PlanArena() as arena:
+            handle = arena.publish(key, L, plan)
+            with tracing(Tracer()), profiling():
+                a1 = arena.attach(handle)
+                a2 = arena.attach(handle)
+                assert a2 is a1
+                stats = arena.stats()
+                assert stats["attaches"] == 1
+                assert stats["attach_reuses"] == 1
+                # the attached plan still solves correctly while both
+                # ambient contexts are live
+                np.testing.assert_allclose(
+                    a1.plan.solve(system.b), system.x_true,
+                    rtol=1e-9, atol=1e-12,
+                )
+                arena.detach(handle)
+                assert arena.stats()["attached"] == 1
+            # contexts exited with one ref still out: nothing dropped
+            assert arena.stats()["attached"] == 1
+            arena.detach(handle)
+            assert arena.stats()["attached"] == 0
+        assert leaked_segments() == []
+
+    def test_slab_pool_reuse_under_ambient_contexts(self):
+        from repro.obs.profiler import profiling
+
+        pool = SlabPool()
+        with profiling():
+            s1 = pool.acquire(4096)
+            name = s1.name
+            pool.release(s1)
+            s2 = pool.acquire(4096)
+            assert s2.name == name   # served from the pool, not a new map
+            pool.release(s2)
+        assert pool.stats()["reused"] == 1
+        pool.close()
+        assert leaked_segments() == []

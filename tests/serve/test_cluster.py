@@ -167,10 +167,17 @@ class TestFailureRecovery:
             (key, system), _ = distinct_shard_systems(router)
             victim = router.worker_for(key)
 
-            futs = [
-                router.submit(key, system.b, single=True)
-                for _ in range(16)
-            ]
+            # enough in-flight work (wide multi-rhs batches) that the
+            # SIGKILL reliably lands while requests are still pending,
+            # not after the worker has drained the whole burst
+            k = 4
+            B = np.column_stack(
+                [(r + 1.0) * system.b for r in range(k)]
+            )
+            X_true = np.column_stack(
+                [(r + 1.0) * system.x_true for r in range(k)]
+            )
+            futs = [router.submit(key, B) for _ in range(48)]
             router.kill_worker(victim)
             outcomes = {"ok": 0, "died": 0}
             for fut in futs:
@@ -181,7 +188,7 @@ class TestFailureRecovery:
                 else:
                     outcomes["ok"] += 1
                     np.testing.assert_allclose(
-                        resp.x, system.x_true, rtol=1e-9, atol=1e-12
+                        resp.x, X_true, rtol=1e-9, atol=1e-12
                     )
             # the kill landed mid-stream: something must have died
             assert outcomes["died"] >= 1

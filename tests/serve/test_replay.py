@@ -137,3 +137,51 @@ class TestClusterReplay:
         before = set(leaked_segments())
         replay_file(trace, workers=1, speed=1000.0)
         assert set(leaked_segments()) - before == set()
+
+
+class TestSchemaValidation:
+    """The ``tracelog/2`` header: validated on load, stripped from the
+    events, and unknown versions refused with a named error instead of
+    a ``KeyError`` deep inside replay."""
+
+    def test_v2_header_accepted_and_stripped(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        record_session(str(path), requests=2, rhs=0)
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first == {"schema": "tracelog/2"}
+        events = load_events(path)
+        assert events
+        assert all("schema" not in e for e in events)
+        report = replay_file(path)
+        assert report.ok, report.summary()
+
+    def test_headerless_legacy_dump_still_loads(self, tmp_path):
+        path = tmp_path / "legacy.jsonl"
+        path.write_text(
+            json.dumps({"kind": "enqueue", "matrix": "m", "ts": 0.0,
+                        "n_rhs": 2}) + "\n"
+        )
+        events = load_events(path)
+        assert len(events) == 1
+        assert trace_counts(events)["rhs"] == 2
+
+    def test_unknown_schema_raises_named_error(self, tmp_path):
+        from repro.errors import TraceSchemaError
+
+        path = tmp_path / "future.jsonl"
+        path.write_text(
+            json.dumps({"schema": "tracelog/99"}) + "\n"
+            + json.dumps({"kind": "enqueue", "matrix": "m", "ts": 0.0})
+            + "\n"
+        )
+        with pytest.raises(TraceSchemaError) as excinfo:
+            load_events(path)
+        message = str(excinfo.value)
+        assert "tracelog/99" in message
+        assert "tracelog/1" in message and "tracelog/2" in message
+
+    def test_trace_schema_error_is_a_serve_error(self):
+        from repro.errors import ReproError, ServeError, TraceSchemaError
+
+        assert issubclass(TraceSchemaError, ServeError)
+        assert issubclass(TraceSchemaError, ReproError)

@@ -340,7 +340,9 @@ class TestServeStatsTrace:
         out = capsys.readouterr().out
         assert rc == 0
         assert "trace" in out
-        events = [json.loads(line) for line in open(path)]
+        lines = [json.loads(line) for line in open(path)]
+        assert lines[0] == {"schema": "tracelog/2"}
+        events = lines[1:]
         kinds = {e["kind"] for e in events}
         assert {"enqueue", "batch", "launch", "publish"} <= kinds
         launches = [e for e in events if e["kind"] == "launch"]
