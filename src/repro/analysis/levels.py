@@ -10,6 +10,14 @@ The computation here is the preprocessing step the level-set SpTRSV
 algorithm (Algorithm 2) needs — the paper charges its cost in Table 1.  We
 implement it as a single forward sweep over the CSR arrays, which is
 O(nnz) like the production implementations in [1, 35].
+
+:func:`merge_levels` adds the schedule-side optimization for the *deep*
+regime: adjacent skinny levels are coalesced into groups by substituting
+the few cross-level dependencies inside a group with the dependent rows'
+own linear expansions (Böhnlein et al., arXiv:2503.05408).  Each merged
+group then has no internal ordering constraint, so an executor pays one
+synchronization (or one interpreter step) per *group* instead of per
+level, at the price of a bounded amount of redundant arithmetic.
 """
 
 from __future__ import annotations
@@ -21,7 +29,12 @@ import numpy as np
 from repro.errors import NotTriangularError
 from repro.sparse.csr import CSRMatrix
 
-__all__ = ["LevelSchedule", "compute_levels"]
+__all__ = [
+    "LevelSchedule",
+    "MergedSchedule",
+    "compute_levels",
+    "merge_levels",
+]
 
 
 @dataclass(frozen=True)
@@ -161,3 +174,218 @@ def _levels_serial(L: CSRMatrix) -> np.ndarray:
         if deps.size:
             level[i] = level[deps].max() + 1
     return level
+
+
+#: Levels wider than this never join a merged group — wide levels already
+#: amortize per-level overhead over many rows, and their expansions would
+#: blow the redundant-work budget anyway.
+DEFAULT_MERGE_MAX_WIDTH = 32
+
+#: A group's expanded coefficient count may not exceed ``budget`` times
+#: its direct count.  On a pure chain this caps groups at ``2 * budget``
+#: levels (the expansion of the t-th chained row carries t + 1 terms).
+DEFAULT_MERGE_BUDGET = 4.0
+
+#: Hard cap on levels per group regardless of budget headroom, keeping
+#: the inspector's substitution pass (and its working sets) bounded.
+DEFAULT_MERGE_MAX_GROUP = 32
+
+
+@dataclass(frozen=True)
+class MergedSchedule:
+    """A level schedule with adjacent skinny levels coalesced into groups.
+
+    Rows inside one group are made mutually independent by *substitution*:
+    when row ``i`` depends on row ``j`` of an earlier level in the same
+    group, ``x_j`` is replaced by its own linear expansion over inputs
+    computed before the group (earlier ``x`` entries and right-hand-side
+    values).  The group then executes as a single step.  The duplicated
+    coefficients are the redundant work the paper's flop-vs-sync tradeoff
+    buys synchronization freedom with.
+
+    This object is purely *structural* — it records which base levels fuse
+    and how many coefficients the substituted form carries.  The numeric
+    expansion itself is materialized by the compiled plan builder
+    (:func:`repro.solvers.compiled.build_compiled_plan`), which replays the
+    same greedy grouping decisions recorded here.
+
+    Attributes
+    ----------
+    base:
+        The unmerged :class:`LevelSchedule` this grouping refines.
+    group_ptr:
+        CSR-style pointer into base levels; merged level ``g`` spans base
+        levels ``group_ptr[g]:group_ptr[g+1]``.
+    level_ptr:
+        CSR-style pointer into :attr:`LevelSchedule.order`; merged level
+        ``g`` owns rows ``base.order[level_ptr[g]:level_ptr[g+1]]``.
+        Always equals ``base.level_ptr[group_ptr]``.
+    direct_nnz:
+        Coefficients of the unsubstituted scaled form — one per stored
+        matrix element (every off-diagonal dependency plus one ``b``
+        coefficient per row), i.e. ``nnz(L)``.
+    expanded_nnz:
+        Coefficients after substitution; ``expanded_nnz - direct_nnz`` is
+        the redundant work the merge buys its step reduction with.
+    """
+
+    base: LevelSchedule
+    group_ptr: np.ndarray
+    level_ptr: np.ndarray
+    direct_nnz: int
+    expanded_nnz: int
+
+    @property
+    def n_levels(self) -> int:
+        """Number of merged levels (execution steps)."""
+        return len(self.group_ptr) - 1
+
+    @property
+    def n_rows(self) -> int:
+        return self.base.n_rows
+
+    @property
+    def order(self) -> np.ndarray:
+        """Row order is inherited unchanged from the base schedule."""
+        return self.base.order
+
+    @property
+    def redundant_nnz(self) -> int:
+        """Duplicated coefficients introduced by substitution."""
+        return self.expanded_nnz - self.direct_nnz
+
+    def level_sizes(self) -> np.ndarray:
+        """Number of rows in each merged level."""
+        return np.diff(self.level_ptr)
+
+    def group_sizes(self) -> np.ndarray:
+        """Number of base levels fused into each merged level."""
+        return np.diff(self.group_ptr)
+
+    def compression(self) -> float:
+        """Base levels per merged level (synchronization reduction)."""
+        if self.n_levels == 0:
+            return 1.0
+        return self.base.n_levels / self.n_levels
+
+
+def merge_levels(
+    L: CSRMatrix,
+    schedule: LevelSchedule | None = None,
+    *,
+    max_width: int = DEFAULT_MERGE_MAX_WIDTH,
+    budget: float = DEFAULT_MERGE_BUDGET,
+    max_group: int = DEFAULT_MERGE_MAX_GROUP,
+) -> MergedSchedule:
+    """Greedily coalesce adjacent skinny levels under a redundant-work budget.
+
+    Levels are scanned in order and appended to the current group while
+    all of the following hold; otherwise the group closes and the level
+    starts a new one:
+
+    * the level's width is at most ``max_width`` (wide levels always form
+      singleton groups and incur no redundant work);
+    * the group holds fewer than ``max_group`` levels;
+    * after substituting this level's intra-group dependencies, the
+      group's expanded coefficient count stays within ``budget`` times its
+      direct count.
+
+    The substitution is simulated structurally: each in-group row carries
+    the *set* of pre-group inputs its value is a linear combination of
+    (earlier ``x`` entries, encoded as their row index, and ``b`` entries,
+    encoded as ``n + row``).  Merging a level unions the input sets of its
+    in-group dependencies — exactly the support of the numeric expansion
+    the compiled plan builder later materializes.
+    """
+    if max_width < 1:
+        raise ValueError(f"max_width must be >= 1, got {max_width}")
+    if max_group < 1:
+        raise ValueError(f"max_group must be >= 1, got {max_group}")
+    if budget < 1.0:
+        raise ValueError(f"budget must be >= 1.0, got {budget}")
+    if schedule is None:
+        schedule = compute_levels(L)
+
+    n = L.n_rows
+    row_ptr = L.row_ptr
+    col_idx = L.col_idx
+    level_ptr = schedule.level_ptr
+    order = schedule.order
+    row_lengths = np.diff(row_ptr)
+
+    group_starts: list[int] = [0]
+    expanded_total = 0
+
+    # state of the (open) current group
+    group_levels = 0  # levels accumulated so far
+    group_direct = 0  # direct coefficients of those levels
+    group_expanded = 0  # coefficients after substitution
+    inputs: dict[int, frozenset[int]] = {}  # row -> support of its expansion
+
+    def close_group(next_level: int) -> None:
+        nonlocal group_levels, group_direct, group_expanded, expanded_total
+        if group_levels:
+            group_starts.append(next_level)
+            expanded_total += group_expanded
+        group_levels = group_direct = group_expanded = 0
+        inputs.clear()
+
+    for lvl in range(schedule.n_levels):
+        r0, r1 = int(level_ptr[lvl]), int(level_ptr[lvl + 1])
+        rows = order[r0:r1]
+        width = r1 - r0
+        # direct scaled form: every off-diagonal dependency plus one b term
+        direct = int(row_lengths[rows].sum())
+
+        if width > max_width:
+            # wide level: singleton group, no substitution, no redundancy
+            close_group(lvl)
+            group_levels, group_direct, group_expanded = 1, direct, direct
+            close_group(lvl + 1)
+            continue
+
+        # build this level's input sets, substituting in-group deps
+        level_sets: dict[int, frozenset[int]] = {}
+        expanded = 0
+        for i in rows.tolist():
+            support = {n + i}
+            for j in col_idx[row_ptr[i]: row_ptr[i + 1] - 1].tolist():
+                sub = inputs.get(j)
+                if sub is None:
+                    support.add(j)
+                else:
+                    support |= sub
+            fs = frozenset(support)
+            level_sets[i] = fs
+            expanded += len(fs)
+
+        if group_levels and (
+            group_levels >= max_group
+            or group_expanded + expanded > budget * (group_direct + direct)
+        ):
+            close_group(lvl)
+            # re-derive the sets without in-group substitution: the group
+            # just closed, so every dependency is now external
+            level_sets = {}
+            expanded = 0
+            for i in rows.tolist():
+                fs = frozenset(
+                    col_idx[row_ptr[i]: row_ptr[i + 1] - 1].tolist()
+                ) | {n + i}
+                level_sets[i] = fs
+                expanded += len(fs)
+
+        group_levels += 1
+        group_direct += direct
+        group_expanded += expanded
+        inputs.update(level_sets)
+    close_group(schedule.n_levels)
+
+    group_ptr = np.asarray(group_starts, dtype=np.int64)
+    return MergedSchedule(
+        base=schedule,
+        group_ptr=group_ptr,
+        level_ptr=level_ptr[group_ptr].copy(),
+        direct_nnz=int(L.nnz),
+        expanded_nnz=expanded_total,
+    )

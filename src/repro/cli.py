@@ -8,6 +8,7 @@ Usage::
     repro-sptrsv analyze --matrix path/to/file.mtx
     repro-sptrsv analyze --solver naive-thread --domain circuit --json
     repro-sptrsv analyze --solver syncfree --domain circuit --n-rows 200 --trace
+    repro-sptrsv analyze --levels --domain circuit --n-rows 16000
     repro-sptrsv analyze --lint
     repro-sptrsv analyze --serve-lint
     repro-sptrsv check-interleavings --scenario all --schedules 50
@@ -167,6 +168,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="statically verify deadlock-freedom of NAME "
                       "(e.g. naive-thread, capellini, syncfree) on the "
                       "matrix; 'all' checks every solver family")
+    p_an.add_argument("--levels", action="store_true",
+                      help="level-structure view: schedule depth, "
+                      "level-width histogram, Eq. 1 granularity against "
+                      "the compiled-lane threshold, and a level-merge "
+                      "preview (merged depth, redundant-work ratio)")
     p_an.add_argument("--lint", action="store_true",
                       help="run the kernel lint over repro.solvers "
                       "(no matrix needed)")
@@ -223,11 +229,13 @@ def build_parser() -> argparse.ArgumentParser:
                        "(0 to skip)")
     p_srv.add_argument("--max-batch", type=int, default=32)
     p_srv.add_argument("--execution", default="auto",
-                       choices=["auto", "host", "sim"],
-                       help="execution lane: 'host' runs the registry's "
-                       "vectorized plan (production fast path), 'sim' the "
-                       "cycle-level simulator, 'auto' prefers host with a "
-                       "simulator fallback")
+                       choices=["auto", "compiled", "host", "sim"],
+                       help="execution lane: 'compiled' runs the fused "
+                       "level-merged plan (deep-matrix fast path), 'host' "
+                       "the registry's vectorized per-level plan, 'sim' "
+                       "the cycle-level simulator, 'auto' picks compiled "
+                       "for deep-and-skinny matrices and host otherwise, "
+                       "with a simulator fallback")
     p_srv.add_argument("--device", default="SimSmall",
                        choices=["SimSmall", "SimTiny"])
     p_srv.add_argument("--json", action="store_true",
@@ -275,7 +283,7 @@ def build_parser() -> argparse.ArgumentParser:
                       "(0 to skip)")
     p_cl.add_argument("--max-batch", type=int, default=32)
     p_cl.add_argument("--execution", default="host",
-                      choices=["auto", "host", "sim"],
+                      choices=["auto", "compiled", "host", "sim"],
                       help="worker engines' execution lane")
     p_cl.add_argument("--chaos-kill", action="store_true",
                       help="SIGKILL one worker mid-session and verify "
@@ -372,7 +380,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--batch-window", type=float, default=0.0,
                        help="replay engine's coalescing window (s)")
     p_rep.add_argument("--execution", default="host",
-                       choices=["auto", "host", "sim"])
+                       choices=["auto", "compiled", "host", "sim"])
     p_rep.add_argument("--workers", type=int, default=0,
                        help="replay through an N-worker sharded cluster "
                        "instead of one in-process engine (always "
@@ -582,6 +590,13 @@ def _cmd_analyze(args) -> int:
     doc["matrix"] = name
     doc["features"] = _features_json(f)
 
+    if args.levels:
+        doc["levels"] = _analyze_levels_view(L, f, emit)
+        if args.solver is None and not args.trace:
+            if args.json:
+                print(json.dumps(doc, indent=2))
+            return rc
+
     if args.trace:
         from repro.errors import DeadlockError, SolverError
         from repro.gpu.device import SIM_SMALL
@@ -642,6 +657,89 @@ def _cmd_analyze(args) -> int:
     if args.json:
         print(json.dumps(doc, indent=2))
     return rc
+
+
+def _analyze_levels_view(L, f, emit) -> dict:
+    """Render the ``analyze --levels`` view; returns the JSON fragment.
+
+    Three panels: the level-width histogram (how skinny is the DAG?),
+    the Eq. 1 granularity indicator against the compiled-lane
+    threshold, and a preview of what :func:`~repro.analysis.levels.
+    merge_levels` would do with default knobs — merged depth and the
+    redundant-work ratio the merge would pay for fewer barriers.
+    """
+    from repro.analysis.granularity import HIGH_GRANULARITY_THRESHOLD
+    from repro.analysis.levels import compute_levels, merge_levels
+    from repro.solvers.compiled import DEEP_LEVEL_COUNT, prefers_compiled
+
+    schedule = compute_levels(L)
+    widths = schedule.level_sizes()
+    merged = merge_levels(L, schedule)
+
+    # power-of-two width buckets: [1], [2,3], [4,7], ... up to max width
+    buckets = []
+    lo = 1
+    max_w = int(widths.max()) if len(widths) else 0
+    while lo <= max_w:
+        hi = lo * 2
+        count = int(np.sum((widths >= lo) & (widths < hi)))
+        buckets.append({"lo": lo, "hi": hi - 1, "levels": count})
+        lo = hi
+
+    deep = schedule.n_levels >= DEEP_LEVEL_COUNT
+    fine = f.granularity <= HIGH_GRANULARITY_THRESHOLD
+    lane = "compiled" if prefers_compiled(f) else "host"
+    barrier_ratio = (
+        schedule.n_levels / merged.n_levels if merged.n_levels else 1.0
+    )
+    redundant_pct = (
+        100.0 * merged.redundant_nnz / merged.direct_nnz
+        if merged.direct_nnz
+        else 0.0
+    )
+
+    emit()
+    emit(f"level structure: {schedule.n_levels} level(s), "
+         f"{schedule.n_rows} rows, "
+         f"max width {max_w}, beta(rows/level) "
+         f"{schedule.avg_rows_per_level():.2f}")
+    emit("width histogram (levels per power-of-two width bucket):")
+    peak = max((b["levels"] for b in buckets), default=1)
+    for b in buckets:
+        label = (str(b["lo"]) if b["lo"] == b["hi"]
+                 else f"{b['lo']}-{b['hi']}")
+        bar = "#" * max(1, round(40 * b["levels"] / peak)) \
+            if b["levels"] else ""
+        emit(f"  {label:>11} {b['levels']:>7}  {bar}")
+    emit(f"granularity    : delta={f.granularity:.3f} "
+         f"({'<=' if fine else '>'} threshold "
+         f"{HIGH_GRANULARITY_THRESHOLD}) -> "
+         f"{'fine-grained' if fine else 'coarse-grained'}")
+    emit(f"depth          : {schedule.n_levels} "
+         f"({'>=' if deep else '<'} deep cutoff {DEEP_LEVEL_COUNT})")
+    emit(f"auto lane      : {lane}")
+    emit(f"merge preview  : {merged.n_levels} merged level(s) "
+         f"({barrier_ratio:.1f}x fewer barriers), "
+         f"redundant nnz {merged.redundant_nnz} "
+         f"(+{redundant_pct:.1f}% over direct {merged.direct_nnz})")
+    return {
+        "n_levels": schedule.n_levels,
+        "max_width": max_w,
+        "avg_rows_per_level": schedule.avg_rows_per_level(),
+        "width_histogram": buckets,
+        "granularity": f.granularity,
+        "granularity_threshold": HIGH_GRANULARITY_THRESHOLD,
+        "deep_level_count": DEEP_LEVEL_COUNT,
+        "auto_lane": lane,
+        "merged": {
+            "n_levels": merged.n_levels,
+            "n_groups": len(merged.group_sizes()),
+            "direct_nnz": merged.direct_nnz,
+            "expanded_nnz": merged.expanded_nnz,
+            "redundant_nnz": merged.redundant_nnz,
+            "barrier_reduction": barrier_ratio,
+        },
+    }
 
 
 def _cmd_profile(args) -> int:
@@ -821,7 +919,11 @@ def _cmd_serve_stats(args) -> int:
         print(f"latency (host): p50 {lat['p50']:.2f} ms, "
               f"p95 {lat['p95']:.2f} ms")
         lanes = snap["lanes"]
-        print(f"lanes         : host {lanes['host']['batches']} batch(es) "
+        print(f"lanes         : compiled "
+              f"{lanes['compiled']['batches']} batch(es) "
+              f"/ {lanes['compiled']['rhs']} rhs "
+              f"({lanes['compiled']['exec_ms']:.3f} ms), "
+              f"host {lanes['host']['batches']} batch(es) "
               f"/ {lanes['host']['rhs']} rhs "
               f"({lanes['host']['exec_ms']:.3f} ms), "
               f"sim {lanes['sim']['batches']} batch(es) "

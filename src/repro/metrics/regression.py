@@ -12,6 +12,10 @@ the suite and compares, entry by entry, with **explicit tolerances**:
 * phase fractions get a small absolute tolerance (they are rounded to
   6 digits in the document; the default 5e-4 absorbs re-rounding noise
   without hiding a real schedule shift).
+* the ``compiled`` section (schema v2: per-matrix compiled-lane plan
+  structure — level counts, coefficient counts, executor agreement) is
+  always *exact*: these are integers derived from the deterministic
+  schedule, identical on every machine regardless of numba presence.
 
 Every comparison failure is a :class:`Regression` with the entry key,
 the field, both values, and the drift — enough for the CI log alone to
@@ -57,6 +61,12 @@ DEFAULT_PHASES_TOL = 5e-4
 #: Entry fields compared with a *relative* tolerance.
 COUNTER_FIELDS = ("sim_cycles", "stats_cycles", "instructions", "launches")
 
+#: ``compiled`` entry fields; always exact (deterministic structure).
+COMPILED_FIELDS = (
+    "base_levels", "merged_levels", "coeff_nnz", "redundant_nnz",
+    "backends_agree",
+)
+
 
 class BaselineError(RuntimeError):
     """The baseline document cannot be compared against (exit code 2)."""
@@ -74,7 +84,7 @@ class Regression:
     drift: float  # relative for counters, absolute for phases
 
     def describe(self) -> str:
-        kind = "rel" if self.field in COUNTER_FIELDS else "abs"
+        kind = "abs" if self.field.startswith("phases.") else "rel"
         return (
             f"{self.matrix} / {self.solver} / {self.field}: "
             f"{self.baseline} -> {self.current} "
@@ -156,6 +166,39 @@ def compare(
                 regressions.append(
                     Regression(
                         matrix, solver, f"phases.{phase}", b, c, drift
+                    )
+                )
+
+    # compiled-lane plan structure (schema v2) — exact, no knobs: the
+    # schedule is deterministic, so any drift is a real change in the
+    # level-merge policy or the plan builder
+    base_compiled = {
+        (e["matrix"], e["schedule"]): e
+        for e in baseline.get("compiled", ())
+    }
+    cur_compiled = {
+        (e["matrix"], e["schedule"]): e
+        for e in current.get("compiled", ())
+    }
+    if require_all:
+        missing = sorted(set(base_compiled) - set(cur_compiled))
+        extra = sorted(set(cur_compiled) - set(base_compiled))
+        if missing or extra:
+            raise BaselineError(
+                f"compiled entry grids differ: missing from current "
+                f"{missing}, not in baseline {extra} — regenerate the "
+                f"baseline"
+            )
+    for key in sorted(set(base_compiled) & set(cur_compiled)):
+        base, cur = base_compiled[key], cur_compiled[key]
+        matrix, schedule = key
+        for field in COMPILED_FIELDS:
+            b, c = base[field], cur[field]
+            if b != c:
+                regressions.append(
+                    Regression(
+                        matrix, f"compiled[{schedule}]", field,
+                        b, c, _rel_drift(b, c),
                     )
                 )
     return regressions
@@ -249,6 +292,10 @@ def run(args) -> int:
                 baseline,
                 results=[
                     e for e in baseline["results"] if e["matrix"] in names
+                ],
+                compiled=[
+                    e for e in baseline.get("compiled", ())
+                    if e["matrix"] in names
                 ],
             )
         regressions = compare(

@@ -18,6 +18,14 @@ Two consumers:
   the suite and diffs it against that baseline with explicit
   tolerances.
 
+Schema version 2 adds a ``compiled`` section: one entry per (matrix,
+schedule variant) describing the compiled execution lane's plan
+*structure* — base/merged level counts, coefficient counts, redundant
+work — plus an agreement bit between the JIT and fallback executors.
+Structure only, deliberately: these are exact integers derived from
+the deterministic schedule, so the sentinel can hold them to zero
+tolerance on any machine, with or without numba installed.
+
 No timestamps and no host timings on purpose: the output must be
 byte-stable across machines for the diff to mean anything.
 """
@@ -35,6 +43,7 @@ from repro.solvers import (
     TwoPhaseCapelliniSolver,
     WritingFirstCapelliniSolver,
 )
+from repro.solvers.compiled import COMPILED_SCHEDULES, build_compiled_plan
 from repro.sparse.triangular import lower_triangular_system
 
 __all__ = ["MATRICES", "SOLVERS", "SCHEMA_VERSION", "run_suite"]
@@ -57,7 +66,7 @@ SOLVERS = (
     WritingFirstCapelliniSolver,
 )
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 class SuiteError(RuntimeError):
@@ -67,8 +76,30 @@ class SuiteError(RuntimeError):
 def run_suite(matrices=MATRICES) -> dict:
     """Measure the suite; returns the trajectory document (JSON-ready)."""
     entries = []
+    compiled_entries = []
     for name, domain, n_rows, seed in matrices:
         system = lower_triangular_system(generate(domain, n_rows, seed))
+        for schedule in sorted(COMPILED_SCHEDULES):
+            plan = build_compiled_plan(system.L, schedule=schedule)
+            x = plan.solve(system.b)
+            err = float(np.max(np.abs(x - system.x_true)))
+            if err > 1e-8:
+                raise SuiteError(
+                    f"compiled[{schedule}] wrong on {name}: "
+                    f"error {err:.3e}"
+                )
+            x_fb = plan.solve(system.b, force_fallback=True)
+            compiled_entries.append({
+                "matrix": name,
+                "schedule": schedule,
+                "base_levels": plan.base_levels,
+                "merged_levels": plan.n_levels,
+                "coeff_nnz": plan.coeff_nnz,
+                "redundant_nnz": plan.redundant_nnz,
+                "backends_agree": bool(
+                    np.allclose(x_fb, x, rtol=1e-9, atol=1e-12)
+                ),
+            })
         for solver_cls in SOLVERS:
             result, prof = profile_solve(
                 solver_cls(), system.L, system.b,
@@ -90,6 +121,7 @@ def run_suite(matrices=MATRICES) -> dict:
                 "phases": {p: round(fractions[p], 6) for p in PHASES},
             })
     entries.sort(key=lambda e: (e["matrix"], e["solver"]))
+    compiled_entries.sort(key=lambda e: (e["matrix"], e["schedule"]))
     return {
         "schema_version": SCHEMA_VERSION,
         "device": SIM_SMALL.name,
@@ -98,4 +130,5 @@ def run_suite(matrices=MATRICES) -> dict:
             for n, d, r, s in matrices
         ],
         "results": entries,
+        "compiled": compiled_entries,
     }

@@ -242,6 +242,7 @@ def host_phase_digest(
     launches: Iterable[HostLaunchProfile],
     *,
     solver_name: str = "HostVectorized",
+    lane: str = "host",
     digits: int = 6,
 ) -> dict:
     """Compact digest for launch trace events.
@@ -250,7 +251,9 @@ def host_phase_digest(
     :func:`~repro.obs.report.phase_digest` — solver name, launch count,
     one cost scalar, and a phase→fraction map — with host phases and
     wall-clock milliseconds where the sim digest has cycle phases and
-    cycle counts.
+    cycle counts.  ``lane`` labels which wall-clock lane produced the
+    samples: the per-level host executor and the compiled lane's
+    profiled executor share the gather/reduce/scatter phase taxonomy.
     """
     launches = tuple(launches)
     totals = {p: 0.0 for p in HOST_PHASES}
@@ -266,7 +269,7 @@ def host_phase_digest(
     )
     return {
         "solver": solver_name,
-        "lane": "host",
+        "lane": lane,
         "wall_ms": round(wall * 1e3, 6),
         "launches": len(launches),
         "phases": {p: round(fractions[p], digits) for p in HOST_PHASES},

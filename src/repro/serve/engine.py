@@ -20,16 +20,26 @@ Execution model
     ``solve_many`` over the whole block.  This is the production fast
     path: a few numpy operations per level instead of thousands of
     interpreter-stepped simulated cycles.
+  - ``"compiled"`` — the fused
+    :class:`~repro.solvers.compiled.CompiledPlan` (registry-cached per
+    schedule variant): the whole level loop in one call, over a
+    level-merged schedule by default.  One numba-JIT GIL-releasing
+    launch when numba is installed, a fused numpy executor otherwise —
+    either way the lane of choice for deep, skinny level structures
+    where the host lane's per-level dispatch dominates.
   - ``"sim"`` — the cycle-level SIMT simulator: batched
     ``capellini_sptrsm`` for width ≥ 2, the granularity-selected solver
     chain for width 1 and multi-RHS fallbacks.  This is the measurement
     instrument; it is the only lane that produces cycle counts, phase
     profiles, and warp traces.
-  - ``"auto"`` (default) — the host lane, falling back to the simulator
-    ladder if the host path raises (the failure is quarantined like any
-    kernel failure).  An ambient tracer, sanitizer, or *cycle* profiler
-    forces the simulator, because cycle attribution requires actually
-    simulating.  ``profile=True`` does **not** change lanes: host-lane
+  - ``"auto"`` (default) — the compiled lane when the matrix is deep
+    and skinny (:func:`~repro.solvers.compiled.prefers_compiled`: many
+    levels, Eq. 1 granularity at or below the paper's 0.7 threshold),
+    else the host lane; failures degrade compiled → host → sim, each
+    failed lane quarantined for that matrix like any kernel failure.
+    An ambient tracer, sanitizer, or *cycle* profiler forces the
+    simulator, because cycle attribution requires actually simulating.
+    ``profile=True`` does **not** change lanes: host- and compiled-lane
     launches get a wall-clock phase digest from a
     :class:`~repro.obs.hostprof.HostProfiler` (gather/reduce/scatter
     attribution), sim-lane launches a cycle digest — the same
@@ -51,6 +61,7 @@ import contextvars
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
 from typing import Iterable, Optional
 
 import numpy as np
@@ -78,6 +89,11 @@ from repro.serve.telemetry import ServeTelemetry
 from repro.solvers._sim import instrumentation_active
 from repro.solvers.base import SpTRSVSolver
 from repro.solvers.capellini import WritingFirstCapelliniSolver
+from repro.solvers.compiled import (
+    COMPILED_SCHEDULES,
+    CompiledFusedSolver,
+    prefers_compiled,
+)
 from repro.solvers.host_parallel import HostLevelScheduleSolver
 from repro.solvers.multirhs import capellini_sptrsm
 from repro.solvers.select import solver_chain
@@ -95,8 +111,11 @@ BATCHED_KERNEL = WritingFirstCapelliniSolver.name
 #: inspector-executor plan).
 HOST_LANE = HostLevelScheduleSolver.name
 
+#: Telemetry/quarantine name of the compiled fused lane.
+COMPILED_LANE = CompiledFusedSolver.name
+
 #: Valid values of ``SolveEngine(execution=...)``.
-EXECUTION_MODES = ("auto", "host", "sim")
+EXECUTION_MODES = ("auto", "compiled", "host", "sim")
 
 #: Errors the fallback ladder absorbs.  Anything else (simulator bugs,
 #: validation errors) propagates to the caller unchanged.
@@ -127,6 +146,7 @@ class SolveEngine:
         trace_log: Optional[TraceLog] = None,
         profile: bool = False,
         execution: str = "auto",
+        compiled_schedule: str = "merged",
         clock=None,
         executor=None,
     ) -> None:
@@ -138,6 +158,11 @@ class SolveEngine:
             raise ValueError(
                 f"execution must be one of {EXECUTION_MODES}, "
                 f"got {execution!r}"
+            )
+        if compiled_schedule not in COMPILED_SCHEDULES:
+            raise ValueError(
+                f"compiled_schedule must be one of {COMPILED_SCHEDULES}, "
+                f"got {compiled_schedule!r}"
             )
         self.registry = registry if registry is not None else MatrixRegistry()
         self.device = device
@@ -156,8 +181,12 @@ class SolveEngine:
         #: choice — only ambient sim-kind instrumentation forces the
         #: simulator.
         self.profile = profile
-        #: execution lane policy: "auto" | "host" | "sim"
+        #: execution lane policy: "auto" | "compiled" | "host" | "sim"
         self.execution = execution
+        #: schedule variant the compiled lane requests from the registry
+        #: ("merged" coalesces skinny levels; "level" is the plain
+        #: level schedule)
+        self.compiled_schedule = compiled_schedule
         self._candidates = tuple(candidates) if candidates is not None else None
         #: time source for batch windows and request deadlines.  The
         #: default is real time; the deterministic interleaving harness
@@ -618,6 +647,73 @@ class SolveEngine:
             lane="host",
         )
 
+    def _execute_compiled(
+        self,
+        entry: RegisteredMatrix,
+        B: np.ndarray,
+        coalesced: bool,
+        batch_id: str,
+        trace_ids: tuple,
+    ) -> BlockOutcome:
+        """Compiled lane: the registry's cached fused plan."""
+        k = B.shape[1]
+        # profiler handling mirrors the host lane: an ambient
+        # (caller-attached) host profiler keeps collecting across
+        # blocks; profile=True gets a fresh per-launch one.  The
+        # profiled executor runs per-level numpy with identical results.
+        ambient = active_host_profiler()
+        profiler = ambient
+        if profiler is None and self.profile:
+            profiler = HostProfiler()
+        first_new = len(profiler.launches) if profiler is not None else 0
+        t0 = time.perf_counter()
+        plan = self.registry.compiled_plan(
+            entry.key, schedule=self.compiled_schedule
+        )
+        if profiler is not None and ambient is None:
+            with profiling(profiler):
+                X = plan.solve_many(B)
+        else:
+            X = plan.solve_many(B)
+        exec_ms = (time.perf_counter() - t0) * 1e3
+        self.telemetry.record_lane("compiled", k, exec_ms=exec_ms)
+        fields = {
+            "batch_id": batch_id,
+            "matrix": entry.key,
+            "solver": COMPILED_LANE,
+            "lane": "compiled",
+            "cycles": 0,
+            "exec_ms": round(exec_ms, 3),
+            "n_levels": plan.n_levels,
+            "base_levels": plan.base_levels,
+            "schedule": plan.schedule_variant,
+            "backend": plan.backend,
+            "trace_ids": list(trace_ids),
+        }
+        if profiler is not None:
+            new_launches = profiler.launches[first_new:]
+            if new_launches:
+                fields["profile"] = host_phase_digest(
+                    new_launches,
+                    solver_name=COMPILED_LANE,
+                    lane="compiled",
+                )
+        self.trace_log.emit("launch", **fields)
+        return BlockOutcome(
+            X=X,
+            solver_name=COMPILED_LANE,
+            exec_ms=exec_ms,
+            cycles=0,
+            batch_width=k if coalesced else 1,
+            fallback_from=None,
+            failures=(),
+            lane="compiled",
+        )
+
+    def _auto_prefers_compiled(self, entry: RegisteredMatrix) -> bool:
+        """The ``auto`` policy's lane rule, from cached features."""
+        return prefers_compiled(self.registry.features(entry.key))
+
     def _execute_block(
         self,
         entry: RegisteredMatrix,
@@ -626,19 +722,47 @@ class SolveEngine:
         batch_id: str = "",
         trace_ids: tuple = (),
     ) -> BlockOutcome:
-        """Solve a block: host fast lane when the policy allows it, else
-        batched SpTRSM first, then the solver ladder."""
+        """Solve a block: compiled/host fast lanes when the policy
+        allows them, else batched SpTRSM first, then the solver ladder."""
         k = B.shape[1]
         failures: list[str] = []
         if self.execution != "sim" and not self._sim_forced():
+            if self.execution == "compiled":
+                # forced compiled lane: failures propagate to the caller
+                return self._execute_compiled(
+                    entry, B, coalesced, batch_id, trace_ids
+                )
             if self.execution == "host":
                 # forced host lane: failures propagate to the caller
                 return self._execute_host(
                     entry, B, coalesced, batch_id, trace_ids
                 )
+            # auto: compiled first on deep-and-skinny level structures,
+            # then host, then the simulator ladder below — each failed
+            # lane is quarantined for this matrix and never retried
+            if self._auto_prefers_compiled(entry):
+                if COMPILED_LANE not in self._quarantined_names(entry.key):
+                    try:
+                        return self._execute_compiled(
+                            entry, B, coalesced, batch_id, trace_ids
+                        )
+                    except FALLBACK_ERRORS as exc:
+                        self._quarantine(entry.key, COMPILED_LANE)
+                        self.telemetry.record_kernel_failure(
+                            entry.key, COMPILED_LANE, exc
+                        )
+                        self.trace_log.emit(
+                            "kernel-failure", batch_id=batch_id,
+                            matrix=entry.key, solver=COMPILED_LANE,
+                            lane="compiled", error=type(exc).__name__,
+                            trace_ids=list(trace_ids),
+                        )
+                        failures.append(COMPILED_LANE)
+                else:
+                    failures.append(COMPILED_LANE)
             if HOST_LANE not in self._quarantined_names(entry.key):
                 try:
-                    return self._execute_host(
+                    outcome = self._execute_host(
                         entry, B, coalesced, batch_id, trace_ids
                     )
                 except FALLBACK_ERRORS as exc:
@@ -653,6 +777,25 @@ class SolveEngine:
                         trace_ids=list(trace_ids),
                     )
                     failures.append(HOST_LANE)
+                else:
+                    if failures:
+                        # the compiled lane failed (or was quarantined)
+                        # first: record the lane degradation like any
+                        # other fallback transition
+                        self.telemetry.record_fallback_solve(
+                            entry.key, failures[0], HOST_LANE
+                        )
+                        self.trace_log.emit(
+                            "fallback", batch_id=batch_id,
+                            matrix=entry.key, fallback_from=failures[0],
+                            solver=HOST_LANE, trace_ids=list(trace_ids),
+                        )
+                        outcome = replace(
+                            outcome,
+                            fallback_from=failures[0],
+                            failures=tuple(failures),
+                        )
+                    return outcome
             else:
                 failures.append(HOST_LANE)
         batched_allowed = (

@@ -28,6 +28,7 @@ from repro.analysis.levels import LevelSchedule
 from repro.analysis.schedule import ScheduleReport, verify_schedule
 from repro.errors import ServeError, UnknownMatrixError
 from repro.gpu.device import SIM_SMALL, DeviceSpec
+from repro.solvers.compiled import CompiledPlan, build_compiled_plan
 from repro.solvers.host_parallel import ExecutionPlan, build_plan
 from repro.sparse.convert import csr_to_csc
 from repro.sparse.csc import CSCMatrix
@@ -68,6 +69,7 @@ class RegisteredMatrix:
 
     __slots__ = (
         "key", "name", "matrix", "_features", "_csc", "_verdicts", "_plan",
+        "_compiled",
     )
 
     def __init__(self, key: str, name: str, matrix: CSRMatrix) -> None:
@@ -78,6 +80,10 @@ class RegisteredMatrix:
         self._csc: Optional[CSCMatrix] = None
         self._verdicts: dict[str, ScheduleReport] = {}
         self._plan: Optional[ExecutionPlan] = None
+        # compiled-lane plans, keyed by schedule variant ("level" /
+        # "merged") — the two variants of one matrix have different
+        # coefficient arrays and are distinct artifacts
+        self._compiled: dict[str, CompiledPlan] = {}
 
     @property
     def nbytes(self) -> int:
@@ -101,6 +107,8 @@ class RegisteredMatrix:
             )
         if self._plan is not None:
             total += self._plan.nbytes
+        for plan in self._compiled.values():
+            total += plan.nbytes
         return total
 
 
@@ -245,6 +253,32 @@ class MatrixRegistry:
             else:
                 self._hits += 1
             return entry._plan
+
+    def compiled_plan(self, ref: str, *, schedule: str = "merged") -> CompiledPlan:
+        """The compiled-lane plan for one schedule variant (cached).
+
+        Like :meth:`plan`, but for the fused scaled-functional form of
+        :func:`repro.solvers.compiled.build_compiled_plan`; the
+        ``schedule`` knob ("level" or "merged") selects the variant, and
+        each variant of a matrix is cached and byte-accounted as its own
+        artifact.  The builder reuses the cached level schedule from
+        :meth:`features`.
+        """
+        with self._lock:
+            entry = self._lookup(ref, count_miss=True)
+            plan = entry._compiled.get(schedule)
+            if plan is None:
+                base = self.features(entry.key).schedule
+                self._misses += 1
+                self._artifact_builds += 1
+                plan = build_compiled_plan(
+                    entry.matrix, schedule=schedule, base=base
+                )
+                entry._compiled[schedule] = plan
+                self._enforce_budget(keep=entry.key)
+            else:
+                self._hits += 1
+            return plan
 
     def adopt_plan(self, ref: str, plan: ExecutionPlan) -> None:
         """Install an externally built plan on an entry (no build cost).

@@ -74,5 +74,5 @@ class BlockOutcome:
     batch_width: int
     fallback_from: Optional[str] = None
     failures: tuple[str, ...] = field(default=())
-    #: execution lane that produced ``X`` ("host" or "sim")
+    #: execution lane that produced ``X`` ("host", "compiled" or "sim")
     lane: str = "sim"

@@ -45,6 +45,13 @@ from repro.solvers.host_parallel import (
     HostLevelScheduleSolver,
     build_plan,
 )
+from repro.solvers.compiled import (
+    HAVE_NUMBA,
+    CompiledFusedSolver,
+    CompiledPlan,
+    build_compiled_plan,
+    prefers_compiled,
+)
 from repro.solvers.multirhs import (
     MultiRHSResult,
     capellini_sptrsm,
@@ -75,6 +82,11 @@ __all__ = [
     "ExecutionPlan",
     "HostLevelScheduleSolver",
     "build_plan",
+    "HAVE_NUMBA",
+    "CompiledFusedSolver",
+    "CompiledPlan",
+    "build_compiled_plan",
+    "prefers_compiled",
     "MultiRHSResult",
     "capellini_sptrsm",
     "serial_sptrsm",

@@ -1,0 +1,571 @@
+"""Compiled execution lane: a fused, synchronization-free solve loop.
+
+The host fast lane (:mod:`repro.solvers.host_parallel`) executes one
+gather + segmented-sum + scatter per *level*, so deep skinny level
+structures — the paper's high-granularity regime — pay interpreter
+overhead thousands of times per solve.  This module removes that
+overhead on two independent axes, following the two halves of the fix
+in the literature:
+
+* **Kernel side** (Li, arXiv:1710.04985): the whole level loop is fused
+  into *one* call.  Every plan row is first rewritten as a pure linear
+  functional over a stacked workspace ``W = [X; B]`` of shape
+  ``(2n, k)``::
+
+      x_i = sum_e vals[e] * W[idx[e]]
+
+  with the diagonal division folded into the coefficients (off-diagonal
+  dependency ``j`` contributes ``-L[i,j]/L[i,i]`` on input ``j``; the
+  right-hand side contributes ``1/L[i,i]`` on input ``n + i``).  Every
+  row therefore owns at least one coefficient — there are no empty
+  segments, no separate diagonal divide, and no branch in the executor.
+  Because plan order is topological, a single flat loop over plan rows
+  is correct without any level barrier; when numba is installed that
+  loop JIT-compiles to one GIL-releasing native call
+  (``@njit(nogil=True)``).  Without numba a pure-numpy fused executor
+  (one gather + one ``np.add.reduceat`` + one scatter per *executed
+  level*) keeps the lane present and correct.
+
+* **Schedule side** (Böhnlein et al., arXiv:2503.05408): the builder
+  accepts ``schedule="merged"`` and materializes the numeric
+  substitution recorded by :func:`repro.analysis.levels.merge_levels` —
+  adjacent skinny levels coalesce into one executed step, with the few
+  cross-level dependencies replaced by the dependent rows' own
+  expansions.  A bounded amount of redundant arithmetic buys an order
+  of magnitude fewer interpreter iterations, which is exactly what the
+  numpy fallback needs on a 10k-level chain.
+
+``HAVE_NUMBA`` reports whether the JIT backend is importable; nothing
+in this module requires it.  The profiled path (ambient
+:class:`~repro.obs.hostprof.HostProfiler`) always runs the per-level
+numpy executor so each step's wall time can be attributed to
+gather/reduce/scatter — results stay bit-identical because the numpy
+path and the flat loop evaluate the same coefficient lists in the same
+row order.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.granularity import HIGH_GRANULARITY_THRESHOLD
+from repro.analysis.levels import (
+    DEFAULT_MERGE_BUDGET,
+    DEFAULT_MERGE_MAX_GROUP,
+    DEFAULT_MERGE_MAX_WIDTH,
+    LevelSchedule,
+    MergedSchedule,
+    compute_levels,
+    merge_levels,
+)
+from repro.errors import SolverError
+from repro.gpu.device import DeviceSpec
+from repro.obs.hostprof import HostLaunchProfile, active_host_profiler
+from repro.solvers.base import PreprocessInfo, SolveResult, SpTRSVSolver
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.triangular import check_solvable
+
+__all__ = [
+    "COMPILED_SCHEDULES",
+    "DEEP_LEVEL_COUNT",
+    "HAVE_NUMBA",
+    "CompiledPlan",
+    "CompiledFusedSolver",
+    "build_compiled_plan",
+    "prefers_compiled",
+]
+
+#: Valid values of the plan builder's ``schedule`` knob.
+COMPILED_SCHEDULES = ("level", "merged")
+
+#: Level-count floor for the ``auto`` lane policy: below this, the host
+#: lane's per-level overhead is already negligible and the compiled lane
+#: buys nothing worth a second cached plan artifact.
+DEEP_LEVEL_COUNT = 64
+
+try:  # pragma: no cover - exercised via the with-numba CI leg
+    import numba as _numba  # noqa: F401
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the container default
+    _numba = None
+    HAVE_NUMBA = False
+
+_kernel = None
+_kernel_lock = threading.Lock()
+
+
+def _fused_kernel():
+    """The lazily JIT-compiled flat-loop executor, or ``None``.
+
+    Compiled once per process, under a lock (the first call from the
+    serve tier's worker threads must not race numba's own compilation
+    machinery).  Returns ``None`` when numba is not installed.
+    """
+    global _kernel
+    if not HAVE_NUMBA:
+        return None
+    if _kernel is None:
+        with _kernel_lock:
+            if _kernel is None:
+                from numba import njit
+
+                @njit(cache=False, nogil=True)
+                def kernel(rows, row_ptr, idx, vals, W):  # pragma: no cover
+                    k = W.shape[1]
+                    acc = np.empty(k, dtype=np.float64)
+                    for p in range(rows.shape[0]):
+                        for c in range(k):
+                            acc[c] = 0.0
+                        for e in range(row_ptr[p], row_ptr[p + 1]):
+                            w = vals[e]
+                            src = idx[e]
+                            for c in range(k):
+                                acc[c] += w * W[src, c]
+                        r = rows[p]
+                        for c in range(k):
+                            W[r, c] = acc[c]
+
+                _kernel = kernel
+    return _kernel
+
+
+def prefers_compiled(features) -> bool:
+    """The ``auto`` lane rule: deep *and* skinny.
+
+    True when the level structure is deep (``n_levels`` at or beyond
+    :data:`DEEP_LEVEL_COUNT`) and the Eq. 1 granularity indicator is at
+    or below the paper's 0.7 threshold — the regime where per-level
+    dispatch overhead dominates and level widths are too small to
+    amortize it.  Wide-shallow matrices stay on the host lane, whose
+    big per-level numpy operations are already near-optimal there.
+    """
+    return (
+        features.n_levels >= DEEP_LEVEL_COUNT
+        and features.granularity <= HIGH_GRANULARITY_THRESHOLD
+    )
+
+
+@dataclass(frozen=True)
+class CompiledPlan:
+    """Inspector output for the compiled lane: scaled functional form.
+
+    Attributes
+    ----------
+    schedule:
+        The base (unmerged) level schedule.
+    merged:
+        The :class:`~repro.analysis.levels.MergedSchedule` the plan was
+        expanded against, or ``None`` for ``schedule="level"``.
+    rows:
+        Plan-row → original-row map (= ``schedule.order``).
+    row_ptr:
+        Coefficient spans: plan row ``p`` owns
+        ``idx[row_ptr[p]:row_ptr[p+1]]`` / ``vals[...]``.  Never empty —
+        every row carries at least its ``b`` coefficient.
+    idx, vals:
+        Workspace inputs and pre-scaled coefficients.  ``idx[e] < n``
+        addresses an already-solved ``x`` entry, ``idx[e] >= n``
+        addresses ``b[idx[e] - n]`` in the stacked ``(2n, k)``
+        workspace.
+    level_ptr:
+        Plan-row spans per *executed* level (merged groups count as one
+        level); the numpy fallback iterates these, the numba kernel
+        ignores them entirely.
+    """
+
+    schedule: LevelSchedule
+    merged: MergedSchedule | None
+    rows: np.ndarray
+    row_ptr: np.ndarray
+    idx: np.ndarray
+    vals: np.ndarray
+    level_ptr: np.ndarray
+
+    def __post_init__(self) -> None:
+        # per-level executor steps, fully vectorized: reduceat segment
+        # starts for level k are row_ptr[r0:r1] - e0, taken as views of
+        # one globally rebased array (every row is nonempty by
+        # construction, so no masking is ever needed)
+        widths = np.diff(self.level_ptr)
+        e_at = self.row_ptr[self.level_ptr]
+        rel = self.row_ptr[:-1] - np.repeat(e_at[:-1], widths)
+        lp = self.level_ptr.tolist()
+        ea = e_at.tolist()
+        steps = tuple(
+            (lp[k], lp[k + 1], ea[k], ea[k + 1], rel[lp[k]: lp[k + 1]])
+            for k in range(len(lp) - 1)
+        )
+        object.__setattr__(self, "_rel", rel)
+        object.__setattr__(self, "_steps", steps)
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def n_levels(self) -> int:
+        """Executed steps (merged groups count once)."""
+        return len(self.level_ptr) - 1
+
+    @property
+    def base_levels(self) -> int:
+        """Levels of the unmerged schedule."""
+        return self.schedule.n_levels
+
+    @property
+    def coeff_nnz(self) -> int:
+        """Stored coefficients (``nnz(L)`` plus any redundant work)."""
+        return len(self.idx)
+
+    @property
+    def redundant_nnz(self) -> int:
+        """Coefficients duplicated by level merging (0 when unmerged)."""
+        return self.merged.redundant_nnz if self.merged is not None else 0
+
+    @property
+    def schedule_variant(self) -> str:
+        """The ``schedule`` knob this plan was built with."""
+        return "merged" if self.merged is not None else "level"
+
+    @property
+    def backend(self) -> str:
+        """Which executor an unprofiled solve will use."""
+        return "numba" if HAVE_NUMBA else "numpy"
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the plan-owned arrays (registry budget)."""
+        return (
+            self.rows.nbytes
+            + self.row_ptr.nbytes
+            + self.idx.nbytes
+            + self.vals.nbytes
+            + self.level_ptr.nbytes
+            + self._rel.nbytes
+        )
+
+    # ------------------------------------------------------------------
+    # executors
+    # ------------------------------------------------------------------
+    def solve(self, b: np.ndarray, *, force_fallback: bool = False) -> np.ndarray:
+        """Fused solve, single RHS."""
+        b = np.asarray(b, dtype=np.float64)
+        if b.ndim != 1 or b.shape[0] != self.n_rows:
+            raise SolverError(
+                f"b has shape {b.shape}, expected ({self.n_rows},)"
+            )
+        return self.solve_many(
+            b.reshape(-1, 1), force_fallback=force_fallback
+        )[:, 0]
+
+    def solve_many(
+        self, B: np.ndarray, *, force_fallback: bool = False
+    ) -> np.ndarray:
+        """Fused solve of ``L X = B`` for all columns.
+
+        Accepts 1-D ``b`` (promoted to one column), float32, and
+        non-contiguous / Fortran-ordered inputs, mirroring
+        :meth:`~repro.solvers.host_parallel.ExecutionPlan.solve_many`;
+        always returns a fresh ``(n, k)`` float64 array.
+
+        ``force_fallback=True`` runs the pure-numpy fused executor even
+        when numba is installed — the numba-absent code path, testable
+        on any machine.
+        """
+        B = np.asarray(B, dtype=np.float64)
+        if B.ndim == 1:
+            B = B.reshape(-1, 1)
+        if B.ndim != 2 or B.shape[0] != self.n_rows:
+            raise SolverError(
+                f"B must have shape ({self.n_rows}, k), got {B.shape}"
+            )
+        if B.shape[1] == 0:
+            raise SolverError("B must have at least one right-hand side")
+        n, k = B.shape
+        # stacked workspace: W[:n] is X (indexed by original row),
+        # W[n:] is B; the copy into W also normalizes layout/dtype
+        W = np.empty((2 * n, k), dtype=np.float64)
+        W[n:] = B
+        profiler = active_host_profiler()
+        if profiler is not None:
+            return self._execute_profiled(W, profiler)
+        kernel = None if force_fallback else _fused_kernel()
+        if kernel is not None:
+            kernel(self.rows, self.row_ptr, self.idx, self.vals, W)
+            return W[:n].copy()
+        X = W[:n]
+        rows, idx, vals = self.rows, self.idx, self.vals
+        for r0, r1, e0, e1, starts in self._steps:
+            contrib = vals[e0:e1, None] * W[idx[e0:e1]]
+            X[rows[r0:r1]] = np.add.reduceat(contrib, starts, axis=0)
+        return X.copy()
+
+    def _execute_profiled(self, W: np.ndarray, profiler) -> np.ndarray:
+        """Per-level numpy executor with wall-clock phase attribution.
+
+        Same coefficient lists, same row order, same numpy reduction as
+        the unprofiled fallback — bit-identical output; the clock is
+        only read *around* the numpy segments.  The numba kernel is
+        never used here: one fused native call has no per-level
+        boundaries to attribute.
+        """
+        clock = time.perf_counter
+        n = self.n_rows
+        k = W.shape[1]
+        X = W[:n]
+        rows, idx, vals = self.rows, self.idx, self.vals
+        raw: list[tuple] = []
+        t_launch = clock()
+        for r0, r1, e0, e1, starts in self._steps:
+            t0 = clock()
+            contrib = vals[e0:e1, None] * W[idx[e0:e1]]
+            t1 = clock()
+            sums = np.add.reduceat(contrib, starts, axis=0)
+            t2 = clock()
+            X[rows[r0:r1]] = sums
+            t3 = clock()
+            raw.append((r1 - r0, e1 - e0, t1 - t0, t2 - t1, t3 - t2))
+        wall_s = clock() - t_launch
+        profiler.record(
+            HostLaunchProfile(
+                n_rows=n,
+                n_rhs=k,
+                n_levels=self.n_levels,
+                nnz=self.coeff_nnz,
+                wall_s=wall_s,
+                raw=tuple(raw),
+            )
+        )
+        return X.copy()
+
+
+def build_compiled_plan(
+    L: CSRMatrix,
+    *,
+    schedule: str = "merged",
+    base: LevelSchedule | None = None,
+    max_width: int = DEFAULT_MERGE_MAX_WIDTH,
+    budget: float = DEFAULT_MERGE_BUDGET,
+    max_group: int = DEFAULT_MERGE_MAX_GROUP,
+) -> CompiledPlan:
+    """Inspector for the compiled lane.
+
+    Rewrites every row into the scaled functional form (coefficients
+    pre-divided by the diagonal, the right-hand side an explicit input)
+    and, for ``schedule="merged"``, materializes the numeric
+    substitution of :func:`~repro.analysis.levels.merge_levels` so each
+    merged group executes as one step.  ``base`` may be supplied when
+    the caller already level-scheduled the matrix (the registry reuses
+    its cached schedule artifact).
+    """
+    if schedule not in COMPILED_SCHEDULES:
+        raise ValueError(
+            f"schedule must be one of {COMPILED_SCHEDULES}, got {schedule!r}"
+        )
+    check_solvable(L)
+    if base is None:
+        base = compute_levels(L)
+    n = L.n_rows
+    order = base.order
+
+    # direct scaled form, fully vectorized (mirrors build_plan's gather
+    # arithmetic): plan row p holds its off-diagonal dependencies then
+    # one trailing b coefficient
+    off_lo = L.row_ptr[:-1]
+    dep_counts = (L.row_ptr[1:] - 1 - off_lo).astype(np.int64)[order]
+    inv_d = 1.0 / L.values[L.row_ptr[1:] - 1][order]
+
+    row_ptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(dep_counts + 1, out=row_ptr[1:])
+    dep_ptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(dep_counts, out=dep_ptr[1:])
+    total_dep = int(dep_ptr[-1])
+
+    src_rel = np.arange(total_dep, dtype=np.int64) - np.repeat(
+        dep_ptr[:-1], dep_counts
+    )
+    src = np.repeat(off_lo[order], dep_counts) + src_rel
+    dep_pos = np.repeat(row_ptr[:-1], dep_counts) + src_rel
+    b_pos = row_ptr[1:] - 1
+
+    idx = np.empty(total_dep + n, dtype=np.int64)
+    vals = np.empty(total_dep + n, dtype=np.float64)
+    idx[dep_pos] = L.col_idx[src]
+    vals[dep_pos] = -L.values[src] * np.repeat(inv_d, dep_counts)
+    idx[b_pos] = n + order
+    vals[b_pos] = inv_d
+
+    merged: MergedSchedule | None = None
+    level_ptr = base.level_ptr
+    if schedule == "merged":
+        merged = merge_levels(
+            L,
+            base,
+            max_width=max_width,
+            budget=budget,
+            max_group=max_group,
+        )
+        level_ptr = merged.level_ptr
+        if merged.n_levels < base.n_levels:
+            idx, vals, row_ptr = _expand_groups(
+                base, merged, idx, vals, row_ptr
+            )
+            assert len(idx) == merged.expanded_nnz
+
+    return CompiledPlan(
+        schedule=base,
+        merged=merged,
+        rows=order.copy(),
+        row_ptr=row_ptr,
+        idx=idx,
+        vals=vals,
+        level_ptr=level_ptr.copy(),
+    )
+
+
+def _expand_groups(
+    base: LevelSchedule,
+    merged: MergedSchedule,
+    idx: np.ndarray,
+    vals: np.ndarray,
+    row_ptr: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Numeric substitution pass over the merged groups.
+
+    Replays the grouping recorded in ``merged``: inside each multi-level
+    group, a dependency on an in-group row is replaced by that row's own
+    (already expanded) coefficient list, scaled by the dependency's
+    coefficient.  Inputs are emitted in sorted order, so the expansion
+    is deterministic and its support matches the structural counts of
+    :func:`~repro.analysis.levels.merge_levels` exactly.  Singleton
+    groups — including every wide level — are copied through untouched.
+    """
+    n = base.n_rows
+    order = base.order
+    group_ptr = merged.group_ptr
+    base_lp = base.level_ptr
+
+    counts = np.empty(n, dtype=np.int64)
+    idx_parts: list[np.ndarray] = []
+    vals_parts: list[np.ndarray] = []
+    for g in range(merged.n_levels):
+        l0, l1 = int(group_ptr[g]), int(group_ptr[g + 1])
+        p0, p1 = int(base_lp[l0]), int(base_lp[l1])
+        if l1 - l0 == 1:
+            e0, e1 = int(row_ptr[p0]), int(row_ptr[p1])
+            idx_parts.append(idx[e0:e1])
+            vals_parts.append(vals[e0:e1])
+            counts[p0:p1] = np.diff(row_ptr[p0: p1 + 1])
+            continue
+        # plan order within the group is already topological: any
+        # in-group dependency sits at an earlier base level, hence at an
+        # earlier plan row, hence already in `exp`
+        exp: dict[int, dict[int, float]] = {}
+        for p in range(p0, p1):
+            terms: dict[int, float] = {}
+            for e in range(int(row_ptr[p]), int(row_ptr[p + 1])):
+                q = int(idx[e])
+                w = float(vals[e])
+                sub = exp.get(q)
+                if sub is None:
+                    terms[q] = terms.get(q, 0.0) + w
+                else:
+                    for q2, w2 in sub.items():
+                        terms[q2] = terms.get(q2, 0.0) + w * w2
+            exp[int(order[p])] = terms
+            inputs = sorted(terms)
+            counts[p] = len(inputs)
+            idx_parts.append(np.asarray(inputs, dtype=np.int64))
+            vals_parts.append(
+                np.asarray([terms[q] for q in inputs], dtype=np.float64)
+            )
+
+    new_row_ptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=new_row_ptr[1:])
+    if not idx_parts:
+        return idx[:0], vals[:0], new_row_ptr
+    return (
+        np.concatenate(idx_parts),
+        np.concatenate(vals_parts),
+        new_row_ptr,
+    )
+
+
+class CompiledFusedSolver(SpTRSVSolver):
+    """The compiled lane behind the standard solver interface.
+
+    Plans are cached per (matrix content fingerprint, schedule variant)
+    behind a small LRU, mirroring
+    :class:`~repro.solvers.host_parallel.HostLevelScheduleSolver`; the
+    two schedule variants of one matrix are distinct artifacts with
+    different coefficient arrays.
+    """
+
+    name = "CompiledFused"
+    storage_format = "CSR"
+    preprocessing_overhead = "high"
+    requires_synchronization = False
+    processing_granularity = "vector"
+
+    def __init__(
+        self,
+        *,
+        schedule: str = "merged",
+        plan_cache_size: int = 8,
+    ) -> None:
+        if schedule not in COMPILED_SCHEDULES:
+            raise ValueError(
+                f"schedule must be one of {COMPILED_SCHEDULES}, "
+                f"got {schedule!r}"
+            )
+        if plan_cache_size <= 0:
+            raise ValueError("plan_cache_size must be positive")
+        self.schedule = schedule
+        self.plan_cache_size = plan_cache_size
+        self._plan_cache: "OrderedDict[tuple, CompiledPlan]" = OrderedDict()
+
+    def plan_for(self, L: CSRMatrix) -> CompiledPlan:
+        """The (cached) compiled plan for ``L``, keyed by content."""
+        key = (L.content_fingerprint(), self.schedule)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            plan = build_compiled_plan(L, schedule=self.schedule)
+            self._plan_cache[key] = plan
+            while len(self._plan_cache) > self.plan_cache_size:
+                self._plan_cache.popitem(last=False)
+        else:
+            self._plan_cache.move_to_end(key)
+        return plan
+
+    def _solve(
+        self, L: CSRMatrix, b: np.ndarray, device: DeviceSpec
+    ) -> SolveResult:
+        t0 = time.perf_counter()
+        plan = self.plan_for(L)
+        prep = time.perf_counter() - t0
+        t1 = time.perf_counter()
+        x = plan.solve(b)
+        dt = time.perf_counter() - t1
+        return SolveResult(
+            x=x,
+            solver_name=self.name,
+            exec_ms=dt * 1e3,
+            preprocess=PreprocessInfo(
+                description="inspector: scaled functional rewrite + level "
+                "merging (cached across solves of the same matrix)",
+                host_seconds=prep,
+            ),
+            extra={
+                "n_levels": plan.n_levels,
+                "base_levels": plan.base_levels,
+                "schedule": plan.schedule_variant,
+                "backend": plan.backend,
+                "redundant_nnz": plan.redundant_nnz,
+            },
+        )

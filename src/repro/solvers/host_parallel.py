@@ -85,22 +85,44 @@ class ExecutionPlan:
 
     def __post_init__(self) -> None:
         # level steps: (r0, r1, e0, e1, nonempty, starts, all_nonempty),
-        # precomputed once so the executor loop is pure array ops
+        # precomputed once so the executor loop is pure array ops.  The
+        # index arithmetic is vectorized across all levels at once —
+        # element spans from one fancy-index of row_ptr, every level's
+        # reduceat starts as views of one globally rebased offset array,
+        # the nonempty-run bookkeeping from one cumulative sum — so a
+        # deep plan build does no per-level array allocation
         nonempty = self.row_ptr[:-1] != self.row_ptr[1:]
-        steps = []
-        for k in range(self.n_levels):
-            r0, r1 = int(self.level_ptr[k]), int(self.level_ptr[k + 1])
-            e0, e1 = int(self.row_ptr[r0]), int(self.row_ptr[r1])
-            ne = nonempty[r0:r1]
-            starts = (
-                self.row_ptr[r0:r1][ne] - e0 if e1 > e0 else None
+        widths = np.diff(self.level_ptr)
+        e_at = self.row_ptr[self.level_ptr]
+        rel = self.row_ptr[:-1] - np.repeat(e_at[:-1], widths)
+        starts_all = rel[nonempty]
+        ncnt = np.zeros(len(nonempty) + 1, dtype=np.int64)
+        np.cumsum(nonempty, out=ncnt[1:])
+        lp = self.level_ptr.tolist()
+        ea = e_at.tolist()
+        nc = ncnt[self.level_ptr].tolist()
+        full = (np.diff(ncnt[self.level_ptr]) == widths).tolist()
+        steps = tuple(
+            (
+                r0,
+                r1,
+                e0,
+                e1,
+                nonempty[r0:r1],
+                starts_all[n0:n1] if e1 > e0 else None,
+                all_ne,
             )
-            steps.append((r0, r1, e0, e1, ne, starts, bool(ne.all())))
-        object.__setattr__(self, "_steps", tuple(steps))
+            for r0, r1, e0, e1, n0, n1, all_ne in zip(
+                lp[:-1], lp[1:], ea[:-1], ea[1:], nc[:-1], nc[1:], full
+            )
+        )
+        object.__setattr__(self, "_steps", steps)
+        object.__setattr__(self, "_nonempty", nonempty)
+        object.__setattr__(self, "_starts_all", starts_all)
         object.__setattr__(
             self,
             "_max_width",
-            max((s[1] - s[0] for s in steps), default=0),
+            int(widths.max()) if len(widths) else 0,
         )
         object.__setattr__(self, "_scratch", threading.local())
 
@@ -120,19 +142,18 @@ class ExecutionPlan:
         indices; the shared :attr:`schedule` is accounted by whoever owns
         it (the registry counts it under the features artifact).
         """
-        total = (
+        # the per-level step tuples hold views of _nonempty/_starts_all,
+        # so the backing arrays are counted once
+        return (
             self.rows.nbytes
             + self.row_ptr.nbytes
             + self.cols.nbytes
             + self.vals.nbytes
             + self.diag.nbytes
             + self.level_ptr.nbytes
+            + self._nonempty.nbytes
+            + self._starts_all.nbytes
         )
-        for _r0, _r1, _e0, _e1, ne, starts, _all in self._steps:
-            total += ne.nbytes
-            if starts is not None:
-                total += starts.nbytes
-        return total
 
     # ------------------------------------------------------------------
     # executors

@@ -117,3 +117,70 @@ class TestRelaxationEquivalence:
         sched = compute_levels(L)
         assert sched.n_levels == 200
         assert np.array_equal(sched.level_of_row, _levels_serial(L))
+
+
+class TestMergeLevels:
+    """Invariants of the level-merged schedule (compiled lane input)."""
+
+    def _merged(self, L, **kw):
+        from repro.analysis.levels import compute_levels, merge_levels
+
+        base = compute_levels(L)
+        return base, merge_levels(L, base, **kw)
+
+    def test_row_order_and_counts_preserved(self):
+        L = chain(150)
+        base, merged = self._merged(L)
+        assert merged.n_rows == base.n_rows
+        assert np.array_equal(merged.order, base.order)
+        assert merged.n_levels <= base.n_levels
+        assert merged.level_sizes().sum() == L.n_rows
+
+    def test_level_ptr_monotone_and_covers(self):
+        L = random_unit_lower(120, 0.1, seed=7)
+        _, merged = self._merged(L)
+        ptr = merged.level_ptr
+        assert ptr[0] == 0 and ptr[-1] == L.n_rows
+        assert np.all(np.diff(ptr) > 0)
+
+    def test_redundant_nnz_accounting(self):
+        L = chain(100)
+        _, merged = self._merged(L)
+        assert merged.direct_nnz == L.nnz
+        assert merged.expanded_nnz >= merged.direct_nnz
+        assert merged.redundant_nnz == (
+            merged.expanded_nnz - merged.direct_nnz
+        )
+
+    def test_chain_collapses_under_group_cap(self):
+        # a pure chain is all width-1 levels: with the work budget out
+        # of the way, groups close exactly at max_group
+        base, merged = self._merged(
+            chain(128), max_group=16, budget=1e9
+        )
+        assert base.n_levels == 128
+        assert merged.n_levels == 8
+        assert merged.compression() == pytest.approx(16.0)
+
+    def test_wide_levels_never_merge(self):
+        L = diagonal(64)  # one level of width 64
+        base, merged = self._merged(L, max_width=8)
+        assert base.n_levels == merged.n_levels == 1
+        assert merged.redundant_nnz == 0
+
+    def test_budget_one_forbids_expansion(self):
+        # budget=1.0 allows merging only when substitution adds no work
+        L = random_unit_lower(150, 0.15, seed=3)
+        _, merged = self._merged(L, budget=1.0)
+        assert merged.expanded_nnz <= merged.direct_nnz * 1.0 + 1e-9
+
+    def test_invalid_knobs_raise(self):
+        from repro.analysis.levels import merge_levels
+
+        L = chain(10)
+        with pytest.raises(ValueError):
+            merge_levels(L, budget=0.5)
+        with pytest.raises(ValueError):
+            merge_levels(L, max_width=0)
+        with pytest.raises(ValueError):
+            merge_levels(L, max_group=0)

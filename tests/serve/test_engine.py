@@ -589,3 +589,147 @@ class TestSnapshotRegistry:
         assert snap["cache"] == snap["registry"]  # back-compat alias
         assert snap["registry"]["entries"] == 1
         assert "adopted_plans" in snap["registry"]
+
+
+class TestCompiledLane:
+    """The fused compiled lane: forced, auto-selected, and degrading."""
+
+    @staticmethod
+    def deep_system(n=200, seed=0):
+        from repro.datasets import generate
+
+        return lower_triangular_system(
+            generate("chain", n, seed=seed),
+            rng=np.random.default_rng(seed),
+        )
+
+    def test_forced_compiled_serves_and_counts(self):
+        system = self.deep_system()
+
+        async def main():
+            engine = SolveEngine(execution="compiled")
+            engine.register(system.L, name="m")
+            resps = await asyncio.gather(
+                *[engine.solve("m", system.b) for _ in range(3)]
+            )
+            snap = engine.snapshot()
+            await engine.close()
+            return resps, snap
+
+        resps, snap = run(main())
+        for r in resps:
+            np.testing.assert_allclose(r.x, system.x_true, rtol=1e-9)
+            assert r.lane == "compiled"
+            assert r.solver_name == "CompiledFused"
+        lanes = snap["lanes"]
+        assert lanes["compiled"]["batches"] >= 1
+        assert lanes["compiled"]["rhs"] == 3
+        assert lanes["compiled"]["exec_ms"] > 0
+        assert lanes["host"]["batches"] == 0
+        assert lanes["sim"]["batches"] == 0
+
+    def test_auto_prefers_compiled_for_deep_matrices(self):
+        system = self.deep_system()
+
+        async def main():
+            engine = SolveEngine()  # execution="auto"
+            engine.register(system.L, name="deep")
+            resp = await engine.solve("deep", system.b)
+            await engine.close()
+            return resp
+
+        resp = run(main())
+        np.testing.assert_allclose(resp.x, system.x_true, rtol=1e-9)
+        assert resp.lane == "compiled"
+        assert resp.fallback_from is None
+
+    def test_auto_keeps_host_for_shallow_matrices(self):
+        system = make_system(n=120, seed=31)  # well under 64 levels
+
+        async def main():
+            engine = SolveEngine()
+            engine.register(system.L, name="wide")
+            resp = await engine.solve("wide", system.b)
+            await engine.close()
+            return resp
+
+        resp = run(main())
+        assert resp.lane == "host"
+
+    def test_compiled_failure_degrades_to_host(self, monkeypatch):
+        from repro.solvers.compiled import CompiledPlan
+
+        system = self.deep_system(seed=2)
+
+        def explode(self, B, **kw):
+            raise injected_hazard()
+
+        monkeypatch.setattr(CompiledPlan, "solve_many", explode)
+
+        async def main():
+            engine = SolveEngine()
+            engine.register(system.L, name="m")
+            r1 = await engine.solve("m", system.b)
+            r2 = await engine.solve("m", system.b)
+            snap = engine.snapshot()
+            await engine.close()
+            return r1, r2, snap
+
+        r1, r2, snap = run(main())
+        for r in (r1, r2):
+            np.testing.assert_allclose(r.x, system.x_true, rtol=1e-9)
+            assert r.lane == "host"
+            assert r.used_fallback
+            assert r.fallback_from == "CompiledFused"
+        # one failure, then quarantined — never silently retried
+        assert snap["fallbacks"]["kernel_failures"] == 1
+        assert "CompiledFused" in snap["quarantined"][r1.matrix_key]
+        assert snap["fallbacks"]["by_transition"] == {
+            "CompiledFused->HostVectorized": 2
+        }
+        assert snap["lanes"]["compiled"]["batches"] == 0
+        assert snap["lanes"]["host"]["batches"] == 2
+
+    def test_forced_compiled_propagates_failure(self, monkeypatch):
+        from repro.solvers.compiled import CompiledPlan
+
+        system = self.deep_system(seed=3)
+
+        def explode(self, B, **kw):
+            raise injected_hazard()
+
+        monkeypatch.setattr(CompiledPlan, "solve_many", explode)
+
+        async def main():
+            engine = SolveEngine(execution="compiled")
+            engine.register(system.L, name="m")
+            with pytest.raises(HazardError):
+                await engine.solve("m", system.b)
+            await engine.close()
+
+        run(main())
+
+    def test_launch_events_carry_schedule_and_backend(self):
+        from repro.solvers.compiled import HAVE_NUMBA
+
+        system = self.deep_system(seed=4)
+
+        async def main():
+            engine = SolveEngine(execution="compiled")
+            engine.register(system.L, name="m")
+            await engine.solve("m", system.b)
+            launches = engine.trace_log.events(kind="launch")
+            await engine.close()
+            return launches
+
+        launches = run(main())
+        assert launches
+        event = launches[0]
+        assert event["lane"] == "compiled"
+        assert event["schedule"] == "merged"
+        assert event["backend"] == ("numba" if HAVE_NUMBA else "numpy")
+        assert event["n_levels"] <= event["base_levels"]
+
+    def test_invalid_compiled_schedule_raises(self):
+        with pytest.raises(ValueError, match="schedule"):
+            SolveEngine(compiled_schedule="bogus")

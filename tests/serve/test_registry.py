@@ -353,3 +353,48 @@ class TestEvictionRacingPlan:
         assert stats["evictions"] >= 1  # churn actually evicted
         # settled accounting: resident bytes within budget afterwards
         assert reg.resident_bytes <= reg.memory_budget or len(reg) == 1
+
+
+class TestCompiledPlanArtifact:
+    def test_built_once_then_hits(self):
+        reg = MatrixRegistry()
+        key = reg.register(random_unit_lower(60, 0.1, seed=9))
+        before = reg.stats()["artifact_builds"]
+        p1 = reg.compiled_plan(key)
+        mid = reg.stats()
+        p2 = reg.compiled_plan(key)
+        after = reg.stats()
+        assert p1 is p2
+        # first call builds features (schedule) + the compiled plan
+        assert mid["artifact_builds"] == before + 2
+        assert after["artifact_builds"] == mid["artifact_builds"]
+        assert after["hits"] == mid["hits"] + 1
+
+    def test_variants_cached_independently(self):
+        reg = MatrixRegistry()
+        key = reg.register(random_unit_lower(60, 0.1, seed=9))
+        merged = reg.compiled_plan(key, schedule="merged")
+        level = reg.compiled_plan(key, schedule="level")
+        assert merged is not level
+        assert merged.schedule_variant == "merged"
+        assert level.schedule_variant == "level"
+        assert merged is reg.compiled_plan(key, schedule="merged")
+        assert level is reg.compiled_plan(key, schedule="level")
+
+    def test_plan_bytes_enter_lru_budget(self):
+        reg = MatrixRegistry()
+        key = reg.register(random_unit_lower(80, 0.1, seed=9))
+        before = reg.stats()["resident_bytes"]
+        reg.compiled_plan(key)
+        assert reg.stats()["resident_bytes"] > before
+
+    def test_plan_solves_the_registered_matrix(self):
+        from repro.sparse.triangular import lower_triangular_system
+
+        system = lower_triangular_system(
+            random_unit_lower(70, 0.08, seed=11)
+        )
+        reg = MatrixRegistry()
+        key = reg.register(system.L)
+        x = reg.compiled_plan(key).solve(system.b)
+        np.testing.assert_allclose(x, system.x_true, rtol=1e-9)

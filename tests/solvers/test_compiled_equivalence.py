@@ -1,0 +1,168 @@
+"""Compiled fast-lane equivalence suite.
+
+Mirror of ``test_host_equivalence.py`` for the fused
+:class:`~repro.solvers.compiled.CompiledPlan`: the compiled lane must
+agree with the cycle-level simulator on every synthetic domain, both
+triangular orientations, and every right-hand-side layout — under both
+the direct (``schedule="level"``) and level-merged
+(``schedule="merged"``) plans, and regardless of whether the numba JIT
+backend is present (the container this suite usually runs in has no
+numba, so the pure-numpy fused fallback is the code under test; a
+numba-equipped CI leg exercises the JIT path with the same
+assertions).
+
+Matrices are kept small (n = 80) because each comparison runs the SIMT
+simulator — the point is agreement, not throughput.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import DOMAINS, generate
+from repro.gpu.device import SIM_SMALL
+from repro.solvers import WritingFirstCapelliniSolver, build_plan
+from repro.solvers.compiled import (
+    COMPILED_SCHEDULES,
+    HAVE_NUMBA,
+    CompiledFusedSolver,
+    build_compiled_plan,
+    prefers_compiled,
+)
+from repro.solvers.multirhs import capellini_sptrsm
+from repro.solvers.upper import reverse_matrix, solve_upper
+from repro.sparse.triangular import lower_triangular_system
+
+N = 80
+TOL = {"rtol": 1e-9, "atol": 1e-12}
+
+
+@pytest.fixture(scope="module", params=sorted(DOMAINS))
+def domain_system(request):
+    L = generate(request.param, N, seed=13)
+    return lower_triangular_system(L, rng=np.random.default_rng(13))
+
+
+@pytest.fixture(scope="module", params=sorted(COMPILED_SCHEDULES))
+def schedule(request):
+    return request.param
+
+
+class TestLower:
+    def test_single_rhs_matches_simulator(self, domain_system, schedule):
+        system = domain_system
+        plan = build_compiled_plan(system.L, schedule=schedule)
+        x = plan.solve(system.b)
+        r_sim = WritingFirstCapelliniSolver().solve(
+            system.L, system.b, device=SIM_SMALL
+        )
+        np.testing.assert_allclose(x, r_sim.x, **TOL)
+        assert np.max(np.abs(x - system.x_true)) <= 1e-10
+
+    def test_multi_rhs_matches_capellini_sptrsm(
+        self, domain_system, schedule
+    ):
+        system = domain_system
+        B = np.column_stack([(r + 1.0) * system.b for r in range(3)])
+        X = build_compiled_plan(system.L, schedule=schedule).solve_many(B)
+        r_sim = capellini_sptrsm(system.L, B, device=SIM_SMALL)
+        np.testing.assert_allclose(X, r_sim.X, **TOL)
+
+    def test_matches_host_plan(self, domain_system, schedule):
+        system = domain_system
+        x_host = build_plan(system.L).solve(system.b)
+        x_comp = build_compiled_plan(
+            system.L, schedule=schedule
+        ).solve(system.b)
+        np.testing.assert_allclose(x_comp, x_host, **TOL)
+
+
+class TestUpper:
+    def test_upper_matches_simulator(self, domain_system, schedule):
+        system = domain_system
+        U = reverse_matrix(system.L)
+        x_comp = solve_upper(
+            CompiledFusedSolver(schedule=schedule), U, system.b,
+            device=SIM_SMALL,
+        )
+        x_sim = solve_upper(
+            WritingFirstCapelliniSolver(), U, system.b, device=SIM_SMALL
+        )
+        np.testing.assert_allclose(x_comp, x_sim, **TOL)
+
+
+class TestRHSLayouts:
+    def test_1d_2d_and_fortran_order_agree(self, domain_system, schedule):
+        system = domain_system
+        plan = build_compiled_plan(system.L, schedule=schedule)
+        B = np.column_stack([system.b, -2.0 * system.b])
+
+        x_1d = plan.solve(system.b)
+        X_c = plan.solve_many(B)
+        X_f = plan.solve_many(np.asfortranarray(B))
+
+        np.testing.assert_allclose(X_c[:, 0], x_1d, rtol=1e-12)
+        np.testing.assert_allclose(X_f, X_c, rtol=1e-12)
+        np.testing.assert_allclose(
+            plan.solve_many(system.b)[:, 0], x_1d, rtol=1e-12
+        )
+
+    def test_noncontiguous_rhs(self, domain_system, schedule):
+        system = domain_system
+        plan = build_compiled_plan(system.L, schedule=schedule)
+        wide = np.column_stack(
+            [(r + 1.0) * system.b for r in range(6)]
+        )
+        B = wide[:, ::2]  # non-contiguous view, k=3
+        assert not B.flags["C_CONTIGUOUS"]
+        X = plan.solve_many(B)
+        np.testing.assert_allclose(
+            X, plan.solve_many(np.ascontiguousarray(B)), rtol=1e-12
+        )
+
+    def test_float32_rhs_upcasts(self, domain_system, schedule):
+        system = domain_system
+        plan = build_compiled_plan(system.L, schedule=schedule)
+        x = plan.solve(system.b.astype(np.float32))
+        assert x.dtype == np.float64
+        # float32 input quantizes b itself; agreement is to f32 accuracy
+        np.testing.assert_allclose(
+            x, plan.solve(system.b), rtol=5e-5, atol=5e-6
+        )
+
+
+class TestFallback:
+    """The pure-numpy fused path must stand in for the JIT exactly."""
+
+    def test_force_fallback_matches_default(self, domain_system, schedule):
+        system = domain_system
+        plan = build_compiled_plan(system.L, schedule=schedule)
+        x_default = plan.solve(system.b)
+        x_fallback = plan.solve(system.b, force_fallback=True)
+        if HAVE_NUMBA:
+            np.testing.assert_allclose(x_fallback, x_default, **TOL)
+        else:
+            # without numba both calls ARE the fallback: bit-identical
+            np.testing.assert_array_equal(x_fallback, x_default)
+
+    def test_backend_reports_availability(self, domain_system, schedule):
+        plan = build_compiled_plan(domain_system.L, schedule=schedule)
+        assert plan.backend == ("numba" if HAVE_NUMBA else "numpy")
+
+    def test_solver_extra_reports_schedule(self, domain_system, schedule):
+        system = domain_system
+        solver = CompiledFusedSolver(schedule=schedule)
+        result = solver.solve(system.L, system.b, device=SIM_SMALL)
+        assert result.extra["schedule"] == schedule
+        assert result.extra["base_levels"] >= result.extra["n_levels"]
+        np.testing.assert_allclose(result.x, system.x_true, **TOL)
+
+
+class TestLaneSelection:
+    def test_prefers_compiled_needs_deep_and_fine(self):
+        from repro.analysis import extract_features
+
+        deep = extract_features(generate("chain", 200, seed=0))
+        wide = extract_features(generate("graph", 400, seed=0))
+        assert prefers_compiled(deep)
+        assert deep.n_levels >= 64
+        assert not prefers_compiled(wide)
