@@ -29,6 +29,11 @@ Usage::
     repro-sptrsv serve-top --demo --iterations 3
     repro-sptrsv serve-top --url http://127.0.0.1:9100/metrics
     repro-sptrsv replay events.jsonl --workers 2
+    repro-sptrsv serve-stats --journal-dir /tmp/journal --requests 32
+    repro-sptrsv serve-cluster --workers 2 --journal-dir /tmp/journal
+    repro-sptrsv journal tail /tmp/journal -n 5
+    repro-sptrsv journal query /tmp/journal --lane compiled
+    repro-sptrsv journal report /tmp/journal
     repro-sptrsv regress
     repro-sptrsv regress --quick --cycles-tol 0.01
 """
@@ -261,6 +266,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--slow-ms", type=float, default=None,
                        help="explicit slow-request threshold for --spans "
                        "(default: adaptive p95 of root durations)")
+    p_srv.add_argument("--journal-dir", metavar="DIR", default=None,
+                       help="journal every solve (checksummed JSONL "
+                       "segments) into DIR; inspect with "
+                       "'repro-sptrsv journal'")
 
     p_cl = sub.add_parser(
         "serve-cluster",
@@ -303,6 +312,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write the session's distributed spans as one "
                       "multi-process Chrome/Perfetto trace (one pid row "
                       "per worker, flow arrows router->worker) to PATH")
+    p_cl.add_argument("--journal-dir", metavar="DIR", default=None,
+                      help="every shard worker journals its solves into "
+                      "per-shard segment files under DIR (the filesystem "
+                      "is the merge point; read with 'repro-sptrsv "
+                      "journal')")
 
     p_top = sub.add_parser(
         "serve-top",
@@ -387,6 +401,48 @@ def build_parser() -> argparse.ArgumentParser:
                        "wall-paced; 0 = in-process)")
     p_rep.add_argument("--json", action="store_true",
                        help="emit the replay report as JSON")
+    p_rep.add_argument("--journal-dir", metavar="DIR", default=None,
+                       help="journal the replayed solves into DIR — a "
+                       "recorded trace regenerates an efficacy report "
+                       "without live traffic")
+
+    p_j = sub.add_parser(
+        "journal",
+        help="inspect a solve journal: tail recent records, query by "
+        "matrix/lane/kind, or build the lane-efficacy report",
+    )
+    jsub = p_j.add_subparsers(dest="verb", required=True)
+    j_tail = jsub.add_parser("tail", help="print the newest records")
+    j_tail.add_argument("dir", help="journal directory")
+    j_tail.add_argument("-n", type=int, default=10,
+                        help="records to print (newest last)")
+    j_query = jsub.add_parser("query", help="filter solve records")
+    j_query.add_argument("dir", help="journal directory")
+    j_query.add_argument("--kind", default=None,
+                         help="record kind (solve, incident, ...)")
+    j_query.add_argument("--matrix", default=None,
+                         help="matrix fingerprint (prefix match)")
+    j_query.add_argument("--lane", default=None,
+                         choices=["compiled", "host", "sim"])
+    j_query.add_argument("--limit", type=int, default=0,
+                         help="cap printed records (0 = all)")
+    j_report = jsub.add_parser(
+        "report",
+        help="lane-efficacy analytics: per-granularity-class lane "
+        "win-rates, latency percentiles, recommended-lane table, EWMA "
+        "latency anomalies; exits 0 healthy / 1 anomalies / 2 "
+        "unreadable journal",
+    )
+    j_report.add_argument("dir", help="journal directory")
+    j_report.add_argument("--min-samples", type=int, default=None,
+                          help="samples a lane needs per class before "
+                          "it can be recommended")
+    j_report.add_argument("--json", action="store_true",
+                          help="emit the full report as JSON")
+    j_report.add_argument("--out", metavar="PATH", default=None,
+                          help="write the recommended-lane artifact "
+                          "here (default: DIR/lane_recommendations."
+                          "json)")
 
     p_gen = sub.add_parser("generate", help="write a synthetic matrix to .mtx")
     p_gen.add_argument("--domain", required=True)
@@ -416,6 +472,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_check_interleavings(args)
     if args.command == "replay":
         return _cmd_replay(args)
+    if args.command == "journal":
+        return _cmd_journal(args)
     if args.command == "regress":
         from repro.metrics.regression import run as regress_run
 
@@ -861,9 +919,14 @@ def _cmd_serve_stats(args) -> int:
     system = lower_triangular_system(L)
 
     async def session() -> tuple[dict, float, str | None]:
+        journal = None
+        if args.journal_dir:
+            from repro.obs.journal import JournalWriter
+
+            journal = JournalWriter(args.journal_dir, shard="serve")
         engine = SolveEngine(
             device=device, max_batch=args.max_batch, profile=args.profile,
-            execution=args.execution,
+            execution=args.execution, journal=journal,
         )
         engine.register(system.L, name="cli-demo")
         responses = await asyncio.gather(
@@ -889,11 +952,14 @@ def _cmd_serve_stats(args) -> int:
             from repro.metrics.expo import render_openmetrics
 
             om = render_openmetrics(
-                engine.telemetry, cache=engine.registry.stats()
+                engine.telemetry, cache=engine.registry.stats(),
+                journal=journal.stats() if journal is not None else None,
             )
         if args.trace_log:
             engine.trace_log.write_jsonl(args.trace_log)
         await engine.close()
+        if journal is not None:
+            journal.close()
         return snap, err, om
 
     snap, err, om = asyncio.run(session())
@@ -942,6 +1008,12 @@ def _cmd_serve_stats(args) -> int:
         if args.trace_log:
             print(f"trace log     : {tr['retained']} event(s) -> "
                   f"{args.trace_log}")
+        if "journal" in snap:
+            js = snap["journal"]
+            print(f"journal       : {js['records_written']} record(s), "
+                  f"{js['records_dropped']} dropped, "
+                  f"{js['segments_rotated']} rotation(s), "
+                  f"{js['incidents']} incident(s) -> {args.journal_dir}")
         print(f"max error     : {err:.3e}")
     return 0 if err < 1e-8 else 1
 
@@ -1071,6 +1143,7 @@ def _cmd_serve_cluster(args) -> int:
         execution=args.execution,
         max_batch=args.max_batch,
         request_timeout=args.timeout,
+        journal_dir=args.journal_dir,
     ) as router:
         keys = [
             router.register(s.L, name=f"cli-{i}")
@@ -1177,6 +1250,11 @@ def _cmd_serve_cluster(args) -> int:
               f"{rt['arena']['resident_bytes']} bytes shared")
         print(f"slabs         : {rt['slabs']['created']} created, "
               f"{rt['slabs']['reused']} reused")
+        if args.journal_dir:
+            fj = fleet["journal"]
+            print(f"journal       : {fj['records_written']} record(s) "
+                  f"across {fj['shards']} shard(s), "
+                  f"{fj['records_dropped']} dropped -> {args.journal_dir}")
         print(f"leaked shm    : {len(leaked)}")
         print(f"max error     : {err:.3e}")
     return 0 if err < 1e-8 and not leaked else 1
@@ -1326,6 +1404,7 @@ def _cmd_replay(args) -> int:
         batch_window=args.batch_window,
         execution=args.execution,
         workers=args.workers,
+        journal_dir=args.journal_dir,
     )
     if args.json:
         print(json.dumps({
@@ -1341,6 +1420,88 @@ def _cmd_replay(args) -> int:
     else:
         print(report.summary())
     return 0 if report.ok else 1
+
+
+def _cmd_journal(args) -> int:
+    """Inspect a solve journal directory.
+
+    ``tail`` and ``query`` print matching records as JSONL; ``report``
+    runs the lane-efficacy aggregator and uses regress-style exit
+    codes — 0 healthy, 1 anomalies flagged, 2 journal unreadable — so
+    CI can gate on it the same way it gates on ``regress``.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.errors import JournalError
+    from repro.obs.journal import JournalReader
+
+    reader = JournalReader(args.dir)
+    try:
+        scan = reader.scan()
+    except JournalError as exc:
+        print(f"journal: {exc}", file=sys.stderr)
+        return 2
+
+    if args.verb == "tail":
+        for record in scan["records"][-max(args.n, 0):]:
+            print(json.dumps(record, sort_keys=True, default=str))
+        return 0
+
+    if args.verb == "query":
+        records = scan["records"]
+        if args.kind is not None:
+            records = [r for r in records if r.get("kind") == args.kind]
+        if args.matrix is not None:
+            records = [
+                r for r in records
+                if str(r.get("matrix", "")).startswith(args.matrix)
+            ]
+        if args.lane is not None:
+            records = [r for r in records if r.get("lane") == args.lane]
+        if args.limit > 0:
+            records = records[-args.limit:]
+        for record in records:
+            print(json.dumps(record, sort_keys=True, default=str))
+        print(
+            f"{len(records)} record(s) from {scan['segments']} segment(s), "
+            f"{scan['skipped']} skipped line(s)",
+            file=sys.stderr,
+        )
+        return 0
+
+    # report
+    from repro.metrics.efficacy import (
+        DEFAULT_MIN_SAMPLES,
+        aggregate,
+        healthy,
+        lane_recommendations,
+        render_report,
+    )
+
+    report = aggregate(
+        scan["records"],
+        min_samples=(
+            DEFAULT_MIN_SAMPLES if args.min_samples is None
+            else args.min_samples
+        ),
+        skipped=scan["skipped"],
+    )
+    out = Path(args.out) if args.out else Path(args.dir) / (
+        "lane_recommendations.json"
+    )
+    out.write_text(json.dumps({
+        "schema": report["schema"],
+        "recommendations": lane_recommendations(report),
+        "min_samples": report["min_samples"],
+        "solves": report["solves"],
+    }, indent=2, sort_keys=True) + "\n")
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True, default=str))
+    else:
+        print(render_report(report))
+        print(f"recommendations -> {out}")
+    return 0 if healthy(report) else 1
 
 
 def _cmd_generate(args) -> int:

@@ -26,6 +26,7 @@ __all__ = [
     "TraceSchemaError",
     "ClusterError",
     "WorkerDiedError",
+    "JournalError",
 ]
 
 
@@ -143,3 +144,13 @@ class WorkerDiedError(ClusterError):
     router respawns the worker (re-attaching its shard's shared-memory
     plans, never rebuilding them) and subsequent requests are served
     normally.  Callers may simply retry."""
+
+
+class JournalError(ReproError):
+    """A solve journal cannot be opened at all.
+
+    Raised by :class:`repro.obs.journal.JournalReader` only when the
+    journal *as a whole* is missing (no directory, no segment files) —
+    the ``journal report`` exit-2 condition.  Damaged segment *content*
+    (torn tails, corrupt lines) never raises; it is skipped and counted
+    so a crash during journaling still yields every intact record."""

@@ -19,6 +19,11 @@ from repro.metrics.expo import (
 from repro.metrics.fleet import fleet_openmetrics, fleet_rollup
 from repro.metrics.dashboard import render_dashboard
 
+# repro.metrics.efficacy (the journal analytics) and
+# repro.metrics.regression (the perf sentinel) are deliberately not
+# imported here: both pull in the solver stack, and the package init
+# must stay light enough for `repro-sptrsv --help`.
+
 __all__ = [
     "SpeedupSummary",
     "speedup",

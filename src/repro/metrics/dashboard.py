@@ -207,4 +207,29 @@ def render_dashboard(
                 f"slow exemplars {_fmt(exemplars)} "
                 f"(threshold {_fmt(threshold, '.3f')} ms)"
             )
+
+    # ------------------------------------------------------------------
+    # solve-journal health (present when journaling is on)
+    # ------------------------------------------------------------------
+    written = _pick(families, fam("journal_records_written"),
+                    sample=fam("journal_records_written") + "_total")
+    if written is not None:
+        dropped = _pick(families, fam("journal_records_dropped"),
+                        sample=fam("journal_records_dropped") + "_total")
+        rotated = _pick(families, fam("journal_segments_rotated"),
+                        sample=fam("journal_segments_rotated") + "_total")
+        incidents = _pick(families, fam("journal_incidents"),
+                          sample=fam("journal_incidents") + "_total")
+        seg_bytes = _pick(families, fam("journal_segment_bytes"))
+        lag = _pick(families, fam("journal_flush_lag_seconds"))
+        lines.append("")
+        lines.append(
+            f"journal  records {_fmt(written)}   "
+            f"dropped {_fmt(dropped)}   rotations {_fmt(rotated)}   "
+            f"incidents {_fmt(incidents)}"
+        )
+        lines.append(
+            f"         open segment {_fmt(seg_bytes)} B   "
+            f"flush lag {_fmt(lag, '.3f') if lag is not None else '-'} s"
+        )
     return "\n".join(lines) + "\n"

@@ -33,6 +33,8 @@ from repro.metrics.telemetry import Counter, Gauge, Histogram
 
 __all__ = [
     "CONTENT_TYPE",
+    "JOURNAL_FAMILIES",
+    "journal_families",
     "render_metrics",
     "render_openmetrics",
     "parse_openmetrics",
@@ -173,16 +175,65 @@ def render_metrics(
     return "\n".join(chunks) + "\n"
 
 
+#: Journal-health series rendered by :func:`journal_families`:
+#: ``(stats key, family name, kind, help)``.  Counters come from the
+#: writer's monotonic totals; gauges are instantaneous.
+JOURNAL_FAMILIES = (
+    ("records_written", "journal_records_written", "counter",
+     "Solve-journal records written."),
+    ("records_dropped", "journal_records_dropped", "counter",
+     "Solve-journal records dropped (I/O errors, closed writer)."),
+    ("segments_rotated", "journal_segments_rotated", "counter",
+     "Solve-journal segment rotations."),
+    ("incidents", "journal_incidents", "counter",
+     "Black-box incident dumps written."),
+    ("bytes_written", "journal_bytes_written", "counter",
+     "Solve-journal bytes written across all segments."),
+    ("segment_bytes", "journal_segment_bytes", "gauge",
+     "Bytes in the currently open journal segment."),
+    ("buffered_records", "journal_buffered_records", "gauge",
+     "Journal records buffered but not yet flushed to the OS."),
+    ("flush_lag_s", "journal_flush_lag_seconds", "gauge",
+     "Seconds since the oldest buffered journal record was appended."),
+)
+
+
+def journal_families(journal: dict) -> list:
+    """Journal-health metric families from ``JournalWriter.stats()``.
+
+    Shared by the single-engine exposition
+    (:func:`render_openmetrics`) and the fleet roll-up
+    (:func:`repro.metrics.fleet.fleet_openmetrics`), so both surfaces
+    name the series identically.
+    """
+    fams = []
+    for key, name, kind, help_text in JOURNAL_FAMILIES:
+        if key not in journal:
+            continue
+        fam = _Family(name, kind, help_text)
+        fam.add("_total" if kind == "counter" else "", {}, journal[key])
+        fams.append(fam)
+    return fams
+
+
 def render_openmetrics(
-    telemetry, *, prefix: str = "repro_serve_", cache: Optional[dict] = None
+    telemetry,
+    *,
+    prefix: str = "repro_serve_",
+    cache: Optional[dict] = None,
+    journal: Optional[dict] = None,
 ) -> str:
     """The full serving exposition: every ``telemetry.metrics()``
     primitive plus derived families the snapshot carries outside the
     primitives — per-solver kernel failures, per-transition fallbacks,
-    the SLO verdict gauges, and (when given) registry cache statistics.
+    the SLO verdict gauges, and (when given) registry cache statistics
+    and journal-health counters.
 
     ``telemetry`` is a :class:`~repro.serve.telemetry.ServeTelemetry`;
-    ``cache`` is ``MatrixRegistry.stats()`` if the caller has one.
+    ``cache`` is ``MatrixRegistry.stats()`` and ``journal`` is
+    ``JournalWriter.stats()`` if the caller has them.  Both are
+    optional so existing expositions (and their golden files) are
+    byte-identical when the features are off.
     """
     extra = []
 
@@ -233,6 +284,9 @@ def render_openmetrics(
             fam = _Family(f"cache_{key}", "gauge", help_text)
             fam.add("", {}, cache[key])
             extra.append(fam)
+
+    if journal is not None:
+        extra.extend(journal_families(journal))
 
     return render_metrics(
         telemetry.metrics(), prefix=prefix, extra_families=extra

@@ -188,6 +188,34 @@ def fleet_rollup(workers: Mapping[str, dict]) -> dict:
             "error_budget_burn": burn,
             "verdict": _worst_verdict(s.get("verdict") for s in slos),
         },
+        # per-shard solve journals (absent when journaling is off):
+        # counters sum; segment_bytes sums resident open-segment bytes
+        # and flush lag reports the worst (oldest unflushed) shard
+        "journal": {
+            "shards": sum(1 for s in snaps if s.get("journal")),
+            "records_written": _sum_field(
+                snaps, "journal", "records_written"
+            ),
+            "records_dropped": _sum_field(
+                snaps, "journal", "records_dropped"
+            ),
+            "segments_rotated": _sum_field(
+                snaps, "journal", "segments_rotated"
+            ),
+            "incidents": _sum_field(snaps, "journal", "incidents"),
+            "bytes_written": _sum_field(snaps, "journal", "bytes_written"),
+            "segment_bytes": _sum_field(snaps, "journal", "segment_bytes"),
+            "buffered_records": _sum_field(
+                snaps, "journal", "buffered_records"
+            ),
+            "flush_lag_s": max(
+                (
+                    (s.get("journal") or {}).get("flush_lag_s", 0.0)
+                    for s in snaps
+                ),
+                default=0.0,
+            ),
+        },
     }
 
 
@@ -242,6 +270,14 @@ def fleet_openmetrics(
         gauge("registry_entries",
               "Registry entries resident, by worker.",
               registry.get("entries", 0), worker=name)
+        journal = snap.get("journal")
+        if journal:
+            counter("journal_records_written",
+                    "Solve-journal records written, by worker.",
+                    journal.get("records_written", 0), worker=name)
+            counter("journal_records_dropped",
+                    "Solve-journal records dropped, by worker.",
+                    journal.get("records_dropped", 0), worker=name)
 
     fleet = fleet_rollup(workers)
     gauge("workers", "Live shard workers.", fleet["workers"])
@@ -255,6 +291,26 @@ def fleet_openmetrics(
             fleet["lanes"]["host"]["rhs"]
             + fleet["lanes"]["compiled"]["rhs"]
             + fleet["lanes"]["sim"]["rhs"])
+    if fleet["journal"]["shards"]:
+        jnl = fleet["journal"]
+        counter("journal_records_written",
+                "Solve-journal records written fleet-wide.",
+                jnl["records_written"])
+        counter("journal_records_dropped",
+                "Solve-journal records dropped fleet-wide.",
+                jnl["records_dropped"])
+        counter("journal_segments_rotated",
+                "Solve-journal segment rotations fleet-wide.",
+                jnl["segments_rotated"])
+        counter("journal_incidents",
+                "Black-box incident dumps written fleet-wide.",
+                jnl["incidents"])
+        gauge("journal_segment_bytes",
+              "Bytes resident in open journal segments fleet-wide.",
+              jnl["segment_bytes"])
+        gauge("journal_flush_lag_seconds",
+              "Worst per-shard journal flush lag (seconds).",
+              jnl["flush_lag_s"])
 
     if router is not None:
         counter("router_requests", "Solve requests routed.",

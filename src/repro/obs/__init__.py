@@ -69,6 +69,11 @@ from repro.obs.disttrace import (
     TraceCollector,
     new_span_id,
 )
+from repro.obs.journal import (
+    JOURNAL_SCHEMA,
+    JournalReader,
+    JournalWriter,
+)
 
 __all__ = [
     "COMPUTE",
@@ -111,4 +116,7 @@ __all__ = [
     "ClockAligner",
     "TraceCollector",
     "new_span_id",
+    "JOURNAL_SCHEMA",
+    "JournalWriter",
+    "JournalReader",
 ]

@@ -159,6 +159,15 @@ async def _worker_serve(conn, worker_id: int, config: dict) -> None:
 
     loop = asyncio.get_running_loop()
     registry = MatrixRegistry(shard_id=worker_id)
+    journal = None
+    if config.get("journal_dir"):
+        from repro.obs.journal import JournalWriter
+
+        # one shard name per worker id: a respawned worker opens fresh
+        # segments past its predecessor's (never appends to a torn tail)
+        journal = JournalWriter(
+            config["journal_dir"], shard=f"shard-{worker_id}"
+        )
     engine = SolveEngine(
         registry=registry,
         execution=config.get("execution", "host"),
@@ -166,6 +175,7 @@ async def _worker_serve(conn, worker_id: int, config: dict) -> None:
         batch_window=config.get("batch_window", 0.0),
         max_queue=config.get("max_queue", 1024),
         default_timeout=None,  # the router owns request deadlines
+        journal=journal,
     )
     arena = PlanArena()
     slabs = SegmentCache()
@@ -335,6 +345,8 @@ async def _worker_serve(conn, worker_id: int, config: dict) -> None:
             })
     if tasks:
         await asyncio.gather(*tasks, return_exceptions=True)
+    if journal is not None:
+        journal.close()
     arena.detach_all()
     slabs.close_all()
     send_pool.shutdown(wait=True)
@@ -391,6 +403,7 @@ class ShardRouter:
         tracing: bool = True,
         slow_ms: Optional[float] = None,
         exemplar_capacity: int = 32,
+        journal_dir: Optional[str] = None,
     ) -> None:
         if n_workers <= 0:
             raise ClusterError("n_workers must be positive")
@@ -407,6 +420,10 @@ class ShardRouter:
             "execution": execution,
             "max_batch": max_batch,
             "batch_window": batch_window,
+            # flight recorder: each worker journals to per-shard segment
+            # files inside this shared directory (merged at read time by
+            # JournalReader — the filesystem is the merge point)
+            "journal_dir": str(journal_dir) if journal_dir else None,
         }
         self._registry = MatrixRegistry()  # router-side: builds the plans
         self._arena = PlanArena()

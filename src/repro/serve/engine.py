@@ -149,6 +149,7 @@ class SolveEngine:
         compiled_schedule: str = "merged",
         clock=None,
         executor=None,
+        journal=None,
     ) -> None:
         if max_queue <= 0:
             raise ValueError("max_queue must be positive")
@@ -187,6 +188,17 @@ class SolveEngine:
         #: ("merged" coalesces skinny levels; "level" is the plain
         #: level schedule)
         self.compiled_schedule = compiled_schedule
+        #: optional :class:`~repro.obs.journal.JournalWriter` — the
+        #: flight recorder.  When set, every completed request appends
+        #: one durable per-solve record and every kernel failure dumps
+        #: a black-box incident file.  The engine never owns it: the
+        #: caller (CLI session, shard worker) opens and closes it.
+        self.journal = journal
+        #: per-fingerprint journal feature fields — matrix features are
+        #: immutable once registered, so the dict is built once per key
+        #: instead of once per solve (keeps the journal inside its <5%
+        #: overhead budget)
+        self._journal_features: dict[str, dict] = {}
         self._candidates = tuple(candidates) if candidates is not None else None
         #: time source for batch windows and request deadlines.  The
         #: default is real time; the deterministic interleaving harness
@@ -355,6 +367,8 @@ class SolveEngine:
                 if names
             }
         snap["trace"] = self.trace_log.summary()
+        if self.journal is not None:
+            snap["journal"] = self.journal.stats()
         return snap
 
     async def close(self) -> None:
@@ -516,6 +530,8 @@ class SolveEngine:
             lane=outcome.lane, latency_ms=round(latency_ms, 3),
             batch_width=outcome.batch_width,
         )
+        if self.journal is not None:
+            self._journal_solve(entry, req, outcome, latency_ms, n_rhs)
         x = outcome.X[:, col]
         if isinstance(col, int):
             x = x.copy()
@@ -531,6 +547,81 @@ class SolveEngine:
             fallback_from=outcome.fallback_from,
             trace_id=req.trace_id,
             lane=outcome.lane,
+        )
+
+    def _journal_solve(
+        self,
+        entry: RegisteredMatrix,
+        req: PendingSolve,
+        outcome: BlockOutcome,
+        latency_ms: float,
+        n_rhs: int,
+    ) -> None:
+        """One durable flight-recorder record per completed request.
+
+        Features come from the registry cache (the lane policy already
+        built them for every served matrix), so the record costs one
+        dict build and one buffered write — the <5% budget
+        ``bench_journal_overhead.py`` enforces.
+        """
+        feature_fields = self._journal_features.get(entry.key)
+        if feature_fields is None:
+            feats = self.registry.features(entry.key)
+            feature_fields = self._journal_features[entry.key] = {
+                "n_rows": feats.n_rows,
+                "nnz": feats.nnz,
+                "n_levels": feats.n_levels,
+                "granularity": round(float(feats.granularity), 6),
+                "avg_nnz_per_row": round(float(feats.avg_nnz_per_row), 6),
+            }
+        exec_ms = round(float(outcome.exec_ms), 4)
+        queue_ms = round(max(latency_ms - exec_ms, 0.0), 4)
+        schedule = None
+        if outcome.lane == "compiled":
+            schedule = self.compiled_schedule
+        elif outcome.lane == "host":
+            schedule = "level"
+        self.journal.record_solve(
+            matrix=entry.key,
+            trace_id=req.trace_id,
+            lane=outcome.lane,
+            solver=outcome.solver_name,
+            schedule=schedule,
+            batch_width=outcome.batch_width,
+            n_rhs=n_rhs,
+            latency_ms=round(latency_ms, 4),
+            queue_ms=queue_ms,
+            exec_ms=exec_ms,
+            phases={"queue_ms": queue_ms, "exec_ms": exec_ms},
+            cycles=outcome.cycles,
+            outcome="fallback" if outcome.fallback_from else "ok",
+            fallback_from=outcome.fallback_from,
+            **feature_fields,
+        )
+
+    def _incident(
+        self, key: str, solver_name: str, lane: Optional[str], exc
+    ) -> None:
+        """Black-box dump on kernel failure/quarantine (if journaling).
+
+        Runs on the worker thread that caught the failure, *after* the
+        quarantine and telemetry bookkeeping released their locks —
+        ``snapshot()`` re-acquires them.
+        """
+        if self.journal is None:
+            return
+        self.journal.record_event(
+            "kernel-failure", matrix=key, solver=solver_name, lane=lane,
+            error=type(exc).__name__,
+        )
+        self.journal.incident(
+            "kernel-failure",
+            matrix=key,
+            solver=solver_name,
+            lane=lane,
+            error=f"{type(exc).__name__}: {exc}",
+            trace_events=self.trace_log.events(),
+            snapshot=self.snapshot(),
         )
 
     # ------------------------------------------------------------------
@@ -711,7 +802,18 @@ class SolveEngine:
         )
 
     def _auto_prefers_compiled(self, entry: RegisteredMatrix) -> bool:
-        """The ``auto`` policy's lane rule, from cached features."""
+        """The ``auto`` policy's lane rule.
+
+        A measured-lane hint cached on the registry (written by the
+        efficacy analytics over the solve journal —
+        :func:`repro.metrics.efficacy.apply_lane_hints`) overrides the
+        static rule: ``"compiled"`` routes to the compiled lane, any
+        other hint to the host-first ladder.  Without a hint the
+        paper's granularity predicate decides, from cached features.
+        """
+        hint = self.registry.lane_hint(entry.key)
+        if hint is not None:
+            return hint == "compiled"
         return prefers_compiled(self.registry.features(entry.key))
 
     def _execute_block(
@@ -757,6 +859,9 @@ class SolveEngine:
                             lane="compiled", error=type(exc).__name__,
                             trace_ids=list(trace_ids),
                         )
+                        self._incident(
+                            entry.key, COMPILED_LANE, "compiled", exc
+                        )
                         failures.append(COMPILED_LANE)
                 else:
                     failures.append(COMPILED_LANE)
@@ -776,6 +881,7 @@ class SolveEngine:
                         error=type(exc).__name__,
                         trace_ids=list(trace_ids),
                     )
+                    self._incident(entry.key, HOST_LANE, "host", exc)
                     failures.append(HOST_LANE)
                 else:
                     if failures:
@@ -827,6 +933,7 @@ class SolveEngine:
                         error=type(exc).__name__,
                         trace_ids=list(trace_ids),
                     )
+                    self._incident(entry.key, BATCHED_KERNEL, "sim", exc)
                     failures.append(BATCHED_KERNEL)
                 else:
                     self.telemetry.sim_cycles.inc(res.stats.cycles)
@@ -907,6 +1014,7 @@ class SolveEngine:
                     solver=solver.name, error=type(exc).__name__,
                     trace_ids=list(trace_ids),
                 )
+                self._incident(entry.key, solver.name, "sim", exc)
                 failures.append(solver.name)
                 fell_back = True
                 continue

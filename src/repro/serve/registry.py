@@ -36,6 +36,7 @@ from repro.sparse.csr import CSRMatrix
 
 __all__ = [
     "DEFAULT_MEMORY_BUDGET",
+    "LANE_HINTS",
     "matrix_fingerprint",
     "RegisteredMatrix",
     "MatrixRegistry",
@@ -44,6 +45,10 @@ __all__ = [
 #: Default LRU budget: generous for the simulator-scale matrices the
 #: tests and benchmarks use, small enough to be hit in production sizes.
 DEFAULT_MEMORY_BUDGET = 256 * 1024 * 1024
+
+#: Valid values of a cached lane recommendation (see
+#: :meth:`MatrixRegistry.set_lane_hint`).
+LANE_HINTS = ("compiled", "host", "sim")
 
 
 def matrix_fingerprint(L: CSRMatrix) -> str:
@@ -69,7 +74,7 @@ class RegisteredMatrix:
 
     __slots__ = (
         "key", "name", "matrix", "_features", "_csc", "_verdicts", "_plan",
-        "_compiled",
+        "_compiled", "_lane_hint",
     )
 
     def __init__(self, key: str, name: str, matrix: CSRMatrix) -> None:
@@ -84,6 +89,10 @@ class RegisteredMatrix:
         # "merged") — the two variants of one matrix have different
         # coefficient arrays and are distinct artifacts
         self._compiled: dict[str, CompiledPlan] = {}
+        # measured-lane recommendation from the efficacy analytics
+        # (repro.metrics.efficacy.apply_lane_hints); consulted by the
+        # engine's auto policy before the static granularity rule
+        self._lane_hint: Optional[str] = None
 
     @property
     def nbytes(self) -> int:
@@ -298,6 +307,30 @@ class MatrixRegistry:
                 self._adopted_plans += 1
                 self._enforce_budget(keep=entry.key)
 
+    def set_lane_hint(self, ref: str, lane: Optional[str]) -> None:
+        """Cache a measured-lane recommendation next to the plan.
+
+        ``lane`` is one of :data:`LANE_HINTS` (or ``None`` to clear).
+        This is the registry artifact the efficacy analytics
+        (:func:`repro.metrics.efficacy.apply_lane_hints`) write after a
+        ``journal report`` run: the engine's ``auto`` policy consults
+        it before falling back to the static granularity rule.  Like
+        every artifact, the hint lives and dies with its LRU entry.
+        """
+        if lane is not None and lane not in LANE_HINTS:
+            raise ServeError(
+                f"lane hint must be one of {LANE_HINTS} or None, "
+                f"got {lane!r}"
+            )
+        with self._lock:
+            entry = self._lookup(ref)
+            entry._lane_hint = lane
+
+    def lane_hint(self, ref: str) -> Optional[str]:
+        """The cached lane recommendation, or ``None`` (no hint)."""
+        with self._lock:
+            return self._lookup(ref)._lane_hint
+
     def verdict(self, ref: str, solver: str = "capellini") -> ScheduleReport:
         """Static schedule-verifier report for one solver family."""
         with self._lock:
@@ -341,6 +374,11 @@ class MatrixRegistry:
                 "dedup_hits": self._dedup_hits,
                 "artifact_builds": self._artifact_builds,
                 "adopted_plans": self._adopted_plans,
+                "lane_hints": sum(
+                    1
+                    for e in self._entries.values()
+                    if e._lane_hint is not None
+                ),
             }
             if self.shard_id is not None:
                 stats["shard"] = self.shard_id

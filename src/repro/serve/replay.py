@@ -298,11 +298,16 @@ def replay_file(
     batch_window: float = 0.0,
     execution: str = "host",
     workers: int = 0,
+    journal_dir: Optional[str | Path] = None,
 ) -> ReplayReport:
     """Replay a TraceLog JSONL recording end to end.
 
     ``workers=0`` (default) replays through one in-process engine;
     ``workers=N`` replays through an ``N``-worker sharded cluster.
+    With ``journal_dir`` the replayed solves are journaled like live
+    traffic (single-engine replay journals as shard ``"replay"``,
+    cluster replay as the workers' own shards) — a recorded trace is
+    enough to regenerate an efficacy report, no live traffic needed.
     """
     events = load_events(path)
     recorded = trace_counts(events)
@@ -319,6 +324,7 @@ def replay_file(
             execution=execution,
             batch_window=batch_window,
             request_timeout=None,
+            journal_dir=str(journal_dir) if journal_dir else None,
         ) as router:
             for i, key in enumerate(keys):
                 router.register(stand_in_matrix(n, i), name=key)
@@ -335,16 +341,26 @@ def replay_file(
 
     async def run() -> dict:
         clock = VirtualClock() if virtual else AsyncioClock()
+        journal = None
+        if journal_dir is not None:
+            from repro.obs.journal import JournalWriter
+
+            journal = JournalWriter(journal_dir, shard="replay")
         engine = SolveEngine(
             batch_window=batch_window,
             default_timeout=None,
             execution=execution,
             clock=clock,
             max_queue=max(64, recorded["requests"] + 1),
+            journal=journal,
         )
         for i, key in enumerate(keys):
             engine.register(stand_in_matrix(n, i), name=key)
-        return await replay_events(events, engine, clock, speed=speed)
+        try:
+            return await replay_events(events, engine, clock, speed=speed)
+        finally:
+            if journal is not None:
+                journal.close()
 
     replayed = asyncio.run(run())
     return ReplayReport(

@@ -262,3 +262,57 @@ class TestExpositionRoundTrip:
         ]
         assert labels == {"path": 'a\\b "c"\nd'}
         assert value == 1.25
+
+
+class TestJournalRollup:
+    @staticmethod
+    def snap_with_journal(written=10, dropped=0, lag=0.0):
+        snap = worker_snap()
+        snap["journal"] = {
+            "shard": "shard-x", "records_written": written,
+            "records_dropped": dropped, "bytes_written": written * 100,
+            "segment_bytes": 512, "segments_rotated": 1, "incidents": 0,
+            "buffered_records": 0, "flush_lag_s": lag,
+        }
+        return snap
+
+    def test_counters_sum_and_lag_is_worst_case(self):
+        fleet = fleet_rollup({
+            "shard-0": self.snap_with_journal(written=10, lag=0.1),
+            "shard-1": self.snap_with_journal(written=6, lag=0.7),
+        })
+        j = fleet["journal"]
+        assert j["shards"] == 2
+        assert j["records_written"] == 16
+        assert j["segments_rotated"] == 2
+        assert j["flush_lag_s"] == 0.7
+
+    def test_workers_without_journal_roll_up_to_zero(self):
+        fleet = fleet_rollup({"shard-0": worker_snap()})
+        assert fleet["journal"]["shards"] == 0
+        assert fleet["journal"]["records_written"] == 0
+
+    def test_exposition_gated_on_journaling_workers(self):
+        plain = fleet_openmetrics({"shard-0": worker_snap()})
+        assert "journal" not in plain
+        text = fleet_openmetrics({
+            "shard-0": self.snap_with_journal(written=10),
+            "shard-1": worker_snap(),  # journaling off on this worker
+        })
+        families = parse_openmetrics(text)
+        assert families["repro_fleet_journal_records_written"][
+            'repro_fleet_journal_records_written_total{worker="shard-0"}'
+        ] == 10
+        # unlabeled fleet-wide total shares the family
+        assert families["repro_fleet_journal_records_written"][
+            "repro_fleet_journal_records_written_total"
+        ] == 10
+
+    def test_journal_exposition_round_trips(self):
+        from repro.metrics import parse_openmetrics_full, render_parsed
+
+        text = fleet_openmetrics({
+            "shard-0": self.snap_with_journal(written=10, dropped=1),
+            "shard-1": self.snap_with_journal(written=4, lag=0.5),
+        })
+        assert render_parsed(parse_openmetrics_full(text)) == text

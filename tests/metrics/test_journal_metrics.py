@@ -1,0 +1,120 @@
+"""Journal-health OpenMetrics families: golden + full parse round-trip.
+
+The golden fixture is a hand-built journal stats dict — every counter a
+fixed literal — so the rendering must be byte-identical run to run.  A
+diff means the journal exposition changed on purpose; refresh with::
+
+    PYTHONPATH=src:. python - <<'PY'
+    from pathlib import Path
+    from repro.metrics.expo import render_metrics, journal_families
+    from tests.metrics.test_journal_metrics import REF_JOURNAL
+    text = render_metrics(
+        [], prefix="repro_serve_",
+        extra_families=journal_families(REF_JOURNAL),
+    )
+    Path("tests/metrics/golden/journal_health.om.txt").write_text(text)
+    PY
+"""
+
+from pathlib import Path
+
+from repro.metrics.expo import (
+    JOURNAL_FAMILIES,
+    journal_families,
+    parse_openmetrics_full,
+    render_metrics,
+    render_openmetrics,
+    render_parsed,
+)
+from repro.serve.telemetry import ServeTelemetry
+
+GOLDEN = Path(__file__).parent / "golden" / "journal_health.om.txt"
+
+#: Deterministic journal health stats (JournalWriter.stats() shape).
+REF_JOURNAL = {
+    "shard": "main",
+    "records_written": 128,
+    "records_dropped": 2,
+    "bytes_written": 40960,
+    "segment_bytes": 8192,
+    "segments_rotated": 3,
+    "incidents": 1,
+    "buffered_records": 4,
+    "flush_lag_s": 0.25,
+}
+
+
+def render_reference() -> str:
+    return render_metrics(
+        [], prefix="repro_serve_",
+        extra_families=journal_families(REF_JOURNAL),
+    )
+
+
+class TestJournalFamilies:
+    def test_every_stats_key_has_a_family(self):
+        numeric = {
+            k for k, v in REF_JOURNAL.items()
+            if isinstance(v, (int, float))
+        }
+        assert {key for key, _, _, _ in JOURNAL_FAMILIES} == numeric
+
+    def test_absent_keys_skipped(self):
+        fams = journal_families({"records_written": 1})
+        assert len(fams) == 1
+
+    def test_engine_exposition_embeds_journal(self):
+        text = render_openmetrics(ServeTelemetry(), journal=REF_JOURNAL)
+        assert "repro_serve_journal_records_written_total 128" in text
+        assert "repro_serve_journal_flush_lag_seconds 0.25" in text
+        # without journal stats the families stay out entirely
+        assert "journal" not in render_openmetrics(ServeTelemetry())
+
+
+class TestGolden:
+    def test_byte_stable_rendering(self):
+        assert render_reference() == GOLDEN.read_text(), (
+            "journal OpenMetrics rendering drifted from the golden; if "
+            "the format change is intentional, refresh per the module "
+            "docstring"
+        )
+
+    def test_full_parse_round_trips_bytes(self):
+        text = GOLDEN.read_text()
+        families = parse_openmetrics_full(text)
+        assert render_parsed(families) == text
+        assert families["repro_serve_journal_records_written"][
+            "samples"
+        ] == [("_total", {}, 128)]
+
+    def test_engine_exposition_with_journal_round_trips(self):
+        t = ServeTelemetry()
+        t.requests_total.inc(3)
+        text = render_openmetrics(t, journal=REF_JOURNAL)
+        assert render_parsed(parse_openmetrics_full(text)) == text
+
+
+class TestDashboardPanel:
+    def test_journal_panel_renders_from_fleet_exposition(self):
+        from repro.metrics.dashboard import render_dashboard
+        from repro.metrics.expo import parse_openmetrics
+        from repro.metrics.fleet import fleet_openmetrics
+
+        from tests.metrics.test_fleet import TestJournalRollup
+
+        text = fleet_openmetrics({
+            "shard-0": TestJournalRollup.snap_with_journal(written=12),
+        })
+        frame = render_dashboard(parse_openmetrics(text))
+        assert "journal  records 12" in frame
+        assert "flush lag" in frame
+
+    def test_panel_absent_when_journaling_off(self):
+        from repro.metrics.dashboard import render_dashboard
+        from repro.metrics.expo import parse_openmetrics
+        from repro.metrics.fleet import fleet_openmetrics
+
+        from tests.metrics.test_fleet import worker_snap
+
+        text = fleet_openmetrics({"shard-0": worker_snap()})
+        assert "journal" not in render_dashboard(parse_openmetrics(text))

@@ -542,3 +542,132 @@ class TestServeCluster:
         out = capsys.readouterr().out
         assert rc == 0
         assert "cluster of 1 worker(s)" in out
+
+
+class TestJournalCLI:
+    """serve-stats/replay --journal-dir and the journal verbs."""
+
+    @staticmethod
+    def fill(tmp_path, capsys, requests=6):
+        rc = main([
+            "serve-stats", "--n-rows", "200", "--requests",
+            str(requests), "--rhs", "0", "--execution", "host",
+            "--journal-dir", str(tmp_path),
+        ])
+        capsys.readouterr()
+        assert rc == 0
+
+    def test_serve_stats_journals_and_reports_health(self, tmp_path, capsys):
+        rc = main([
+            "serve-stats", "--n-rows", "200", "--requests", "4",
+            "--rhs", "0", "--journal-dir", str(tmp_path),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "journal       : 4 record(s)" in out
+        assert list(tmp_path.glob("journal-serve-*.jsnl"))
+
+    def test_tail_prints_jsonl(self, tmp_path, capsys):
+        import json
+
+        self.fill(tmp_path, capsys)
+        rc = main(["journal", "tail", str(tmp_path), "-n", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        lines = out.strip().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(li)["kind"] == "solve" for li in lines)
+
+    def test_query_filters_by_lane(self, tmp_path, capsys):
+        import json
+
+        self.fill(tmp_path, capsys)
+        rc = main(["journal", "query", str(tmp_path), "--lane", "host"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert all(
+            json.loads(li)["lane"] == "host"
+            for li in captured.out.strip().splitlines()
+        )
+        assert "skipped line(s)" in captured.err
+        rc = main(["journal", "query", str(tmp_path), "--lane", "sim"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert captured.out.strip() == ""
+
+    def test_report_healthy_exit_zero_and_artifact(self, tmp_path, capsys):
+        import json
+
+        self.fill(tmp_path, capsys)
+        rc = main(["journal", "report", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "recommended lane: host" in out
+        artifact = json.loads(
+            (tmp_path / "lane_recommendations.json").read_text()
+        )
+        assert artifact["schema"] == "efficacy/1"
+        assert artifact["recommendations"] == {"shallow-fine": "host"}
+
+    def test_report_json_document(self, tmp_path, capsys):
+        import json
+
+        self.fill(tmp_path, capsys)
+        rc = main(["journal", "report", str(tmp_path), "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert doc["schema"] == "efficacy/1"
+        assert doc["anomalies"] == []
+
+    def test_report_unreadable_journal_exits_two(self, tmp_path, capsys):
+        rc = main(["journal", "report", str(tmp_path / "missing")])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "journal:" in captured.err
+
+    def test_report_anomaly_exits_one(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.journal import JournalWriter
+
+        with JournalWriter(tmp_path) as w:
+            for i in range(5):
+                w.record_solve(matrix="m", lane="host", latency_ms=1.0,
+                               n_levels=10, granularity=0.5, ts=float(i))
+            w.record_solve(matrix="m", lane="host", latency_ms=99.0,
+                           n_levels=10, granularity=0.5, ts=9.0)
+        rc = main(["journal", "report", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "ANOMALY" in out
+
+    def test_replay_journal_dir(self, tmp_path, capsys):
+        trace = tmp_path / "events.jsonl"
+        rc = main([
+            "serve-stats", "--n-rows", "150", "--requests", "3",
+            "--rhs", "0", "--execution", "host",
+            "--trace-log", str(trace),
+        ])
+        capsys.readouterr()
+        assert rc == 0
+        journal_dir = tmp_path / "journal"
+        rc = main([
+            "replay", str(trace), "--journal-dir", str(journal_dir),
+        ])
+        capsys.readouterr()
+        assert rc == 0
+        rc = main(["journal", "query", str(journal_dir), "--kind", "solve"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert len(captured.out.strip().splitlines()) == 3
+
+    def test_serve_stats_openmetrics_journal_families(self, tmp_path, capsys):
+        rc = main([
+            "serve-stats", "--n-rows", "150", "--requests", "2",
+            "--rhs", "0", "--journal-dir", str(tmp_path),
+            "--openmetrics",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "repro_serve_journal_records_written_total 2" in out
+        assert "# TYPE repro_serve_journal_flush_lag_seconds gauge" in out
